@@ -1,0 +1,118 @@
+// Command benchtab regenerates the GridSAT paper's evaluation tables and
+// ablation studies on the simulated grid.
+//
+//	benchtab -table 1              regenerate Table 1 (all 42 rows)
+//	benchtab -table 2              regenerate Table 2 (9 rows + batch)
+//	benchtab -table 1 -rows 6pipe,dp12s12
+//	benchtab -ablation sharelen    clause-share-length sweep
+//	benchtab -bhonly               par32-1-c Blue-Horizon-only rerun
+//
+// Times are virtual seconds at the fixed scale (1 vsec ≈ 10 paper
+// seconds); runs are deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridsat/internal/bench"
+	"gridsat/internal/gen"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table 1 or 2")
+		rows     = flag.String("rows", "", "comma-separated row filter")
+		scale    = flag.Float64("scale", 1.0, "budget scale factor (1.0 = paper-faithful)")
+		seed     = flag.Int64("seed", 1, "grid contention seed")
+		ablation = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology")
+		bhOnly   = flag.Bool("bhonly", false, "rerun par32-1-c on Blue Horizon alone")
+		quiet    = flag.Bool("q", false, "suppress per-row progress")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	if *rows != "" {
+		opts.Rows = strings.Split(*rows, ",")
+	}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	did := false
+	if *table == 1 {
+		did = true
+		out := bench.Table1(opts)
+		fmt.Println(bench.RenderTable1(out))
+		if issues := bench.Shape(out); len(issues) > 0 {
+			fmt.Println("shape deviations from the paper:")
+			for _, i := range issues {
+				fmt.Println("  -", i)
+			}
+		} else {
+			fmt.Println("shape: all qualitative Table-1 claims reproduced")
+		}
+	}
+	if *table == 2 {
+		did = true
+		out := bench.Table2(opts)
+		fmt.Println(bench.RenderTable2(out))
+		if issues := bench.Shape2(out); len(issues) > 0 {
+			fmt.Println("shape deviations from the paper:")
+			for _, i := range issues {
+				fmt.Println("  -", i)
+			}
+		} else {
+			fmt.Println("shape: all qualitative Table-2 claims reproduced")
+		}
+	}
+	if *ablation != "" {
+		did = true
+		runAblation(*ablation, opts)
+	}
+	if *bhOnly {
+		did = true
+		inst, _ := gen.ByName("par32-1-c")
+		res := bench.BlueHorizonOnly(inst, opts)
+		fmt.Printf("par32-1-c on Blue Horizon alone: outcome=%v vsec=%.0f batch-start=%.0f batch-time=%.0f\n",
+			res.Outcome, res.VSec, res.BatchStartVSec, res.VSec-res.BatchStartVSec)
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runAblation(kind string, opts bench.Options) {
+	inst, ok := gen.ByName("homer12") // a large both-solved row
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchtab: ablation instance missing")
+		os.Exit(1)
+	}
+	f := inst.Build()
+	switch kind {
+	case "sharelen":
+		fmt.Print(bench.RenderAblation("clause-share length (paper §3.2)",
+			bench.AblationShareLen(f, []int{0, 3, 10, 50}, opts)))
+	case "splittimeout":
+		fmt.Print(bench.RenderAblation("split timeout (paper §3.3, ping-pong guard)",
+			bench.AblationSplitTimeout(f, []float64{1, 5, 10, 40}, opts)))
+	case "pruning":
+		fmt.Print(bench.RenderAblation("level-0 clause pruning (paper §3.1)",
+			bench.AblationPruning(f, opts)))
+	case "ranking":
+		fmt.Print(bench.RenderAblation("NWS scheduler ranking vs flat placement",
+			bench.AblationRanking(f, opts)))
+	case "minimize":
+		fmt.Print(bench.RenderAblation("learned-clause minimization (post-Chaff refinement)",
+			bench.AblationMinimization(f, opts)))
+	case "topology":
+		fmt.Print(bench.RenderAblation("clause-sharing topology (master relay vs P2P)",
+			bench.AblationSharingTopology(f, opts)))
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown ablation %q\n", kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,314 @@
+// Command gridsat is the GridSAT distributed SAT solver.
+//
+// Modes:
+//
+//	gridsat solve  problem.cnf            sequential solve (zChaff role)
+//	gridsat run    problem.cnf            master + N clients in one process
+//	gridsat master -listen :7070 p.cnf    TCP master for a real deployment
+//	gridsat client -master host:7070      TCP client joining a deployment
+//	gridsat sim    problem.cnf            deterministic simulated-grid run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
+	"gridsat/internal/core"
+	"gridsat/internal/grid"
+	"gridsat/internal/proof"
+	"gridsat/internal/solver"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "master":
+		err = cmdMaster(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "checkproof":
+		err = cmdCheckProof(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gridsat <solve|run|master|client|sim|checkproof> [flags] [problem.cnf]
+run "gridsat <mode> -h" for mode flags`)
+}
+
+func loadCNF(path string) (*cnf.Formula, error) {
+	if path == "" || path == "-" {
+		return cnf.ParseDIMACS(os.Stdin)
+	}
+	return cnf.ParseDIMACSFile(path)
+}
+
+func report(status solver.Status, model cnf.Assignment, f *cnf.Formula) {
+	switch status {
+	case solver.StatusSAT:
+		fmt.Println("s SATISFIABLE")
+		if err := f.Verify(model); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsat: model verification FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Print("v")
+		for v := 0; v < len(model); v++ {
+			lit := v + 1
+			if model[v] == cnf.False {
+				lit = -lit
+			}
+			fmt.Printf(" %d", lit)
+		}
+		fmt.Println(" 0")
+	case solver.StatusUNSAT:
+		fmt.Println("s UNSATISFIABLE")
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "wall-clock budget")
+	mem := fs.Int64("mem", 0, "memory budget in bytes")
+	ckptIn := fs.String("resume", "", "resume from a checkpoint file")
+	ckptOut := fs.String("checkpoint", "", "write a heavy checkpoint here when the budget runs out")
+	fs.Parse(args)
+	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var s *solver.Solver
+	if *ckptIn != "" {
+		fd, err := os.Open(*ckptIn)
+		if err != nil {
+			return err
+		}
+		cp, err := solver.LoadCheckpoint(fd)
+		fd.Close()
+		if err != nil {
+			return err
+		}
+		if s, err = solver.Restore(f, cp, solver.DefaultOptions()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: resumed from %s (%d level-0 facts, %d learned clauses)\n",
+			*ckptIn, len(cp.Level0), len(cp.Learnts))
+	} else {
+		s = solver.New(f, solver.DefaultOptions())
+	}
+	res := s.Solve(solver.Limits{MaxTime: *timeout, MaxMemoryBytes: *mem})
+	if res.Status == solver.StatusUnknown && *ckptOut != "" {
+		// Paper §3.4: the heavy checkpoint records level 0 plus the learned
+		// clauses; the initial clauses come from the problem file on resume.
+		cp := s.Checkpoint(solver.HeavyCheckpoint, 0)
+		fd, err := os.Create(*ckptOut)
+		if err != nil {
+			return err
+		}
+		if err := cp.Save(fd); err != nil {
+			fd.Close()
+			return err
+		}
+		if err := fd.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: checkpoint written to %s\n", *ckptOut)
+	}
+	report(res.Status, res.Model, f)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	clients := fs.Int("clients", 4, "number of in-process clients")
+	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget")
+	fs.Parse(args)
+	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := core.Solve(f, core.JobConfig{
+		Clients:     *clients,
+		ShareMaxLen: *shareLen,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	report(res.Status, res.Model, f)
+	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d\n",
+		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses)
+	return nil
+}
+
+func cmdMaster(args []string) error {
+	fs := flag.NewFlagSet("master", flag.ExitOnError)
+	listen := fs.String("listen", ":7070", "TCP listen address")
+	minMem := fs.Int64("min-mem", 128<<20, "minimum client free memory (bytes)")
+	timeout := fs.Duration("timeout", 0, "overall budget (0 = none)")
+	expected := fs.Int("expect-clients", 0, "wait for this many registrations before starting")
+	fs.Parse(args)
+	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := core.NewMaster(core.MasterConfig{
+		Transport:       comm.TCPTransport{},
+		ListenAddr:      *listen,
+		Formula:         f,
+		MinMemBytes:     *minMem,
+		Timeout:         *timeout,
+		ExpectedClients: *expected,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "gridsat master listening on", m.Addr())
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	report(res.Status, res.Model, f)
+	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d\n",
+		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses)
+	return nil
+}
+
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	master := fs.String("master", "localhost:7070", "master address")
+	listen := fs.String("listen", ":0", "P2P listen address")
+	mem := fs.Int64("mem", 512<<20, "free memory to report and budget from")
+	speed := fs.Float64("speed", 1.0, "relative CPU speed hint")
+	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	fs.Parse(args)
+	host, _ := os.Hostname()
+	cl, err := core.NewClient(core.ClientConfig{
+		Transport:    comm.TCPTransport{},
+		MasterAddr:   *master,
+		ListenAddr:   *listen,
+		HostName:     host,
+		FreeMemBytes: *mem,
+		SpeedHint:    *speed,
+		ShareMaxLen:  *shareLen,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gridsat client %d registered (p2p %s)\n", cl.ID(), cl.Addr())
+	return cl.Run()
+}
+
+// cmdCheckProof independently certifies an UNSAT answer from a RUP proof
+// (the zVerify role): gridsat checkproof problem.cnf proof.rup
+func cmdCheckProof(args []string) error {
+	fs := flag.NewFlagSet("checkproof", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: gridsat checkproof problem.cnf proof.rup")
+	}
+	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fd, err := os.Open(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	lemmas, err := proof.Parse(fd)
+	if err != nil {
+		return err
+	}
+	if err := proof.Check(f, lemmas); err != nil {
+		return fmt.Errorf("proof REJECTED: %w", err)
+	}
+	fmt.Printf("proof OK: %d lemmas certify UNSATISFIABLE\n", len(lemmas))
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	testbed := fs.String("testbed", "grads", "grads (34 hosts) or table2 (27 hosts)")
+	timeout := fs.Float64("timeout-vsec", 6000, "virtual-second budget")
+	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	seed := fs.Int64("seed", 1, "contention/jitter seed")
+	sequential := fs.Bool("sequential", false, "run the dedicated sequential baseline instead")
+	batch := fs.Bool("batch", false, "submit a Blue Horizon batch job (table2 testbed)")
+	timeline := fs.String("timeline", "", "write the active-clients-over-time curve as CSV")
+	fs.Parse(args)
+	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var g *grid.Grid
+	switch *testbed {
+	case "grads":
+		g = grid.TestbedGrADS(*seed)
+	case "table2":
+		g = grid.TestbedTable2(*seed)
+	default:
+		return fmt.Errorf("unknown testbed %q", *testbed)
+	}
+	cfg := core.RunnerConfig{
+		Grid:         g,
+		Formula:      f,
+		TimeoutVSec:  *timeout,
+		ShareMaxLen:  *shareLen,
+		MasterHostID: -1,
+		Seed:         *seed,
+	}
+	if *batch {
+		g.AddBlueHorizon(64)
+		cfg.Batch = &core.BatchPlan{
+			Nodes: 64, WalltimeVSec: 720, MeanQueueWaitVSec: 1980, TerminateOnEnd: true,
+		}
+	}
+	var res core.SimResult
+	if *sequential {
+		res = core.RunSequential(cfg)
+	} else {
+		res = core.RunDistributed(cfg)
+	}
+	report(res.Status, res.Model, f)
+	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d splits=%d shared=%d work=%d-props\n",
+		res.Outcome, res.VSec, res.MaxClients, res.Splits, res.Shared, res.TotalProps)
+	if *timeline != "" && !*sequential {
+		fd, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		defer fd.Close()
+		fmt.Fprintln(fd, "vsec,busy_clients")
+		for _, p := range res.Timeline {
+			fmt.Fprintf(fd, "%.3f,%d\n", p.VSec, p.Busy)
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: timeline (%d samples) written to %s\n", len(res.Timeline), *timeline)
+	}
+	return nil
+}

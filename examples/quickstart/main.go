@@ -1,0 +1,81 @@
+// Quickstart: build a CNF formula, solve it with the Chaff-style engine,
+// and inspect models and statistics — the smallest useful tour of the
+// public pieces of this repository.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/solver"
+)
+
+func main() {
+	// 1. Build a formula by hand: (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (¬x2 ∨ ¬x3).
+	f := cnf.NewFormula(3)
+	f.Add(1, 2).Add(-1, 3).Add(-2, -3)
+
+	s := solver.New(f, solver.DefaultOptions())
+	res := s.Solve(solver.Limits{})
+	fmt.Println("hand-built formula:", res.Status)
+	if res.Status == solver.StatusSAT {
+		if err := f.Verify(res.Model); err != nil {
+			log.Fatal("model verification failed: ", err)
+		}
+		fmt.Println("model:", modelString(res.Model))
+	}
+
+	// 2. Parse DIMACS (the format the paper's benchmark suite uses).
+	dimacs := `c tiny example
+p cnf 2 2
+1 -2 0
+-1 2 0
+`
+	g, err := cnf.ParseDIMACS(strings.NewReader(dimacs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := solver.New(g, solver.DefaultOptions()).Solve(solver.Limits{})
+	fmt.Println("DIMACS formula:", res2.Status)
+
+	// 3. A generated instance with engine statistics: the pigeonhole
+	// principle PHP(9,8) is unsatisfiable and takes real search.
+	php := gen.Pigeonhole(8)
+	s3 := solver.New(php, solver.DefaultOptions())
+	res3 := s3.Solve(solver.Limits{})
+	st := s3.Stats()
+	fmt.Printf("%s: %v after %d decisions, %d conflicts, %d learned clauses, %d restarts\n",
+		php.Comment, res3.Status, st.Decisions, st.Conflicts, st.Learned, st.Restarts)
+
+	// 4. Budgeted solving: give up after 100 conflicts, then resume.
+	s4 := solver.New(gen.Pigeonhole(9), solver.DefaultOptions())
+	partial := s4.Solve(solver.Limits{MaxConflicts: 100})
+	fmt.Printf("budgeted run paused: status=%v reason=%v\n", partial.Status, partial.Reason)
+	full := s4.Solve(solver.Limits{})
+	fmt.Printf("resumed to completion: %v\n", full.Status)
+
+	// 5. Write an instance to DIMACS for use with cmd/zchaff or
+	// cmd/gridsat.
+	if err := cnf.WriteDIMACS(os.Stdout, g); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func modelString(m cnf.Assignment) string {
+	var b strings.Builder
+	for v := 0; v < len(m); v++ {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		if m[v] == cnf.True {
+			fmt.Fprintf(&b, "x%d=true", v+1)
+		} else {
+			fmt.Fprintf(&b, "x%d=false", v+1)
+		}
+	}
+	return b.String()
+}

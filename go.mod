@@ -1,0 +1,3 @@
+module gridsat
+
+go 1.24

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/core"
+	"gridsat/internal/grid"
+	"gridsat/internal/solver"
+)
+
+// AblationResult is one configuration's outcome in an ablation sweep.
+type AblationResult struct {
+	Label  string
+	Result core.SimResult
+}
+
+// AblationShareLen sweeps the clause-share length bound (the paper's §3.2
+// choice: share only "short" clauses; it used 10 and 3): 0 disables
+// sharing entirely.
+func AblationShareLen(f *cnf.Formula, lens []int, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, l := range lens {
+		cfg := ablationConfig(f, opts)
+		cfg.ShareMaxLen = l
+		if l == 0 {
+			cfg.ShareMaxLen = -1 // negative disables sharing entirely
+		}
+		out = append(out, AblationResult{
+			Label:  fmt.Sprintf("share-len=%d", l),
+			Result: core.RunDistributed(cfg),
+		})
+	}
+	return out
+}
+
+// AblationSplitTimeout sweeps the split-timeout floor (the paper used
+// 100 s — 10 virtual seconds at our scale — to avoid the ping-pong
+// effect of splitting faster than subproblems can be transferred).
+func AblationSplitTimeout(f *cnf.Formula, timeouts []float64, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, to := range timeouts {
+		cfg := ablationConfig(f, opts)
+		cfg.SplitTimeoutVSec = to
+		out = append(out, AblationResult{
+			Label:  fmt.Sprintf("split-timeout=%gvs", to),
+			Result: core.RunDistributed(cfg),
+		})
+	}
+	return out
+}
+
+// AblationPruning compares level-0 clause pruning on and off (§3.1; the
+// paper backported the optimization to its sequential baseline too).
+func AblationPruning(f *cnf.Formula, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, prune := range []bool{true, false} {
+		cfg := ablationConfig(f, opts)
+		so := solver.DefaultOptions()
+		so.PruneLevel0 = prune
+		cfg.SolverOptions = &so
+		out = append(out, AblationResult{
+			Label:  fmt.Sprintf("prune-level0=%v", prune),
+			Result: core.RunDistributed(cfg),
+		})
+	}
+	return out
+}
+
+// AblationRanking compares NWS-forecast host ranking against effectively
+// random placement (achieved by flattening every host to the same rank
+// via a grid whose hosts are homogeneous in the scheduler's eyes).
+func AblationRanking(f *cnf.Formula, opts Options) []AblationResult {
+	ranked := ablationConfig(f, opts)
+	flat := ablationConfig(f, opts)
+	flatGrid := grid.TestbedGrADS(opts.Seed + 1)
+	for _, h := range flatGrid.Hosts {
+		h.Speed = 0.7 // scheduler sees identical hosts; placement ~arbitrary
+		h.MemBytes = 512 << 20
+	}
+	flat.Grid = flatGrid
+	return []AblationResult{
+		{Label: "nws-ranked", Result: core.RunDistributed(ranked)},
+		{Label: "flat-random", Result: core.RunDistributed(flat)},
+	}
+}
+
+func ablationConfig(f *cnf.Formula, opts Options) core.RunnerConfig {
+	return core.RunnerConfig{
+		Grid:         grid.TestbedGrADS(opts.Seed + 1),
+		Formula:      f,
+		TimeoutVSec:  ChallengeBudgetVSec * opts.scale(),
+		ShareMaxLen:  Table1ShareLen,
+		MasterHostID: -1,
+		Seed:         opts.Seed,
+	}
+}
+
+// RenderAblation formats an ablation sweep.
+func RenderAblation(name string, results []AblationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation: %s\n", name)
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-22s %-9s vsec=%-9.1f clients=%-3d splits=%-4d shared=%d\n",
+			r.Label, r.Result.Outcome, r.Result.VSec, r.Result.MaxClients,
+			r.Result.Splits, r.Result.Shared)
+	}
+	return b.String()
+}
+
+// AblationMinimization compares the 2003-faithful engine (no learned-
+// clause minimization) against the post-Chaff refinement, distributed.
+func AblationMinimization(f *cnf.Formula, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, min := range []bool{false, true} {
+		cfg := ablationConfig(f, opts)
+		so := solver.DefaultOptions()
+		so.MinimizeLearnts = min
+		cfg.SolverOptions = &so
+		out = append(out, AblationResult{
+			Label:  fmt.Sprintf("minimize-learnts=%v", min),
+			Result: core.RunDistributed(cfg),
+		})
+	}
+	return out
+}
+
+// AblationSharingTopology compares master-mediated clause sharing (this
+// implementation's default, one hop through the master) against direct
+// peer-to-peer delivery — the same tradeoff the paper resolves in favor of
+// P2P for the large split payloads.
+func AblationSharingTopology(f *cnf.Formula, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, p2p := range []bool{false, true} {
+		cfg := ablationConfig(f, opts)
+		cfg.P2PSharing = p2p
+		label := "share-via-master"
+		if p2p {
+			label = "share-p2p"
+		}
+		out = append(out, AblationResult{Label: label, Result: core.RunDistributed(cfg)})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package brute implements the simple complete SAT procedure the GridSAT
+// paper describes in §2.1 before introducing learning: DPLL with unit
+// propagation and chronological backtracking ("flip the value of the
+// previous decision and then try again"). It examines up to 2^N assignments
+// and keeps no learned clauses.
+//
+// It serves two roles in this repository: the pre-Chaff baseline algorithm,
+// and a trustworthy oracle for cross-checking the CDCL engine on small
+// instances in tests.
+package brute
+
+import "gridsat/internal/cnf"
+
+// Result of a brute-force solve.
+type Result int
+
+// Possible outcomes.
+const (
+	Unknown Result = iota // budget exhausted
+	SAT
+	UNSAT
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case SAT:
+		return "SAT"
+	case UNSAT:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Solver is a chronological-backtracking DPLL solver.
+type Solver struct {
+	f      *cnf.Formula
+	assign cnf.Assignment
+	// trail records assignments in order; marks[i] is true when trail[i]
+	// is a decision (rather than a propagated implication).
+	trail []cnf.Lit
+	marks []bool
+	// flipped[i] is true when the decision at trail position i has already
+	// been tried both ways.
+	flipped []bool
+	// Decisions counts decisions made, for budget enforcement and stats.
+	Decisions int64
+	// Propagations counts implied assignments.
+	Propagations int64
+}
+
+// New returns a solver for f.
+func New(f *cnf.Formula) *Solver {
+	return &Solver{f: f, assign: cnf.NewAssignment(f.NumVars)}
+}
+
+// Model returns the satisfying assignment after Solve reports SAT.
+func (s *Solver) Model() cnf.Assignment { return s.assign.Clone() }
+
+// Solve runs DPLL with at most maxDecisions decisions (0 means no limit).
+func (s *Solver) Solve(maxDecisions int64) Result {
+	for {
+		if !s.propagate() {
+			// Conflict: chronologically backtrack to the most recent
+			// decision not yet tried both ways.
+			if !s.backtrack() {
+				return UNSAT
+			}
+			continue
+		}
+		v := s.pickUnassigned()
+		if v == cnf.NoVar {
+			return SAT
+		}
+		if maxDecisions > 0 && s.Decisions >= maxDecisions {
+			return Unknown
+		}
+		s.Decisions++
+		s.push(cnf.PosLit(v), true)
+	}
+}
+
+// propagate runs unit propagation to fixpoint; false on conflict.
+func (s *Solver) propagate() bool {
+	for {
+		progress := false
+		for _, c := range s.f.Clauses {
+			var unit cnf.Lit = cnf.NoLit
+			nUndef := 0
+			sat := false
+			for _, l := range c {
+				switch s.assign.LitValue(l) {
+				case cnf.True:
+					sat = true
+				case cnf.Undef:
+					nUndef++
+					unit = l
+				}
+				if sat || nUndef > 1 {
+					break
+				}
+			}
+			if sat || nUndef > 1 {
+				continue
+			}
+			if nUndef == 0 {
+				return false // all literals false
+			}
+			s.Propagations++
+			s.push(unit, false)
+			progress = true
+		}
+		if !progress {
+			return true
+		}
+	}
+}
+
+func (s *Solver) push(l cnf.Lit, decision bool) {
+	s.assign.Set(l)
+	s.trail = append(s.trail, l)
+	s.marks = append(s.marks, decision)
+	s.flipped = append(s.flipped, false)
+}
+
+// backtrack pops to the latest unflipped decision and flips it.
+// Returns false when no such decision exists (the instance is UNSAT).
+func (s *Solver) backtrack() bool {
+	for len(s.trail) > 0 {
+		i := len(s.trail) - 1
+		l := s.trail[i]
+		wasDecision, wasFlipped := s.marks[i], s.flipped[i]
+		s.assign.Unset(l.Var())
+		s.trail = s.trail[:i]
+		s.marks = s.marks[:i]
+		s.flipped = s.flipped[:i]
+		if wasDecision && !wasFlipped {
+			// Re-push the complement, marked as an already-flipped decision.
+			s.assign.Set(l.Not())
+			s.trail = append(s.trail, l.Not())
+			s.marks = append(s.marks, true)
+			s.flipped = append(s.flipped, true)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Solver) pickUnassigned() cnf.Var {
+	for v := 0; v < s.f.NumVars; v++ {
+		if s.assign[v] == cnf.Undef {
+			return cnf.Var(v)
+		}
+	}
+	return cnf.NoVar
+}
+
+// Solve is a convenience wrapper: solve f with a decision budget and return
+// the result plus a model when satisfiable.
+func Solve(f *cnf.Formula, maxDecisions int64) (Result, cnf.Assignment) {
+	s := New(f)
+	r := s.Solve(maxDecisions)
+	if r == SAT {
+		return r, s.Model()
+	}
+	return r, nil
+}
+
+// CountModels exhaustively counts satisfying assignments of f over its
+// declared variables. Exponential; intended for tests with few variables.
+func CountModels(f *cnf.Formula) int {
+	if f.NumVars > 24 {
+		panic("brute: CountModels limited to 24 variables")
+	}
+	count := 0
+	a := cnf.NewAssignment(f.NumVars)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 0; v < f.NumVars; v++ {
+			a[v] = cnf.FromBool(mask&(1<<uint(v)) != 0)
+		}
+		if f.Eval(a) == cnf.True {
+			count++
+		}
+	}
+	return count
+}

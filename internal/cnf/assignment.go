@@ -1,0 +1,80 @@
+package cnf
+
+// Assignment is a (possibly partial) mapping from variables to truth values,
+// stored densely by variable index.
+type Assignment []LBool
+
+// NewAssignment returns an all-Undef assignment over nVars variables.
+func NewAssignment(nVars int) Assignment { return make(Assignment, nVars) }
+
+// Value returns the value of v, or Undef if v is out of range.
+func (a Assignment) Value(v Var) LBool {
+	if int(v) >= len(a) {
+		return Undef
+	}
+	return a[v]
+}
+
+// LitValue returns the truth value of literal l under a.
+func (a Assignment) LitValue(l Lit) LBool {
+	v := a.Value(l.Var())
+	if l.Neg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Set assigns l's variable so that l becomes true.
+func (a Assignment) Set(l Lit) {
+	if l.Neg() {
+		a[l.Var()] = False
+	} else {
+		a[l.Var()] = True
+	}
+}
+
+// Unset clears the value of v.
+func (a Assignment) Unset(v Var) { a[v] = Undef }
+
+// Complete reports whether every variable is assigned.
+func (a Assignment) Complete() bool {
+	for _, v := range a {
+		if v == Undef {
+			return false
+		}
+	}
+	return true
+}
+
+// NumAssigned counts the assigned variables.
+func (a Assignment) NumAssigned() int {
+	n := 0
+	for _, v := range a {
+		if v != Undef {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of a.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// TrueLits returns the literals made true by the assigned variables, in
+// variable order. Useful for serializing a model or a level-0 prefix.
+func (a Assignment) TrueLits() []Lit {
+	out := make([]Lit, 0, len(a))
+	for v, val := range a {
+		switch val {
+		case True:
+			out = append(out, PosLit(Var(v)))
+		case False:
+			out = append(out, NegLit(Var(v)))
+		}
+	}
+	return out
+}

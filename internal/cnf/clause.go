@@ -1,0 +1,108 @@
+package cnf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of literals. The zero value is the empty clause,
+// which is unsatisfiable.
+type Clause []Lit
+
+// NewClause builds a clause from DIMACS literals (±1-based, no terminating 0).
+func NewClause(dimacs ...int) Clause {
+	c := make(Clause, 0, len(dimacs))
+	for _, n := range dimacs {
+		c = append(c, LitFromDIMACS(n))
+	}
+	return c
+}
+
+// Clone returns an independent copy of c.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// Has reports whether c contains literal l.
+func (c Clause) Has(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize sorts the literals, removes duplicates, and reports whether the
+// clause is a tautology (contains both a literal and its complement).
+// A tautologous clause is always satisfied and should be dropped by callers.
+// The returned clause aliases c's storage.
+func (c Clause) Normalize() (Clause, bool) {
+	if len(c) == 0 {
+		return c, false
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:1]
+	for _, l := range c[1:] {
+		last := out[len(out)-1]
+		if l == last {
+			continue // duplicate
+		}
+		if l == last.Not() {
+			return c, true // x and ~x are adjacent after sorting
+		}
+		out = append(out, l)
+	}
+	return out, false
+}
+
+// Eval evaluates the clause under a (possibly partial) assignment:
+// True if some literal is true, False if all literals are false,
+// Undef otherwise.
+func (c Clause) Eval(a Assignment) LBool {
+	undef := false
+	for _, l := range c {
+		switch a.LitValue(l) {
+		case True:
+			return True
+		case Undef:
+			undef = true
+		}
+	}
+	if undef {
+		return Undef
+	}
+	return False
+}
+
+// String renders the clause as space-separated DIMACS literals in parentheses.
+func (c Clause) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, l := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a canonical comparable key for a clause, used to deduplicate
+// shared clauses across GridSAT clients. The clause is not modified.
+func (c Clause) Key() string {
+	s := c.Clone()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var b strings.Builder
+	b.Grow(len(s) * 4)
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

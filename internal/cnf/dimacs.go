@@ -1,0 +1,141 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format. It tolerates the common
+// dialect variations: comment lines anywhere, clauses spanning multiple
+// lines, a missing final 0, and "%"-terminated SATLIB files. The "p cnf"
+// header is optional; when present, the declared variable count is honored
+// even if larger than the maximum variable used.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var cur Clause
+	var comments []string
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'c':
+			text := strings.TrimSpace(strings.TrimPrefix(line, "c"))
+			if text != "" {
+				comments = append(comments, text)
+			}
+			continue
+		case 'p':
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count %q", lineNo, fields[3])
+			}
+			f.NumVars = nv
+			sawHeader = true
+			continue
+		case '%':
+			// SATLIB terminator; everything after is ignored.
+			goto done
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				f.AddClause(cur)
+				cur = nil
+				continue
+			}
+			if sawHeader && abs(n) > f.NumVars {
+				return nil, fmt.Errorf("cnf: line %d: literal %d exceeds declared %d variables", lineNo, n, f.NumVars)
+			}
+			cur = append(cur, LitFromDIMACS(n))
+		}
+	}
+done:
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: reading DIMACS: %w", err)
+	}
+	if len(cur) > 0 { // final clause without terminating 0
+		f.AddClause(cur)
+	}
+	f.Comment = strings.Join(comments, "\n")
+	return f, nil
+}
+
+// ParseDIMACSFile reads a DIMACS CNF file from disk.
+func ParseDIMACSFile(path string) (*Formula, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return ParseDIMACS(fd)
+}
+
+// WriteDIMACS writes f in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if f.Comment != "" {
+		for _, line := range strings.Split(f.Comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "c %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := bw.WriteString(strconv.Itoa(l.DIMACS())); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDIMACSFile writes f to a DIMACS CNF file on disk.
+func WriteDIMACSFile(path string, f *Formula) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDIMACS(fd, f); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

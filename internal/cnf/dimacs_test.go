@@ -1,0 +1,158 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 2 {
+		t.Fatalf("got %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+	if f.Clauses[0][1] != NegLit(1) {
+		t.Errorf("clause 0 literal 1 = %v", f.Clauses[0][1])
+	}
+	if f.Comment != "a comment" {
+		t.Errorf("comment = %q", f.Comment)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 4 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("multiline clause parsed as %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSMissingFinalZero(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("p cnf 2 2\n1 0\n-1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Fatalf("got %d clauses, want 2", f.NumClauses())
+	}
+}
+
+func TestParseDIMACSNoHeader(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("1 2 0\n-3 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 2 {
+		t.Fatalf("got %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+}
+
+func TestParseDIMACSPercentTerminator(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 2 0\n%\n0\ngarbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("got %d clauses, want 1", f.NumClauses())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n",
+		"p cnf 2\n",
+		"p cnf 2 y\n",
+		"p cnf 2 1\n1 zz 0\n",
+		"p cnf 2 1\n1 5 0\n", // literal exceeds declared vars
+	}
+	for _, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestDIMACSRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		nv := 1 + rng.Intn(30)
+		f := NewFormula(nv)
+		f.Comment = "gen test\nsecond line"
+		for i := 0; i < rng.Intn(40); i++ {
+			n := 1 + rng.Intn(5)
+			c := make(Clause, n)
+			for j := range c {
+				c[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 1)
+			}
+			f.AddClause(c)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVars != f.NumVars || g.NumClauses() != f.NumClauses() {
+			t.Fatalf("roundtrip shape mismatch: %d/%d vs %d/%d",
+				g.NumVars, g.NumClauses(), f.NumVars, f.NumClauses())
+		}
+		for i := range f.Clauses {
+			if len(f.Clauses[i]) != len(g.Clauses[i]) {
+				t.Fatalf("clause %d length mismatch", i)
+			}
+			for j := range f.Clauses[i] {
+				if f.Clauses[i][j] != g.Clauses[i][j] {
+					t.Fatalf("clause %d literal %d mismatch", i, j)
+				}
+			}
+		}
+		if g.Comment != f.Comment {
+			t.Fatalf("comment mismatch: %q vs %q", g.Comment, f.Comment)
+		}
+	}
+}
+
+func TestDIMACSFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.cnf")
+	f := NewFormula(2)
+	f.Add(1, -2).Add(2)
+	if err := WriteDIMACSFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClauses() != 2 {
+		t.Fatalf("file roundtrip lost clauses: %d", g.NumClauses())
+	}
+	if _, err := ParseDIMACSFile(filepath.Join(dir, "missing.cnf")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestParseDIMACSEmptyClause(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("p cnf 1 1\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 0 {
+		t.Fatalf("empty clause mishandled: %v", f.Clauses)
+	}
+}

@@ -1,0 +1,51 @@
+package cnf_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"gridsat/internal/cnf"
+)
+
+// ExampleParseDIMACS parses the standard benchmark format.
+func ExampleParseDIMACS() {
+	input := `c a tiny instance
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := cnf.ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(f.NumVars, f.NumClauses())
+	fmt.Println(f.Clauses[0])
+	// Output:
+	// 3 2
+	// (1 -2)
+}
+
+// ExampleWriteDIMACS writes a formula back out.
+func ExampleWriteDIMACS() {
+	f := cnf.NewFormula(2)
+	f.Add(1, 2).Add(-1)
+	_ = cnf.WriteDIMACS(os.Stdout, f)
+	// Output:
+	// p cnf 2 2
+	// 1 2 0
+	// -1 0
+}
+
+// ExampleFormula_Verify is the master's model check (paper §3.4).
+func ExampleFormula_Verify() {
+	f := cnf.NewFormula(2)
+	f.Add(1, 2)
+	m := cnf.NewAssignment(2)
+	m.Set(cnf.PosLit(0))
+	m.Set(cnf.NegLit(1))
+	fmt.Println(f.Verify(m))
+	// Output:
+	// <nil>
+}

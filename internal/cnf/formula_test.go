@@ -1,0 +1,135 @@
+package cnf
+
+import "testing"
+
+func TestFormulaAddGrowsVars(t *testing.T) {
+	f := NewFormula(0)
+	f.Add(1, -5)
+	if f.NumVars != 5 {
+		t.Errorf("NumVars = %d, want 5", f.NumVars)
+	}
+	f.Add(3)
+	if f.NumVars != 5 {
+		t.Errorf("NumVars shrank: %d", f.NumVars)
+	}
+	if f.NumClauses() != 2 {
+		t.Errorf("NumClauses = %d, want 2", f.NumClauses())
+	}
+	if f.NumLiterals() != 3 {
+		t.Errorf("NumLiterals = %d, want 3", f.NumLiterals())
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	f := NewFormula(2)
+	f.Add(1, 2).Add(-1, 2)
+	a := NewAssignment(2)
+	if f.Eval(a) != Undef {
+		t.Error("empty assignment should be Undef")
+	}
+	a.Set(PosLit(1)) // var2 = true satisfies both
+	if f.Eval(a) != True {
+		t.Error("formula should be True")
+	}
+	a.Unset(1)
+	a.Set(NegLit(1))
+	a.Set(PosLit(0)) // (-1,2) falsified
+	if f.Eval(a) != False {
+		t.Error("formula should be False")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	f := NewFormula(2)
+	f.Add(1, 2).Add(-1, 2)
+	a := NewAssignment(2)
+	if err := f.Verify(a); err == nil {
+		t.Error("Verify accepted incomplete assignment")
+	}
+	a.Set(PosLit(0))
+	a.Set(PosLit(1))
+	if err := f.Verify(a); err != nil {
+		t.Errorf("Verify rejected model: %v", err)
+	}
+	a.Set(NegLit(1))
+	if err := f.Verify(a); err == nil {
+		t.Error("Verify accepted non-model")
+	}
+	if err := f.Verify(NewAssignment(1)); err == nil {
+		t.Error("Verify accepted short assignment")
+	}
+}
+
+func TestFormulaClone(t *testing.T) {
+	f := NewFormula(2)
+	f.Add(1, 2)
+	f.Comment = "orig"
+	g := f.Clone()
+	g.Clauses[0][0] = NegLit(0)
+	g.Add(2)
+	if f.Clauses[0][0] != PosLit(0) {
+		t.Error("Clone shares clause storage")
+	}
+	if f.NumClauses() != 1 {
+		t.Error("Clone shares clause slice")
+	}
+	if g.Comment != "orig" {
+		t.Error("Clone dropped comment")
+	}
+}
+
+func TestFormulaStats(t *testing.T) {
+	f := NewFormula(4)
+	f.Add(1).Add(1, 2).Add(1, 2, 3)
+	s := f.Stats()
+	if s.Vars != 4 || s.Clauses != 3 || s.Literals != 6 {
+		t.Errorf("basic counts wrong: %+v", s)
+	}
+	if s.UnitClauses != 1 || s.BinClauses != 1 {
+		t.Errorf("unit/bin wrong: %+v", s)
+	}
+	if s.MinClauseLen != 1 || s.MaxClauseLen != 3 {
+		t.Errorf("min/max wrong: %+v", s)
+	}
+	if s.ClauseVarRatio != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", s.ClauseVarRatio)
+	}
+}
+
+func TestFormulaStatsEmpty(t *testing.T) {
+	s := NewFormula(0).Stats()
+	if s.Clauses != 0 || s.MinClauseLen != 0 || s.ClauseVarRatio != 0 {
+		t.Errorf("empty stats wrong: %+v", s)
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := NewAssignment(3)
+	if a.Complete() {
+		t.Error("empty assignment reported complete")
+	}
+	a.Set(PosLit(0))
+	a.Set(NegLit(2))
+	if a.NumAssigned() != 2 {
+		t.Errorf("NumAssigned = %d, want 2", a.NumAssigned())
+	}
+	lits := a.TrueLits()
+	if len(lits) != 2 || lits[0] != PosLit(0) || lits[1] != NegLit(2) {
+		t.Errorf("TrueLits = %v", lits)
+	}
+	if a.LitValue(NegLit(0)) != False {
+		t.Error("LitValue of complement wrong")
+	}
+	if a.Value(Var(99)) != Undef {
+		t.Error("out-of-range Value should be Undef")
+	}
+	b := a.Clone()
+	b.Set(PosLit(1))
+	if a.Value(1) != Undef {
+		t.Error("Clone shares storage")
+	}
+	a.Set(PosLit(1))
+	if !a.Complete() {
+		t.Error("full assignment reported incomplete")
+	}
+}

@@ -1,0 +1,138 @@
+// Package cnf provides the core propositional-logic data model shared by
+// every GridSAT component: variables, literals, clauses, CNF formulas,
+// truth assignments, and DIMACS serialization.
+//
+// Variables are dense 0-based indices (Var). A literal packs a variable and
+// a sign into one word using the least-significant-bit-sign encoding common
+// to Chaff-family solvers: the positive literal of variable v is 2v and the
+// negative literal is 2v+1. This makes watch lists and per-literal VSIDS
+// counters simple dense arrays.
+package cnf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Var is a 0-based propositional variable index. External (DIMACS) variable
+// numbers are 1-based; use VarFromDIMACS and Var.DIMACS to convert.
+type Var uint32
+
+// NoVar is a sentinel for "no variable".
+const NoVar = Var(^uint32(0))
+
+// VarFromDIMACS converts a 1-based DIMACS variable number to a Var.
+func VarFromDIMACS(n int) Var {
+	if n <= 0 {
+		panic("cnf: DIMACS variable numbers are positive")
+	}
+	return Var(n - 1)
+}
+
+// DIMACS returns the 1-based DIMACS number of v.
+func (v Var) DIMACS() int { return int(v) + 1 }
+
+// Lit is a literal: a variable together with a sign. The encoding is
+// Lit = 2*Var + sign, where sign 1 means the negated literal.
+type Lit uint32
+
+// NoLit is a sentinel for "no literal" (used e.g. for unset watches).
+const NoLit = Lit(^uint32(0))
+
+// MkLit builds the literal of v that is negative when neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v) << 1 }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v)<<1 | 1 }
+
+// LitFromDIMACS converts a nonzero DIMACS literal (±n) to a Lit.
+func LitFromDIMACS(n int) Lit {
+	if n == 0 {
+		panic("cnf: DIMACS literal 0 is the clause terminator, not a literal")
+	}
+	if n > 0 {
+		return PosLit(VarFromDIMACS(n))
+	}
+	return NegLit(VarFromDIMACS(-n))
+}
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether l is a negative literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Sign returns +1 for a positive literal and -1 for a negative one.
+func (l Lit) Sign() int {
+	if l.Neg() {
+		return -1
+	}
+	return 1
+}
+
+// DIMACS returns the signed 1-based DIMACS form of l.
+func (l Lit) DIMACS() int { return l.Sign() * l.Var().DIMACS() }
+
+// String renders l in DIMACS form, e.g. "-12".
+func (l Lit) String() string {
+	if l == NoLit {
+		return "<nolit>"
+	}
+	return strconv.Itoa(l.DIMACS())
+}
+
+// LBool is a three-valued boolean used for partial assignments.
+type LBool int8
+
+// The three truth values of a partial assignment.
+const (
+	Undef LBool = iota // variable not assigned
+	True               // assigned true
+	False              // assigned false
+)
+
+// Not returns the logical complement; Undef maps to Undef.
+func (b LBool) Not() LBool {
+	switch b {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Undef
+	}
+}
+
+// FromBool converts a Go bool to an LBool.
+func FromBool(v bool) LBool {
+	if v {
+		return True
+	}
+	return False
+}
+
+// String implements fmt.Stringer.
+func (b LBool) String() string {
+	switch b {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Undef:
+		return "undef"
+	default:
+		return fmt.Sprintf("LBool(%d)", int8(b))
+	}
+}

@@ -1,0 +1,116 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	v := Var(7)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatalf("Var roundtrip: got %v, %v, want %v", p.Var(), n.Var(), v)
+	}
+	if p.Neg() {
+		t.Error("PosLit reported negative")
+	}
+	if !n.Neg() {
+		t.Error("NegLit reported positive")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Error("Not is not an involution between polarities")
+	}
+	if p.Sign() != 1 || n.Sign() != -1 {
+		t.Errorf("Sign: got %d, %d", p.Sign(), n.Sign())
+	}
+}
+
+func TestLitDIMACSRoundtrip(t *testing.T) {
+	cases := []int{1, -1, 5, -5, 1000000, -1000000}
+	for _, d := range cases {
+		l := LitFromDIMACS(d)
+		if l.DIMACS() != d {
+			t.Errorf("LitFromDIMACS(%d).DIMACS() = %d", d, l.DIMACS())
+		}
+	}
+}
+
+func TestLitDIMACSRoundtripProperty(t *testing.T) {
+	prop := func(n int32) bool {
+		if n == 0 {
+			return true
+		}
+		d := int(n)
+		return LitFromDIMACS(d).DIMACS() == d
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitNotProperty(t *testing.T) {
+	prop := func(raw uint32) bool {
+		l := Lit(raw &^ (1 << 31)) // keep NoLit out of the domain
+		return l.Not().Not() == l && l.Not().Var() == l.Var() && l.Not().Neg() != l.Neg()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMkLit(t *testing.T) {
+	if MkLit(3, false) != PosLit(3) {
+		t.Error("MkLit(v,false) != PosLit(v)")
+	}
+	if MkLit(3, true) != NegLit(3) {
+		t.Error("MkLit(v,true) != NegLit(v)")
+	}
+}
+
+func TestVarFromDIMACSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("VarFromDIMACS(0) did not panic")
+		}
+	}()
+	VarFromDIMACS(0)
+}
+
+func TestLitFromDIMACSZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LitFromDIMACS(0) did not panic")
+		}
+	}()
+	LitFromDIMACS(0)
+}
+
+func TestLBoolNot(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Undef.Not() != Undef {
+		t.Error("LBool.Not truth table wrong")
+	}
+}
+
+func TestLBoolString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Undef.String() != "undef" {
+		t.Error("LBool.String wrong")
+	}
+	if LBool(9).String() == "" {
+		t.Error("out-of-range LBool should still render")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if PosLit(0).String() != "1" || NegLit(0).String() != "-1" {
+		t.Errorf("Lit.String: got %q, %q", PosLit(0).String(), NegLit(0).String())
+	}
+	if NoLit.String() != "<nolit>" {
+		t.Errorf("NoLit.String: got %q", NoLit.String())
+	}
+}

@@ -1,0 +1,320 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+func allMessages() []Message {
+	f := cnf.NewFormula(3)
+	f.Add(1, -2).Add(2, 3)
+	return []Message{
+		Register{Addr: "a:1", HostName: "h", FreeMemBytes: 1 << 30, SpeedHint: 1.5},
+		RegisterAck{ClientID: 3},
+		RegisterAck{Rejected: true, Reason: "below minimum memory"},
+		BaseProblem{Formula: f},
+		SplitRequest{ClientID: 2, Why: SplitMemoryPressure},
+		SplitAssign{PeerID: 4, PeerAddr: "b:2"},
+		SplitPayload{From: 2, Subproblem: &solver.Subproblem{
+			NumVars:     3,
+			Assumptions: []cnf.Lit{cnf.PosLit(0)},
+			Learnts:     []cnf.Clause{cnf.NewClause(2, 3)},
+		}},
+		SplitDone{ClientID: 2, OK: true},
+		SplitDone{ClientID: 4, OK: false, Err: "boom"},
+		ShareClauses{From: 1, Clauses: []cnf.Clause{cnf.NewClause(-1, 2)}},
+		Solved{ClientID: 1, Status: solver.StatusSAT, Model: cnf.Assignment{cnf.True, cnf.False, cnf.True}},
+		Migrate{PeerID: 7, PeerAddr: "c:3"},
+		Shutdown{},
+		StatusReport{ClientID: 2, MemBytes: 42, Learnts: 7, Conflicts: 99, Busy: true},
+	}
+}
+
+func roundtrip(t *testing.T, a, b Conn) {
+	t.Helper()
+	msgs := allMessages()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := a.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if got.Kind() != want.Kind() {
+			t.Fatalf("kind %q, want %q", got.Kind(), want.Kind())
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPRoundtrip(t *testing.T) {
+	tr := TCPTransport{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	defer client.Close()
+	defer server.Close()
+	roundtrip(t, client, server)
+	roundtrip(t, server, client) // and the other direction
+}
+
+func TestTCPPayloadFidelity(t *testing.T) {
+	tr := TCPTransport{}
+	l, _ := tr.Listen("127.0.0.1:0")
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer client.Close()
+	defer server.Close()
+
+	f := cnf.NewFormula(4)
+	f.Add(1, -2, 3).Add(-4)
+	f.Comment = "payload"
+	if err := client.Send(BaseProblem{Formula: f}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(BaseProblem)
+	if !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	if got.Formula.NumVars != 4 || got.Formula.NumClauses() != 2 || got.Formula.Comment != "payload" {
+		t.Fatalf("formula mangled: %+v", got.Formula)
+	}
+	if got.Formula.Clauses[0][1] != cnf.NegLit(1) {
+		t.Fatalf("literal mangled: %v", got.Formula.Clauses[0])
+	}
+
+	sub := &solver.Subproblem{NumVars: 4, Assumptions: []cnf.Lit{cnf.NegLit(3)}}
+	if err := client.Send(SplitPayload{From: 9, Subproblem: sub}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := m.(SplitPayload)
+	if sp.From != 9 || len(sp.Subproblem.Assumptions) != 1 || sp.Subproblem.Assumptions[0] != cnf.NegLit(3) {
+		t.Fatalf("subproblem mangled: %+v", sp)
+	}
+}
+
+func TestInprocRoundtrip(t *testing.T) {
+	tr := NewInprocTransport()
+	l, err := tr.Listen("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil { // echo
+				return
+			}
+		}
+	}()
+	c, err := tr.Dial("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, m := range allMessages() {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind() != m.Kind() {
+			t.Fatalf("echo kind %q != %q", back.Kind(), m.Kind())
+		}
+	}
+}
+
+func TestInprocAutoAddr(t *testing.T) {
+	tr := NewInprocTransport()
+	l1, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Addr() == l2.Addr() || l1.Addr() == "" {
+		t.Fatalf("auto addrs: %q vs %q", l1.Addr(), l2.Addr())
+	}
+}
+
+func TestInprocDuplicateBind(t *testing.T) {
+	tr := NewInprocTransport()
+	if _, err := tr.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("x"); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+}
+
+func TestInprocDialUnknown(t *testing.T) {
+	tr := NewInprocTransport()
+	if _, err := tr.Dial("ghost"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+}
+
+func TestInprocListenerCloseFreesAddr(t *testing.T) {
+	tr := NewInprocTransport()
+	l, _ := tr.Listen("x")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Dial("x"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	if _, err := tr.Listen("x"); err != nil {
+		t.Fatalf("rebinding closed address failed: %v", err)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := NewPipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv on closed pipe returned a message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := a.Send(Shutdown{}); err == nil {
+		t.Fatal("Send on closed pipe succeeded")
+	}
+}
+
+func TestPipeDrainsQueuedAfterClose(t *testing.T) {
+	a, b := NewPipe()
+	if err := a.Send(Shutdown{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	m, err := b.Recv()
+	if err != nil || m.Kind() != "shutdown" {
+		t.Fatalf("queued message lost after close: %v %v", m, err)
+	}
+}
+
+func TestSplitReasonString(t *testing.T) {
+	if SplitMemoryPressure.String() != "memory-pressure" || SplitTimeout.String() != "timeout" {
+		t.Error("SplitReason strings wrong")
+	}
+}
+
+func TestMessageKindsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allMessages() {
+		k := m.Kind()
+		if k == "" {
+			t.Fatalf("%T has empty kind", m)
+		}
+		if seen[k] && k != "register-ack" && k != "split-done" {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestConcurrentSendsOneConn(t *testing.T) {
+	tr := TCPTransport{}
+	l, _ := tr.Listen("127.0.0.1:0")
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer client.Close()
+	defer server.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/4; j++ {
+				if err := client.Send(StatusReport{ClientID: j}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if _, err := server.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+}

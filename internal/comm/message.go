@@ -1,0 +1,193 @@
+// Package comm is GridSAT's messaging layer, standing in for the EveryWare
+// toolkit the paper built on. It defines the typed messages of the
+// master–client protocol (including the five-message split exchange of
+// Figure 3), a gob wire codec, and two interchangeable transports: real
+// TCP (net) for deployment and an in-process channel transport for tests
+// and single-machine runs.
+package comm
+
+import (
+	"encoding/gob"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+// Message is the envelope interface every protocol message implements.
+type Message interface {
+	// Kind returns a short human-readable message-type tag, used by
+	// instrumentation and the Figure-3 trace test.
+	Kind() string
+}
+
+// Register is the first message a freshly launched client sends to the
+// master (paper §3.3: "When a client starts successfully it contacts the
+// master and registers with it").
+type Register struct {
+	Addr     string // address peers can dial for P2P transfers
+	HostName string
+	// FreeMemBytes is the client's measured free memory; the master
+	// refuses clients below the minimum (128 MB in the paper).
+	FreeMemBytes int64
+	SpeedHint    float64
+}
+
+// Kind implements Message.
+func (Register) Kind() string { return "register" }
+
+// RegisterAck assigns the client its ID.
+type RegisterAck struct {
+	ClientID int
+	// Rejected is set when the client does not meet the resource minimum.
+	Rejected bool
+	Reason   string
+}
+
+// Kind implements Message.
+func (RegisterAck) Kind() string { return "register-ack" }
+
+// BaseProblem caches the original formula at a client when it registers,
+// so later split payloads need only carry assumptions and learned clauses
+// (the initial clauses "are obtained from the problem file", §3.4).
+type BaseProblem struct {
+	Formula *cnf.Formula
+}
+
+// Kind implements Message.
+func (BaseProblem) Kind() string { return "base-problem" }
+
+// SplitRequest is Figure 3's message (1): a client predicts resource
+// exhaustion or hits its split timeout and asks the master for help.
+type SplitRequest struct {
+	ClientID int
+	// Why distinguishes the paper's two triggers.
+	Why SplitReason
+}
+
+// Kind implements Message.
+func (SplitRequest) Kind() string { return "split-request" }
+
+// SplitReason is why a client wants to shed work.
+type SplitReason int
+
+// Split triggers (paper §3.3).
+const (
+	SplitMemoryPressure SplitReason = iota // predicted memory exhaustion
+	SplitTimeout                           // ran 2× transfer time without finishing
+)
+
+// String implements fmt.Stringer.
+func (r SplitReason) String() string {
+	if r == SplitMemoryPressure {
+		return "memory-pressure"
+	}
+	return "timeout"
+}
+
+// SplitAssign is Figure 3's message (2): the master tells the donor which
+// idle peer will take half its problem, including the peer's address for
+// direct client-to-client transfer.
+type SplitAssign struct {
+	// SplitID uniquely identifies this assignment; it flows through the
+	// payload and both SplitDone notifications so the master can correlate
+	// them even when recipients are released and re-reserved quickly.
+	SplitID  int
+	PeerID   int
+	PeerAddr string
+}
+
+// Kind implements Message.
+func (SplitAssign) Kind() string { return "split-assign" }
+
+// SplitPayload is Figure 3's message (3) — the large peer-to-peer message
+// (10 KB to 100s of MB in the paper) carrying the subproblem.
+type SplitPayload struct {
+	SplitID    int // 0 for the master's initial whole-problem assignment
+	From       int
+	Subproblem *solver.Subproblem
+}
+
+// Kind implements Message.
+func (SplitPayload) Kind() string { return "split-payload" }
+
+// SplitDone covers Figure 3's messages (4) and (5): each side notifies the
+// master whether the transfer succeeded.
+type SplitDone struct {
+	ClientID int
+	// SplitID echoes the assignment being acknowledged so the master can
+	// correlate donor and recipient notifications even when recipients are
+	// released and re-reserved quickly; 0 acknowledges the master's
+	// initial whole-problem assignment.
+	SplitID int
+	OK      bool
+	Err     string
+}
+
+// Kind implements Message.
+func (SplitDone) Kind() string { return "split-done" }
+
+// ShareClauses broadcasts freshly learned short clauses to a peer
+// (paper §3.2: GridSAT shares clauses "as soon as they are generated").
+type ShareClauses struct {
+	From    int
+	Clauses []cnf.Clause
+}
+
+// Kind implements Message.
+func (ShareClauses) Kind() string { return "share-clauses" }
+
+// Solved reports a client's terminal result for its subproblem. A SAT
+// result carries the model for the master to verify; an UNSAT result
+// makes the client idle.
+type Solved struct {
+	ClientID int
+	Status   solver.Status
+	Model    cnf.Assignment
+}
+
+// Kind implements Message.
+func (Solved) Kind() string { return "solved" }
+
+// Migrate directs a client to hand its whole problem (not a split) to the
+// given peer — the master's migration of long-running subproblems toward
+// better-connected resources (paper §3.4).
+type Migrate struct {
+	PeerID   int
+	PeerAddr string
+}
+
+// Kind implements Message.
+func (Migrate) Kind() string { return "migrate" }
+
+// Shutdown tells a client to exit.
+type Shutdown struct{}
+
+// Kind implements Message.
+func (Shutdown) Kind() string { return "shutdown" }
+
+// StatusReport is a periodic client heartbeat with resource telemetry.
+type StatusReport struct {
+	ClientID  int
+	MemBytes  int64
+	Learnts   int
+	Conflicts int64
+	Busy      bool
+}
+
+// Kind implements Message.
+func (StatusReport) Kind() string { return "status" }
+
+func init() {
+	gob.Register(Register{})
+	gob.Register(RegisterAck{})
+	gob.Register(BaseProblem{})
+	gob.Register(SplitRequest{})
+	gob.Register(SplitAssign{})
+	gob.Register(SplitPayload{})
+	gob.Register(SplitDone{})
+	gob.Register(ShareClauses{})
+	gob.Register(Solved{})
+	gob.Register(Migrate{})
+	gob.Register(Shutdown{})
+	gob.Register(StatusReport{})
+}

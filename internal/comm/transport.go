@@ -1,0 +1,229 @@
+package comm
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional, message-oriented connection.
+type Conn interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the dialable address of this listener.
+	Addr() string
+}
+
+// Transport abstracts the wire so the same master/client code runs over
+// TCP in a real deployment or over channels inside one process.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ---- TCP transport ----
+
+// TCPTransport sends gob-encoded messages over TCP.
+type TCPTransport struct{}
+
+// Listen implements Transport. addr may use ":0" for an ephemeral port;
+// the listener's Addr reports the bound address.
+func (TCPTransport) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newGobConn(c), nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newGobConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type gobConn struct {
+	c      net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+func newGobConn(c net.Conn) *gobConn {
+	return &gobConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (g *gobConn) Send(m Message) error {
+	g.sendMu.Lock()
+	defer g.sendMu.Unlock()
+	return g.enc.Encode(&m)
+}
+
+func (g *gobConn) Recv() (Message, error) {
+	g.recvMu.Lock()
+	defer g.recvMu.Unlock()
+	var m Message
+	if err := g.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (g *gobConn) Close() error { return g.c.Close() }
+
+// ---- In-process transport ----
+
+// InprocTransport connects endpoints inside one process through buffered
+// channels. Addresses are arbitrary strings scoped to the transport
+// instance. Useful for tests and single-machine distributed runs.
+type InprocTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+}
+
+// NewInprocTransport returns an empty address space.
+func NewInprocTransport() *InprocTransport {
+	return &InprocTransport{listeners: map[string]*inprocListener{}}
+}
+
+// Listen implements Transport; an empty addr auto-allocates one.
+func (t *InprocTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" {
+		t.nextAuto++
+		addr = fmt.Sprintf("inproc-%d", t.nextAuto)
+	}
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("comm: address %q already bound", addr)
+	}
+	l := &inprocListener{t: t, addr: addr, accept: make(chan Conn, 16), done: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *InprocTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("comm: no listener at %q", addr)
+	}
+	a, b := NewPipe()
+	select {
+	case l.accept <- b:
+		return a, nil
+	case <-l.done:
+		return nil, fmt.Errorf("comm: listener %q closed", addr)
+	}
+}
+
+type inprocListener struct {
+	t      *InprocTransport
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("comm: listener closed")
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// NewPipe returns two connected in-process conn endpoints.
+func NewPipe() (Conn, Conn) {
+	ab := make(chan Message, 64)
+	ba := make(chan Message, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &pipeConn{out: ab, in: ba, done: done, close: closeFn}
+	b := &pipeConn{out: ba, in: ab, done: done, close: closeFn}
+	return a, b
+}
+
+type pipeConn struct {
+	out   chan Message
+	in    chan Message
+	done  chan struct{}
+	close func()
+}
+
+func (p *pipeConn) Send(m Message) error {
+	select {
+	case <-p.done:
+		return errors.New("comm: pipe closed")
+	default:
+	}
+	select {
+	case p.out <- m:
+		return nil
+	case <-p.done:
+		return errors.New("comm: pipe closed")
+	}
+}
+
+func (p *pipeConn) Recv() (Message, error) {
+	select {
+	case m := <-p.in:
+		return m, nil
+	case <-p.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return nil, errors.New("comm: pipe closed")
+		}
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.close()
+	return nil
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
+	"gridsat/internal/solver"
+)
+
+// ClientConfig configures a live GridSAT client.
+type ClientConfig struct {
+	Transport comm.Transport
+	// MasterAddr is where to register.
+	MasterAddr string
+	// ListenAddr is the client's own P2P endpoint ("" auto-allocates).
+	ListenAddr string
+	HostName   string
+	// FreeMemBytes is the measured free memory; the client budgets 60% of
+	// it for the clause database (paper §3.3) and reports it to the master.
+	FreeMemBytes int64
+	SpeedHint    float64
+	// ShareMaxLen bounds exported learned clauses (paper: 10 and 3);
+	// 0 uses the default, negative disables sharing entirely.
+	ShareMaxLen int
+	// SplitLearntMaxLen / Count bound clauses forwarded inside a split.
+	SplitLearntMaxLen   int
+	SplitLearntMaxCount int
+	// SliceConflicts is the solver quantum between control-plane checks.
+	SliceConflicts int64
+	// MinRunTime floors the split timeout (see SplitDecision).
+	MinRunTime time.Duration
+	// HeartbeatEvery sends a StatusReport to the master after this many
+	// solver slices (0 = every 8 slices).
+	HeartbeatEvery int
+	// SolverOptions tunes the engine; zero value uses solver defaults.
+	SolverOptions *solver.Options
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	out := *c
+	if out.SliceConflicts == 0 {
+		out.SliceConflicts = 2000
+	}
+	if out.SpeedHint == 0 {
+		out.SpeedHint = 1
+	}
+	if out.MinRunTime == 0 {
+		out.MinRunTime = 500 * time.Millisecond
+	}
+	if out.ShareMaxLen == 0 {
+		out.ShareMaxLen = 10
+	}
+	if out.SplitLearntMaxLen == 0 {
+		out.SplitLearntMaxLen = out.ShareMaxLen
+	}
+	if out.SplitLearntMaxCount == 0 {
+		out.SplitLearntMaxCount = 10000
+	}
+	if out.HeartbeatEvery == 0 {
+		out.HeartbeatEvery = 8
+	}
+	return out
+}
+
+// Client is one live GridSAT worker. Run blocks until the master shuts it
+// down or the connection drops.
+type Client struct {
+	cfg      ClientConfig
+	id       int
+	master   comm.Conn
+	listener comm.Listener
+
+	mu         sync.Mutex
+	base       *cnf.Formula
+	slv        *solver.Solver
+	recvAt     time.Time // when the current subproblem arrived
+	xferTime   time.Duration
+	busy       bool
+	shareBuf   []cnf.Clause
+	splitWhy   comm.SplitReason
+	splitAsked bool
+
+	sliceCount int
+
+	control chan comm.Message
+	stopped chan struct{}
+}
+
+// NewClient dials the master and registers.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, errors.New("core: client needs a transport")
+	}
+	l, err := cfg.Transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := cfg.Transport.Dial(cfg.MasterAddr)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	c := &Client{
+		cfg:      cfg,
+		master:   mc,
+		listener: l,
+		control:  make(chan comm.Message, 256),
+		stopped:  make(chan struct{}),
+	}
+	if err := mc.Send(comm.Register{
+		Addr:         l.Addr(),
+		HostName:     cfg.HostName,
+		FreeMemBytes: cfg.FreeMemBytes,
+		SpeedHint:    cfg.SpeedHint,
+	}); err != nil {
+		l.Close()
+		mc.Close()
+		return nil, err
+	}
+	ack, err := mc.Recv()
+	if err != nil {
+		l.Close()
+		mc.Close()
+		return nil, err
+	}
+	ra, ok := ack.(comm.RegisterAck)
+	if !ok {
+		l.Close()
+		mc.Close()
+		return nil, fmt.Errorf("core: expected register-ack, got %s", ack.Kind())
+	}
+	if ra.Rejected {
+		l.Close()
+		mc.Close()
+		return nil, fmt.Errorf("core: registration rejected: %s", ra.Reason)
+	}
+	c.id = ra.ClientID
+	go c.masterLoop()
+	go c.peerLoop()
+	return c, nil
+}
+
+// ID returns the master-assigned client ID.
+func (c *Client) ID() int { return c.id }
+
+// Addr returns the client's P2P address.
+func (c *Client) Addr() string { return c.listener.Addr() }
+
+func (c *Client) masterLoop() {
+	for {
+		msg, err := c.master.Recv()
+		if err != nil {
+			close(c.stopped)
+			return
+		}
+		select {
+		case c.control <- msg:
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+// peerLoop accepts P2P connections carrying split payloads from donors.
+func (c *Client) peerLoop() {
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			select {
+			case c.control <- msg:
+			case <-c.stopped:
+			}
+		}()
+	}
+}
+
+// Run is the client's main loop: wait for work, solve in slices, obey the
+// control plane. Returns when the master sends Shutdown or disappears.
+func (c *Client) Run() error {
+	defer c.listener.Close()
+	defer c.master.Close()
+	for {
+		if !c.busy {
+			select {
+			case msg := <-c.control:
+				if done := c.handleIdle(msg); done {
+					return nil
+				}
+			case <-c.stopped:
+				return nil
+			}
+			continue
+		}
+		// Busy: solve one slice, then drain the control plane.
+		if done, err := c.solveSlice(); done || err != nil {
+			return err
+		}
+	drain:
+		for {
+			select {
+			case msg := <-c.control:
+				if done := c.handleBusy(msg); done {
+					return nil
+				}
+			case <-c.stopped:
+				return nil
+			default:
+				break drain
+			}
+		}
+	}
+}
+
+func (c *Client) handleIdle(msg comm.Message) bool {
+	switch m := msg.(type) {
+	case comm.BaseProblem:
+		c.base = m.Formula
+	case comm.SplitPayload:
+		c.startSubproblem(m.SplitID, m.Subproblem)
+	case comm.SplitAssign:
+		// The assignment raced with this client finishing its subproblem;
+		// report failure so the master releases the reserved recipient.
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: m.SplitID, OK: false,
+			Err: "donor already idle"})
+	case comm.ShareClauses:
+		// Idle clients have no solver; drop (they get a fresh split later).
+	case comm.Shutdown:
+		return true
+	}
+	return false
+}
+
+func (c *Client) handleBusy(msg comm.Message) bool {
+	switch m := msg.(type) {
+	case comm.SplitAssign:
+		c.performSplit(m.SplitID, m.PeerAddr)
+	case comm.Migrate:
+		c.performMigrate(m.PeerAddr)
+	case comm.ShareClauses:
+		if c.slv != nil {
+			_ = c.slv.ImportClauses(m.Clauses)
+		}
+	case comm.Shutdown:
+		return true
+	}
+	return false
+}
+
+// startSubproblem builds a solver for the received split half.
+func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
+	if c.busy {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "already busy"})
+		return
+	}
+	if c.base == nil {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no base problem cached"})
+		return
+	}
+	opts := solver.DefaultOptions()
+	if c.cfg.SolverOptions != nil {
+		opts = *c.cfg.SolverOptions
+	}
+	opts.ShareMaxLen = c.cfg.ShareMaxLen
+	opts.OnLearn = func(cl cnf.Clause) {
+		c.mu.Lock()
+		c.shareBuf = append(c.shareBuf, cl)
+		c.mu.Unlock()
+	}
+	slv, err := solver.NewFromSubproblem(c.base, sub, opts)
+	if err != nil {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		return
+	}
+	c.slv = slv
+	c.busy = true
+	c.splitAsked = false
+	c.recvAt = time.Now()
+	if sub.Assumptions != nil {
+		// Rough transfer-time proxy in the live runtime: proportional to
+		// payload size. The DES runner models it from the network.
+		c.xferTime = time.Duration(len(sub.Assumptions)+16*len(sub.Learnts)) * time.Microsecond
+	}
+	_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
+}
+
+// solveSlice advances the solver one quantum and handles terminal states
+// and split triggers.
+func (c *Client) solveSlice() (bool, error) {
+	budget := int64(0)
+	if c.cfg.FreeMemBytes > 0 {
+		budget = c.cfg.FreeMemBytes * 60 / 100
+	}
+	res := c.slv.Solve(solver.Limits{
+		MaxConflicts:   c.cfg.SliceConflicts,
+		MaxMemoryBytes: budget,
+	})
+	c.flushShares()
+	c.sliceCount++
+	if c.cfg.HeartbeatEvery > 0 && c.sliceCount%c.cfg.HeartbeatEvery == 0 {
+		st := c.slv.Stats()
+		_ = c.master.Send(comm.StatusReport{
+			ClientID:  c.id,
+			MemBytes:  c.slv.MemoryBytes(),
+			Learnts:   c.slv.NumLearnts(),
+			Conflicts: st.Conflicts,
+			Busy:      true,
+		})
+	}
+	switch res.Status {
+	case solver.StatusSAT:
+		c.busy = false
+		return false, c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
+	case solver.StatusUNSAT:
+		c.busy = false
+		if err := c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
+			return false, err
+		}
+		c.slv = nil
+		return false, nil
+	}
+	// Still unknown: evaluate the split triggers.
+	dec := SplitDecision{
+		MemBudgetBytes:      budget,
+		MemPressureFraction: 0.8,
+		TransferTime:        c.xferTime.Seconds(),
+		MinRunTime:          c.cfg.MinRunTime.Seconds(),
+	}
+	if res.Reason == solver.ReasonMemLimit {
+		// Out of budget right now: ask for a split and shed inactive
+		// learned clauses so progress continues while the master looks
+		// for an idle resource (paper §4.2).
+		c.requestSplit(comm.SplitMemoryPressure)
+		c.slv.ShedMemory()
+		return false, nil
+	}
+	if ask, why := dec.ShouldSplit(c.slv.MemoryBytes(), time.Since(c.recvAt).Seconds()); ask {
+		reason := comm.SplitTimeout
+		if why == WhyMemory {
+			reason = comm.SplitMemoryPressure
+		}
+		c.requestSplit(reason)
+	}
+	return false, nil
+}
+
+func (c *Client) requestSplit(why comm.SplitReason) {
+	if c.splitAsked {
+		return
+	}
+	c.splitAsked = true
+	c.splitWhy = why
+	_ = c.master.Send(comm.SplitRequest{ClientID: c.id, Why: why})
+}
+
+// performSplit executes Figure 3's messages (3) and (5): split the solver,
+// ship the other half to the assigned peer, and notify the master.
+func (c *Client) performSplit(splitID int, peerAddr string) {
+	c.splitAsked = false
+	if c.slv == nil || !c.busy {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no active subproblem"})
+		return
+	}
+	sub, err := c.slv.Split(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount)
+	if err != nil {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		return
+	}
+	if err := c.sendToPeer(splitID, peerAddr, sub); err != nil {
+		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		return
+	}
+	c.recvAt = time.Now() // the halved problem restarts the timeout clock
+	_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
+}
+
+// performMigrate ships the whole current problem to the peer and goes idle.
+func (c *Client) performMigrate(peerAddr string) {
+	if c.slv == nil || !c.busy {
+		return
+	}
+	sub := &solver.Subproblem{
+		NumVars:     c.base.NumVars,
+		Assumptions: c.slv.Level0Lits(),
+		Learnts:     c.slv.ExportLearnts(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount),
+	}
+	if err := c.sendToPeer(0, peerAddr, sub); err != nil {
+		return // keep solving; migration failed
+	}
+	c.slv.Stop()
+	c.slv = nil
+	c.busy = false
+	_ = c.master.Send(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown})
+}
+
+func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) error {
+	conn, err := c.cfg.Transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Subproblem: sub})
+}
+
+// flushShares forwards buffered learned clauses to the master.
+func (c *Client) flushShares() {
+	c.mu.Lock()
+	buf := c.shareBuf
+	c.shareBuf = nil
+	c.mu.Unlock()
+	if len(buf) == 0 {
+		return
+	}
+	_ = c.master.Send(comm.ShareClauses{From: c.id, Clauses: buf})
+}

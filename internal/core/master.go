@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
+	"gridsat/internal/solver"
+)
+
+// MasterConfig configures a live GridSAT master.
+type MasterConfig struct {
+	Transport comm.Transport
+	// ListenAddr is where clients register ("" lets the transport choose).
+	ListenAddr string
+	// Formula is the problem to solve.
+	Formula *cnf.Formula
+	// MinMemBytes rejects clients below this free-memory floor
+	// (128 MB in the paper; tests use small values).
+	MinMemBytes int64
+	// Timeout aborts the run without an answer (the paper's 6000 s /
+	// 12000 s overall time outs). Zero means no timeout.
+	Timeout time.Duration
+	// ExpectedClients, when positive, makes Run wait for that many
+	// registrations before assigning the problem, which keeps small test
+	// topologies deterministic. Zero assigns to the first registrant.
+	ExpectedClients int
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Status solver.Status
+	Model  cnf.Assignment
+	Wall   time.Duration
+	// MaxClients is the peak number of simultaneously busy clients —
+	// the last column of the paper's Table 1.
+	MaxClients int
+	// Splits counts completed subproblem transfers.
+	Splits int
+	// SharedClauses counts clauses the master fanned out.
+	SharedClauses int
+}
+
+type masterClient struct {
+	id           int
+	conn         comm.Conn
+	out          chan comm.Message
+	addr         string
+	hostName     string
+	speed        float64
+	memBytes     int64
+	busy         bool
+	reserved     bool // chosen as split recipient; payload in flight
+	assignedAt   time.Time
+	pendingSplit bool // has an unserved split request
+}
+
+// splitPair is one in-flight transfer: donor splits, recipient receives.
+type splitPair struct {
+	donor     int
+	recipient int
+	delivered bool // the donor reported successful delivery
+}
+
+type masterEvent struct {
+	clientID int
+	msg      comm.Message
+	err      error
+	conn     comm.Conn // set for new connections
+	// status, when non-nil, requests a StatusSnapshot instead of carrying
+	// a protocol message.
+	status chan<- StatusSnapshot
+}
+
+// Master coordinates a live GridSAT run. Create with NewMaster, then call
+// Run, which blocks until the problem is decided, the timeout expires, or
+// an unrecoverable error occurs.
+type Master struct {
+	cfg         MasterConfig
+	listener    comm.Listener
+	events      chan masterEvent
+	clients     map[int]*masterClient
+	nextID      int
+	backlog     []BacklogEntry
+	nextSplitID int
+	// pendingSplits tracks in-flight subproblem transfers by token.
+	pendingSplits map[int]*splitPair
+	seenClauses   map[string]bool
+	result        Result
+	trace         []string // debug event log for tests
+	started       time.Time
+	assigned      bool // the initial problem has been handed out
+	outstanding   int  // subproblems alive (busy clients + in-flight transfers)
+}
+
+// NewMaster builds a master and starts listening; the returned master's
+// Addr is dialable immediately, so clients may be launched before Run.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	if cfg.Formula == nil {
+		return nil, errors.New("core: master needs a formula")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: master needs a transport")
+	}
+	l, err := cfg.Transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		cfg:           cfg,
+		listener:      l,
+		events:        make(chan masterEvent, 256),
+		clients:       map[int]*masterClient{},
+		pendingSplits: map[int]*splitPair{},
+		seenClauses:   map[string]bool{},
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the master's dialable address.
+func (m *Master) Addr() string { return m.listener.Addr() }
+
+// StatusSnapshot is a point-in-time view of the master's pool, served
+// through the event loop so it is always consistent.
+type StatusSnapshot struct {
+	Registered int
+	Busy       int
+	Reserved   int
+	Backlog    int
+	// Outstanding counts live subproblems (busy + in-flight transfers).
+	Outstanding int
+	Splits      int
+	Shared      int
+}
+
+// Status asynchronously requests a snapshot from a running master. It
+// blocks until the event loop serves it (or the master has exited, in
+// which case the zero snapshot returns).
+func (m *Master) Status() StatusSnapshot {
+	reply := make(chan StatusSnapshot, 1)
+	select {
+	case m.events <- masterEvent{status: reply}:
+		select {
+		case s := <-reply:
+			return s
+		case <-time.After(2 * time.Second):
+		}
+	case <-time.After(2 * time.Second):
+	}
+	return StatusSnapshot{}
+}
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		m.events <- masterEvent{conn: conn}
+	}
+}
+
+func (m *Master) readLoop(id int, conn comm.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			m.events <- masterEvent{clientID: id, err: err}
+			return
+		}
+		m.events <- masterEvent{clientID: id, msg: msg}
+	}
+}
+
+// writeLoop drains a client's outbound queue so a slow or stalled client
+// can never block the master's single-threaded event loop.
+func (m *Master) writeLoop(c *masterClient) {
+	for msg := range c.out {
+		if err := c.conn.Send(msg); err != nil {
+			return
+		}
+	}
+}
+
+// send queues msg for c. Best-effort clause shares are dropped when the
+// queue is full; control messages wait for room.
+func (m *Master) send(c *masterClient, msg comm.Message) {
+	select {
+	case c.out <- msg:
+	default:
+		if _, droppable := msg.(comm.ShareClauses); droppable {
+			return
+		}
+		c.out <- msg
+	}
+}
+
+// Run serves the protocol until termination. It owns all master state;
+// every message is handled on this single goroutine.
+func (m *Master) Run() (Result, error) {
+	m.started = time.Now()
+	defer m.listener.Close()
+	var timeout <-chan time.Time
+	if m.cfg.Timeout > 0 {
+		t := time.NewTimer(m.cfg.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		select {
+		case ev := <-m.events:
+			done, err := m.handle(ev)
+			if err != nil {
+				m.shutdownAll()
+				return m.result, err
+			}
+			if done {
+				m.result.Wall = time.Since(m.started)
+				m.shutdownAll()
+				return m.result, nil
+			}
+		case <-timeout:
+			m.result.Status = solver.StatusUnknown
+			m.result.Wall = time.Since(m.started)
+			m.shutdownAll()
+			return m.result, nil
+		}
+	}
+}
+
+func (m *Master) handle(ev masterEvent) (bool, error) {
+	if ev.status != nil {
+		snap := StatusSnapshot{
+			Backlog:     len(m.backlog),
+			Outstanding: m.outstanding,
+			Splits:      m.result.Splits,
+			Shared:      m.result.SharedClauses,
+		}
+		for _, c := range m.clients {
+			if c.addr != "" {
+				snap.Registered++
+			}
+			if c.busy {
+				snap.Busy++
+			}
+			if c.reserved {
+				snap.Reserved++
+			}
+		}
+		ev.status <- snap
+		return false, nil
+	}
+	if ev.conn != nil { // new connection: wait for its Register
+		m.nextID++
+		id := m.nextID
+		mc := &masterClient{id: id, conn: ev.conn, out: make(chan comm.Message, 1024)}
+		m.clients[id] = mc
+		go m.readLoop(id, ev.conn)
+		go m.writeLoop(mc)
+		return false, nil
+	}
+	c := m.clients[ev.clientID]
+	if c == nil {
+		return false, nil
+	}
+	if ev.err != nil {
+		return m.clientLost(c)
+	}
+	switch msg := ev.msg.(type) {
+	case comm.Register:
+		return false, m.handleRegister(c, msg)
+	case comm.SplitRequest:
+		m.handleSplitRequest(c, msg)
+	case comm.SplitDone:
+		m.handleSplitDone(c, msg)
+		return m.checkExhausted(), nil
+	case comm.ShareClauses:
+		m.handleShare(c, msg)
+	case comm.Solved:
+		return m.handleSolved(c, msg)
+	case comm.StatusReport:
+		c.memBytes = msg.MemBytes
+	}
+	return false, nil
+}
+
+func (m *Master) handleRegister(c *masterClient, msg comm.Register) error {
+	if msg.FreeMemBytes < m.cfg.MinMemBytes {
+		// Paper §3.3: clients on low-memory resources terminate; they
+		// would split constantly and add only communication overhead.
+		m.send(c, comm.RegisterAck{Rejected: true,
+			Reason: fmt.Sprintf("free memory %d below minimum %d", msg.FreeMemBytes, m.cfg.MinMemBytes)})
+		delete(m.clients, c.id)
+		return nil
+	}
+	c.addr = msg.Addr
+	c.hostName = msg.HostName
+	c.speed = msg.SpeedHint
+	c.memBytes = msg.FreeMemBytes
+	m.send(c, comm.RegisterAck{ClientID: c.id})
+	m.send(c, comm.BaseProblem{Formula: m.cfg.Formula})
+	if !m.assigned && m.registeredCount() >= max(1, m.cfg.ExpectedClients) {
+		m.assignInitial()
+	}
+	// A fresh idle client may be able to serve the backlog.
+	m.serveBacklog()
+	return nil
+}
+
+// assignInitial hands the whole problem to the best registered client
+// ("The first client to register with the master is sent the entire
+// problem" — with ranking, the best-ranked registrant).
+func (m *Master) assignInitial() {
+	target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
+	if !ok {
+		return
+	}
+	c := m.clients[target.ID]
+	sub := &solver.Subproblem{NumVars: m.cfg.Formula.NumVars}
+	m.send(c, comm.SplitPayload{From: 0, Subproblem: sub})
+	m.assigned = true
+	c.busy = true
+	c.assignedAt = time.Now()
+	m.outstanding++
+	m.noteBusyCount()
+}
+
+func (m *Master) handleSplitRequest(c *masterClient, msg comm.SplitRequest) {
+	if !c.busy || c.pendingSplit {
+		return // idle clients cannot split; duplicates are ignored
+	}
+	c.pendingSplit = true
+	m.backlog = append(m.backlog, BacklogEntry{
+		ClientID:    c.id,
+		AssignedAt:  float64(c.assignedAt.UnixNano()),
+		RequestedAt: float64(time.Now().UnixNano()),
+	})
+	m.serveBacklog()
+}
+
+// serveBacklog matches queued split requests with idle resources,
+// longest-running requester first.
+func (m *Master) serveBacklog() {
+	for {
+		i := NextFromBacklog(m.backlog)
+		if i < 0 {
+			return
+		}
+		donor := m.clients[m.backlog[i].ClientID]
+		if donor == nil || !donor.busy {
+			// Requester vanished or finished; drop the entry.
+			m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
+			continue
+		}
+		target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
+		if !ok {
+			return // nothing idle; keep waiting
+		}
+		recipient := m.clients[target.ID]
+		m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
+		donor.pendingSplit = false
+		recipient.reserved = true
+		m.outstanding++ // the in-flight half counts as outstanding work
+		m.nextSplitID++
+		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id}
+		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, PeerID: recipient.id, PeerAddr: recipient.addr})
+	}
+}
+
+func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
+	pair, ok := m.pendingSplits[msg.SplitID]
+	if !ok {
+		return // initial-assignment ack (SplitID 0) or an already-settled pair
+	}
+	switch c.id {
+	case pair.recipient: // Figure 3, message (4)
+		delete(m.pendingSplits, msg.SplitID)
+		c.reserved = false
+		if msg.OK {
+			c.busy = true
+			c.assignedAt = time.Now()
+			m.result.Splits++
+			m.noteBusyCount()
+		} else {
+			m.outstanding--
+		}
+		m.serveBacklog()
+	case pair.donor: // Figure 3, message (5)
+		if msg.OK {
+			// Payload delivered; the recipient's own notification settles
+			// the pair. The donor keeps its halved subproblem.
+			pair.delivered = true
+			return
+		}
+		// The donor never sent the payload (it finished first, or the
+		// split/transfer failed): release the reserved recipient or its
+		// slot and the outstanding-work count would leak.
+		delete(m.pendingSplits, msg.SplitID)
+		if r := m.clients[pair.recipient]; r != nil {
+			r.reserved = false
+		}
+		m.outstanding--
+		m.serveBacklog()
+	}
+}
+
+func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
+	fresh := msg.Clauses[:0]
+	for _, cl := range msg.Clauses {
+		k := cl.Key()
+		if m.seenClauses[k] {
+			continue
+		}
+		m.seenClauses[k] = true
+		fresh = append(fresh, cl)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	m.result.SharedClauses += len(fresh)
+	for _, other := range m.clients {
+		if other.id == c.id || other.addr == "" {
+			continue
+		}
+		m.send(other, comm.ShareClauses{From: c.id, Clauses: fresh})
+	}
+}
+
+func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
+	if !c.busy {
+		return false, nil
+	}
+	c.busy = false
+	c.pendingSplit = false
+	m.outstanding--
+	switch msg.Status {
+	case solver.StatusSAT:
+		// Verify the assignment before declaring success (paper §3.4).
+		if err := m.cfg.Formula.Verify(msg.Model); err != nil {
+			return false, fmt.Errorf("core: client %d reported an invalid model: %w", c.id, err)
+		}
+		m.result.Status = solver.StatusSAT
+		m.result.Model = msg.Model
+		return true, nil
+	case solver.StatusUNSAT:
+		// This half of the space is exhausted. If nothing else is
+		// outstanding, the whole problem is unsatisfiable.
+		if m.checkExhausted() {
+			return true, nil
+		}
+		m.serveBacklog()
+	}
+	return false, nil
+}
+
+// checkExhausted reports (and records) global unsatisfiability: the
+// problem was handed out and no subproblem remains outstanding anywhere —
+// "all the clients are idle, which means that the instance is
+// unsatisfiable" (§3.4). Checked after every event that can decrement the
+// outstanding-work count, including failed split transfers.
+func (m *Master) checkExhausted() bool {
+	if m.assigned && m.outstanding == 0 && m.result.Status == solver.StatusUnknown {
+		m.result.Status = solver.StatusUNSAT
+		return true
+	}
+	return false
+}
+
+// clientLost implements the paper's limited fault handling: a lost idle
+// client is forgotten; a lost busy client is unrecoverable in the live
+// runtime (the DES runner models checkpoint recovery).
+func (m *Master) clientLost(c *masterClient) (bool, error) {
+	if c.busy || c.reserved {
+		return false, fmt.Errorf("core: lost client %d while it held a subproblem", c.id)
+	}
+	delete(m.clients, c.id)
+	return false, nil
+}
+
+func (m *Master) idleCandidates() []Candidate {
+	var out []Candidate
+	for _, c := range m.clients {
+		if c.busy || c.reserved || c.addr == "" {
+			continue
+		}
+		out = append(out, Candidate{
+			ID:       c.id,
+			Rank:     c.speed * float64(c.memBytes>>20),
+			MemBytes: c.memBytes,
+		})
+	}
+	return out
+}
+
+func (m *Master) registeredCount() int {
+	n := 0
+	for _, c := range m.clients {
+		if c.addr != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Master) noteBusyCount() {
+	n := 0
+	for _, c := range m.clients {
+		if c.busy {
+			n++
+		}
+	}
+	if n > m.result.MaxClients {
+		m.result.MaxClients = n
+	}
+}
+
+func (m *Master) shutdownAll() {
+	for _, c := range m.clients {
+		m.send(c, comm.Shutdown{})
+	}
+	// Give clients a moment to drain, then cut connections.
+	time.AfterFunc(100*time.Millisecond, func() {
+		for _, c := range m.clients {
+			_ = c.conn.Close()
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,903 @@
+package core
+
+import (
+	"math/rand"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/grid"
+	"gridsat/internal/solver"
+)
+
+// The DES runner executes GridSAT's master/client policies over the
+// simulated grid in virtual time. Client computation advances in quanta of
+// solver propagations; a quantum of w propagations on a host with relative
+// speed s and current availability a takes w/(R·s·a) virtual seconds,
+// where R is PropsPerVSec. Because every event is deterministic, a 34-host
+// distributed run reproduces exactly on a single physical core — this is
+// the apparatus behind the Table-1/Table-2 benchmarks.
+
+// RunnerConfig configures a simulated run (sequential or distributed).
+type RunnerConfig struct {
+	Grid    *grid.Grid
+	Formula *cnf.Formula
+	// PropsPerVSec is R: solver propagations per virtual second on a
+	// dedicated speed-1.0 host. The benchmark harness uses 1000, which
+	// maps the synthetic instances onto the paper's time scale (paper
+	// seconds ≈ 10 × virtual seconds).
+	PropsPerVSec float64
+	// QuantumProps is the client work slice between control-plane checks.
+	QuantumProps int64
+	// TimeoutVSec bounds the run in virtual seconds.
+	TimeoutVSec float64
+	// ShareMaxLen bounds shared learned clauses (paper: 10 and 3);
+	// 0 uses the default, negative disables sharing entirely.
+	ShareMaxLen int
+	// SplitTimeoutVSec floors the client split timeout (paper: 100 s).
+	SplitTimeoutVSec float64
+	// MemDivisor scales host memory down to solver-budget scale, keeping
+	// the paper's memory-pressure dynamics at our reduced problem sizes.
+	MemDivisor int64
+	// LaunchDelayVSec is the mean client start-up latency (spawning an
+	// empty client on a Grid resource); actual delays jitter around it.
+	LaunchDelayVSec float64
+	// MasterHostID locates the master (the paper ran it at UCSD).
+	// -1 picks the last host.
+	MasterHostID int
+	// MaxClients caps the pool (0 = all hosts).
+	MaxClients int
+	// SolverOptions tunes client engines; nil uses solver defaults.
+	SolverOptions *solver.Options
+	// Batch, when non-nil, adds a Blue Horizon-style batch job (Table 2).
+	Batch *BatchPlan
+	// Failures schedules client crashes — the fault-tolerance extension of
+	// paper §3.4: a lost busy client's subproblem is recovered from its
+	// light checkpoint and reassigned to an idle resource.
+	Failures []FailurePlan
+	// MonitorPeriodVSec is the NWS sampling period.
+	MonitorPeriodVSec float64
+	// MigrationFactor enables the paper's §3.4 migration: when an idle
+	// host's forecast rank exceeds a busy client's host rank by this
+	// factor, the whole subproblem moves there (e.g. from a lone remote
+	// desktop to a freshly freed cluster node). 0 disables migration.
+	MigrationFactor float64
+	// P2PSharing delivers shared clauses directly between clients instead
+	// of relaying through the master. The paper routes the (large) split
+	// payloads peer-to-peer for exactly this reason; sharing topology is
+	// the analogous choice for the (small, frequent) clause messages.
+	P2PSharing bool
+	// Seed drives launch jitter.
+	Seed int64
+}
+
+// TimelinePoint is one sample of the active-client count.
+type TimelinePoint struct {
+	VSec float64
+	Busy int
+}
+
+// FailurePlan kills the client on a host at a virtual time.
+type FailurePlan struct {
+	HostID int
+	AtVSec float64
+}
+
+// BatchPlan describes the Table-2 batch submission.
+type BatchPlan struct {
+	// Nodes requested from the batch machine (each becomes one client).
+	Nodes int
+	// WalltimeVSec is the requested job duration.
+	WalltimeVSec float64
+	// MeanQueueWaitVSec is the average queue delay (paper: ~33 hours).
+	MeanQueueWaitVSec float64
+	// TerminateOnEnd stops the whole run when the batch job's walltime
+	// expires, as the paper's Table-2 protocol did.
+	TerminateOnEnd bool
+}
+
+func (c *RunnerConfig) withDefaults() RunnerConfig {
+	out := *c
+	if out.PropsPerVSec == 0 {
+		out.PropsPerVSec = 1000
+	}
+	if out.QuantumProps == 0 {
+		out.QuantumProps = 5000
+	}
+	if out.ShareMaxLen == 0 {
+		out.ShareMaxLen = 10
+	}
+	if out.SplitTimeoutVSec == 0 {
+		out.SplitTimeoutVSec = 10 // the paper's 100 s at 1/10 time scale
+	}
+	if out.MemDivisor == 0 {
+		out.MemDivisor = 100
+	}
+	if out.LaunchDelayVSec == 0 {
+		out.LaunchDelayVSec = 4
+	}
+	if out.MonitorPeriodVSec == 0 {
+		out.MonitorPeriodVSec = 30
+	}
+	if out.MasterHostID < 0 && len(c.Grid.Hosts) > 0 {
+		out.MasterHostID = c.Grid.Hosts[len(c.Grid.Hosts)-1].ID
+	}
+	return out
+}
+
+// SimOutcome classifies how a simulated run ended.
+type SimOutcome int
+
+// Outcomes of a simulated run.
+const (
+	OutcomeSolved  SimOutcome = iota
+	OutcomeTimeout            // virtual-time budget exhausted ("TIME_OUT")
+	OutcomeMemOut             // sequential solver exceeded memory ("MEM_OUT")
+)
+
+// String renders the outcome the way the paper's tables do.
+func (o SimOutcome) String() string {
+	switch o {
+	case OutcomeSolved:
+		return "solved"
+	case OutcomeTimeout:
+		return "TIME_OUT"
+	case OutcomeMemOut:
+		return "MEM_OUT"
+	}
+	return "unknown"
+}
+
+// SimResult is the outcome of a simulated run.
+type SimResult struct {
+	Outcome SimOutcome
+	Status  solver.Status
+	Model   cnf.Assignment
+	// VSec is the virtual solve time (the paper's seconds column ÷ 10).
+	VSec float64
+	// MaxClients is the paper's "Max # of clients" column.
+	MaxClients int
+	Splits     int
+	Shared     int
+	// TotalProps is the real work executed across all clients.
+	TotalProps int64
+	// Migrations counts whole-subproblem moves to better resources (§3.4).
+	Migrations int
+	// Timeline samples the number of simultaneously busy clients over
+	// virtual time (taken at each monitor tick plus every busy-count
+	// change). The paper describes exactly this curve: "this number starts
+	// at one and varies during the run… When a problem is solved the
+	// number of active clients collapses to zero."
+	Timeline []TimelinePoint
+	// BatchStartVSec/BatchCanceled report the Table-2 batch interaction.
+	BatchStartVSec float64
+	BatchCanceled  bool
+}
+
+// RunSequential simulates the paper's zChaff baseline: the engine on the
+// fastest host in dedicated mode, with the scaled memory of that machine
+// and the overall time out. The baseline retains learned clauses the way
+// zChaff 2003 did (no aggressive database reduction), so hard instances
+// genuinely exhaust memory — the "MEM_OUT" rows of Table 1.
+func RunSequential(cfg RunnerConfig) SimResult {
+	cfg = cfg.withDefaults()
+	host := cfg.Grid.Hosts[0]
+	for _, h := range cfg.Grid.Hosts {
+		if h.Speed > host.Speed {
+			host = h
+		}
+	}
+	opts := solver.DefaultOptions()
+	opts.MaxLearnts = 1 << 30 // zChaff-2003-style retention
+	if cfg.SolverOptions != nil {
+		opts = *cfg.SolverOptions
+	}
+	s := solver.New(cfg.Formula, opts)
+	memBudget := host.MemBytes / cfg.MemDivisor * 60 / 100
+	var vsec float64
+	var props int64
+	for {
+		before := s.Stats().Propagations
+		res := s.Solve(solver.Limits{
+			MaxPropagations: cfg.QuantumProps,
+			MaxMemoryBytes:  memBudget,
+		})
+		delta := s.Stats().Propagations - before
+		props += delta
+		vsec += float64(delta) / (cfg.PropsPerVSec * host.Speed) // dedicated: availability 1
+		switch {
+		case res.Status != solver.StatusUnknown:
+			return SimResult{Outcome: OutcomeSolved, Status: res.Status,
+				Model: res.Model, VSec: vsec, MaxClients: 1, TotalProps: props}
+		case res.Reason == solver.ReasonMemLimit:
+			return SimResult{Outcome: OutcomeMemOut, VSec: vsec, MaxClients: 1, TotalProps: props}
+		case vsec >= cfg.TimeoutVSec:
+			return SimResult{Outcome: OutcomeTimeout, VSec: vsec, MaxClients: 1, TotalProps: props}
+		}
+	}
+}
+
+// simClient is one simulated GridSAT client.
+type simClient struct {
+	id   int
+	host *grid.Host
+
+	slv        *solver.Solver
+	registered bool
+	busy       bool
+	dead       bool
+	reserved   bool
+	migrating  bool // whole problem in flight to a better host
+	stepping   bool // a compute quantum is in flight
+	recvAt     float64
+	xferTime   float64
+	assignedAt float64
+	splitAsked bool
+	memBudget  int64
+	// queued split assignments, served at the next quantum boundary.
+	assigns []runnerAssign
+}
+
+type runnerAssign struct {
+	splitID   int
+	recipient int
+}
+
+// runner holds the DES master state.
+type runner struct {
+	cfg     RunnerConfig
+	sim     *grid.Sim
+	info    *grid.InfoService
+	clients map[int]*simClient
+	order   []int // deterministic iteration order (host IDs)
+	master  *grid.Host
+
+	backlog     []BacklogEntry
+	nextSplitID int
+	pending     map[int]*splitPair
+	seen        map[string]bool
+
+	assigned    bool
+	outstanding int
+	// orphans are checkpointed subproblems of crashed clients awaiting an
+	// idle resource.
+	orphans  []*solver.Subproblem
+	done     bool
+	res      SimResult
+	batchJob *grid.BatchJob
+	batchSys *grid.BatchSystem
+	rng      *rand.Rand
+}
+
+// RunDistributed simulates a full GridSAT run over the configured grid.
+func RunDistributed(cfg RunnerConfig) SimResult {
+	cfg = cfg.withDefaults()
+	r := &runner{
+		cfg:     cfg,
+		sim:     grid.NewSim(),
+		info:    grid.NewInfoService(cfg.Grid),
+		clients: map[int]*simClient{},
+		pending: map[int]*splitPair{},
+		seen:    map[string]bool{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
+	if r.master == nil && len(cfg.Grid.Hosts) > 0 {
+		r.master = cfg.Grid.Hosts[len(cfg.Grid.Hosts)-1]
+	}
+
+	// NWS monitoring: sample every host periodically.
+	r.info.Observe(0)
+	var monitor func()
+	monitor = func() {
+		if r.done {
+			return
+		}
+		r.info.Observe(r.sim.Now())
+		r.sample(r.busyCount())
+		r.maybeMigrate()
+		r.sim.After(cfg.MonitorPeriodVSec, monitor)
+	}
+	r.sim.After(cfg.MonitorPeriodVSec, monitor)
+
+	// Launch an empty client on every interactive resource (paper §3.3:
+	// "the master queries for the list of available resources and launches
+	// an empty client on each").
+	n := 0
+	for _, h := range cfg.Grid.Hosts {
+		if h.Batch {
+			continue
+		}
+		if cfg.MaxClients > 0 && n >= cfg.MaxClients {
+			break
+		}
+		n++
+		r.launch(h)
+	}
+
+	// Fault injection: schedule the configured client crashes.
+	for _, fp := range cfg.Failures {
+		fp := fp
+		r.sim.At(fp.AtVSec, func() { r.failClient(fp.HostID + 1) })
+	}
+
+	// Table 2: submit the batch job; its nodes join when it starts.
+	if cfg.Batch != nil {
+		var batchNodes []*grid.Host
+		for _, h := range cfg.Grid.Hosts {
+			if h.Batch {
+				batchNodes = append(batchNodes, h)
+			}
+		}
+		bs := grid.NewBatchSystem(r.sim, batchNodes, cfg.Batch.MeanQueueWaitVSec, cfg.Seed+77)
+		job, err := bs.Submit(minInt(cfg.Batch.Nodes, len(batchNodes)), cfg.Batch.WalltimeVSec,
+			func(j *grid.BatchJob) {
+				if r.done {
+					return
+				}
+				r.res.BatchStartVSec = j.StartAt
+				for _, h := range j.Nodes {
+					r.launch(h)
+				}
+			},
+			func(*grid.BatchJob) {
+				if cfg.Batch.TerminateOnEnd && !r.done {
+					r.finish(OutcomeTimeout, solver.StatusUnknown, nil)
+				}
+			})
+		if err == nil {
+			r.batchJob = job
+			r.batchSys = bs
+		}
+	}
+
+	// Drive the simulation event by event so the run stops the moment a
+	// result is known (and a still-queued batch job can be canceled, as
+	// the paper's GridSAT did when a problem was solved pre-allocation).
+	for !r.done {
+		t, ok := r.sim.NextAt()
+		if !ok || t > cfg.TimeoutVSec {
+			break
+		}
+		r.sim.Step()
+	}
+	if !r.done {
+		r.finish(OutcomeTimeout, solver.StatusUnknown, nil)
+		r.res.VSec = cfg.TimeoutVSec
+	} else {
+		r.res.VSec = r.sim.Now()
+	}
+	return r.res
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignment) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.res.Outcome = outcome
+	r.res.Status = st
+	r.res.Model = model
+	r.sample(0) // every run ends with the client count collapsing to zero
+	// Solved before the batch allocation arrived: withdraw the job
+	// (Table 2: "the job queued from the Blue Horizon is canceled").
+	if outcome == OutcomeSolved && r.batchJob != nil && r.batchJob.State == grid.JobQueued {
+		r.batchSys.Cancel(r.batchJob)
+		r.res.BatchCanceled = true
+	}
+}
+
+// launch schedules a client start on h after the jittered spawn latency.
+func (r *runner) launch(h *grid.Host) {
+	delay := r.cfg.LaunchDelayVSec * (0.5 + r.rng.Float64())
+	r.sim.After(delay, func() {
+		if r.done {
+			return
+		}
+		c := &simClient{
+			id:        h.ID + 1, // client IDs are 1-based like the live master
+			host:      h,
+			memBudget: h.MemBytes / r.cfg.MemDivisor * 60 / 100,
+		}
+		c.registered = true
+		r.clients[c.id] = c
+		r.order = append(r.order, c.id)
+		if !r.assigned {
+			r.assignInitial(c)
+		} else {
+			r.serveBacklog()
+		}
+	})
+}
+
+// assignInitial ships the whole problem to the first registered client.
+func (r *runner) assignInitial(c *simClient) {
+	r.assigned = true
+	bytes := int64(r.cfg.Formula.NumLiterals()*4 + 64)
+	delay := r.cfg.Grid.Network.Transfer(r.master, c.host, bytes)
+	r.outstanding++
+	r.sim.After(delay, func() {
+		if r.done {
+			return
+		}
+		c.slv = solver.New(r.cfg.Formula, r.clientOpts(c))
+		c.busy = true
+		c.recvAt = r.sim.Now()
+		c.assignedAt = r.sim.Now()
+		c.xferTime = delay
+		r.noteBusy()
+		r.scheduleStep(c)
+	})
+}
+
+func (r *runner) clientOpts(c *simClient) solver.Options {
+	opts := solver.DefaultOptions()
+	if r.cfg.SolverOptions != nil {
+		opts = *r.cfg.SolverOptions
+	}
+	opts.ShareMaxLen = r.cfg.ShareMaxLen
+	return opts
+}
+
+// scheduleStep runs one compute quantum for c and schedules its effects.
+func (r *runner) scheduleStep(c *simClient) {
+	if r.done || !c.busy || c.stepping || c.slv == nil {
+		return
+	}
+	c.stepping = true
+
+	var shared []cnf.Clause
+	c.slv.SetOnLearn(func(cl cnf.Clause) { shared = append(shared, cl) })
+	before := c.slv.Stats().Propagations
+	res := c.slv.Solve(solver.Limits{
+		MaxPropagations: r.cfg.QuantumProps,
+		MaxMemoryBytes:  c.memBudget,
+	})
+	delta := c.slv.Stats().Propagations - before
+	if delta < 1 {
+		delta = 1 // even an immediately-decided quantum takes some time
+	}
+	r.res.TotalProps += delta
+	avail := r.cfg.Grid.Availability(c.host, r.sim.Now())
+	dur := float64(delta) / (r.cfg.PropsPerVSec * c.host.Speed * avail)
+
+	r.sim.After(dur, func() {
+		c.stepping = false
+		if r.done || c.dead {
+			return
+		}
+		if len(shared) > 0 {
+			r.broadcast(c, shared)
+		}
+		if res.Status == solver.StatusSAT {
+			// A model is a model even if the subproblem migrated away
+			// mid-quantum; the master verifies before declaring success
+			// (§3.4).
+			if err := r.cfg.Formula.Verify(res.Model); err == nil {
+				r.finish(OutcomeSolved, solver.StatusSAT, res.Model)
+			}
+			return
+		}
+		if c.slv == nil || !c.busy {
+			// The subproblem migrated to a better host mid-quantum; its
+			// new owner redoes this slice. Any split assignments queued
+			// for us must be released or their reservations leak.
+			r.serveAssigns(c)
+			return
+		}
+		switch res.Status {
+		case solver.StatusUNSAT:
+			c.busy = false
+			c.slv = nil
+			c.splitAsked = false
+			r.outstanding--
+			r.sample(r.busyCount())
+			r.serveAssigns(c) // release any split assignments queued for us
+			if r.done {
+				return
+			}
+			if r.assigned && r.outstanding == 0 {
+				r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+				return
+			}
+			r.serveBacklog()
+			return
+		}
+		// Still running: serve any queued split assignments, then evaluate
+		// the split triggers, then keep computing.
+		r.serveAssigns(c)
+		if res.Reason == solver.ReasonMemLimit {
+			r.requestSplit(c)
+			c.slv.ShedMemory()
+		} else {
+			dec := SplitDecision{
+				MemBudgetBytes:      c.memBudget,
+				MemPressureFraction: 0.8,
+				TransferTime:        c.xferTime,
+				MinRunTime:          r.cfg.SplitTimeoutVSec,
+			}
+			if ask, _ := dec.ShouldSplit(c.slv.MemoryBytes(), r.sim.Now()-c.recvAt); ask {
+				r.requestSplit(c)
+			}
+		}
+		r.scheduleStep(c)
+	})
+}
+
+// broadcast implements the master-mediated clause sharing of the live
+// runtime: dedup at the master, then deliver to every other busy client
+// with the modeled network delay.
+func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
+	fresh := clauses[:0]
+	for _, cl := range clauses {
+		k := cl.Key()
+		if r.seen[k] {
+			continue
+		}
+		r.seen[k] = true
+		fresh = append(fresh, cl)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	r.res.Shared += len(fresh)
+	bytes := int64(len(fresh) * 32)
+	toMaster := r.cfg.Grid.Network.Transfer(from.host, r.master, bytes)
+	for _, id := range r.order {
+		other := r.clients[id]
+		if other.id == from.id {
+			continue
+		}
+		var delay float64
+		if r.cfg.P2PSharing {
+			delay = r.cfg.Grid.Network.Transfer(from.host, other.host, bytes)
+		} else {
+			delay = toMaster + r.cfg.Grid.Network.Transfer(r.master, other.host, bytes)
+		}
+		batch := fresh
+		r.sim.After(delay, func() {
+			if r.done || other.dead || other.slv == nil {
+				return
+			}
+			_ = other.slv.ImportClauses(batch)
+		})
+	}
+}
+
+func (r *runner) requestSplit(c *simClient) {
+	if c.splitAsked || !c.busy {
+		return
+	}
+	c.splitAsked = true
+	delay := r.cfg.Grid.Network.Transfer(c.host, r.master, 64)
+	r.sim.After(delay, func() {
+		if r.done || !c.busy {
+			c.splitAsked = false
+			return
+		}
+		r.backlog = append(r.backlog, BacklogEntry{
+			ClientID:    c.id,
+			AssignedAt:  c.assignedAt,
+			RequestedAt: r.sim.Now(),
+		})
+		r.serveBacklog()
+	})
+}
+
+// serveBacklog pairs queued split requests with idle resources, exactly
+// like the live master but using NWS forecast ranks.
+func (r *runner) serveBacklog() {
+	if r.done {
+		return
+	}
+	r.serveOrphans()
+	for {
+		i := NextFromBacklog(r.backlog)
+		if i < 0 {
+			return
+		}
+		donor := r.clients[r.backlog[i].ClientID]
+		if donor == nil || !donor.busy {
+			r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
+			continue
+		}
+		target, ok := PickSplitTarget(r.idleCandidates(), 0)
+		if !ok {
+			return
+		}
+		recipient := r.clients[target.ID]
+		r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
+		donor.splitAsked = false
+		recipient.reserved = true
+		r.outstanding++
+		r.nextSplitID++
+		splitID := r.nextSplitID
+		r.pending[splitID] = &splitPair{donor: donor.id, recipient: recipient.id}
+		delay := r.cfg.Grid.Network.Transfer(r.master, donor.host, 64)
+		r.sim.After(delay, func() {
+			if r.done {
+				return
+			}
+			donor.assigns = append(donor.assigns, runnerAssign{splitID: splitID, recipient: recipient.id})
+			// An idle donor serves the assignment immediately (it will not
+			// step again); a busy one serves it at its quantum boundary.
+			if !donor.busy {
+				r.serveAssigns(donor)
+			}
+		})
+	}
+}
+
+// serveAssigns performs queued split transfers for a donor at a quantum
+// boundary (or immediately when the donor has gone idle).
+func (r *runner) serveAssigns(c *simClient) {
+	for len(c.assigns) > 0 {
+		a := c.assigns[0]
+		c.assigns = c.assigns[1:]
+		pair := r.pending[a.splitID]
+		if pair == nil {
+			continue
+		}
+		recipient := r.clients[a.recipient]
+		if !c.busy || c.slv == nil {
+			r.releasePending(a.splitID)
+			continue
+		}
+		sub, err := c.slv.Split(r.cfg.ShareMaxLen, 10000)
+		if err != nil {
+			r.releasePending(a.splitID)
+			continue
+		}
+		c.recvAt = r.sim.Now() // the halved problem restarts the clock
+		bytes := subproblemBytes(sub)
+		delay := r.cfg.Grid.Network.Transfer(c.host, recipient.host, bytes)
+		r.sim.After(delay, func() {
+			if r.done || recipient.dead {
+				return
+			}
+			delete(r.pending, a.splitID)
+			recipient.reserved = false
+			slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+			if err != nil {
+				r.outstanding--
+				r.serveBacklog()
+				return
+			}
+			recipient.slv = slv
+			recipient.busy = true
+			recipient.recvAt = r.sim.Now()
+			recipient.assignedAt = r.sim.Now()
+			recipient.xferTime = delay
+			r.res.Splits++
+			r.noteBusy()
+			r.scheduleStep(recipient)
+		})
+	}
+}
+
+// maybeMigrate implements the paper's §3.4 migration policy: when a much
+// better resource sits idle (for example, Blue Horizon nodes just joined
+// or a cluster freed up), the master directs the weakest long-running busy
+// client to hand its whole problem over instead of splitting it.
+func (r *runner) maybeMigrate() {
+	if r.cfg.MigrationFactor <= 0 {
+		return
+	}
+	target, ok := PickSplitTarget(r.idleCandidates(), 0)
+	if !ok {
+		return
+	}
+	// Find the busy client on the weakest host that has held its problem
+	// for at least one split-timeout period.
+	var weakest *simClient
+	var weakestRank float64
+	for _, id := range r.order {
+		c := r.clients[id]
+		if !c.busy || c.slv == nil || c.migrating {
+			continue
+		}
+		if r.sim.Now()-c.recvAt < r.cfg.SplitTimeoutVSec {
+			continue
+		}
+		rank := r.info.Forecast(c.host).Rank
+		if weakest == nil || rank < weakestRank {
+			weakest = c
+			weakestRank = rank
+		}
+	}
+	if weakest == nil || target.Rank < r.cfg.MigrationFactor*weakestRank {
+		return
+	}
+	recipient := r.clients[target.ID]
+	if recipient == nil || recipient.id == weakest.id {
+		return
+	}
+	// The whole problem moves: level-0 assignments plus learned clauses.
+	cp := weakest.slv.Checkpoint(solver.HeavyCheckpoint, 10000)
+	sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0, Learnts: cp.Learnts}
+	weakest.migrating = true
+	weakest.busy = false
+	weakest.slv = nil
+	weakest.splitAsked = false
+	r.serveAssigns(weakest) // release split assignments queued for the donor
+	recipient.reserved = true
+	bytes := subproblemBytes(sub)
+	delay := r.cfg.Grid.Network.Transfer(weakest.host, recipient.host, bytes)
+	r.sim.After(delay, func() {
+		weakest.migrating = false
+		if r.done || recipient.dead {
+			r.outstanding-- // the piece is lost with the recipient
+			recipient.reserved = false
+			if r.assigned && r.outstanding == 0 {
+				r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+			}
+			return
+		}
+		recipient.reserved = false
+		slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+		if err != nil {
+			return
+		}
+		recipient.slv = slv
+		recipient.busy = true
+		recipient.recvAt = r.sim.Now()
+		recipient.assignedAt = r.sim.Now()
+		recipient.xferTime = delay
+		r.res.Migrations++
+		r.noteBusy()
+		r.scheduleStep(recipient)
+	})
+}
+
+// failClient simulates a crash (paper §3.4). An idle client is simply
+// forgotten ("the master becomes aware of it and marks the resource as
+// free" — here the host is lost outright). A busy client's subproblem is
+// rebuilt from its light checkpoint — the level-0 assignments, with the
+// initial clauses re-read from the problem file — and queued for
+// reassignment to an idle resource.
+func (r *runner) failClient(id int) {
+	c := r.clients[id]
+	if c == nil || r.done {
+		return
+	}
+	var orphan *solver.Subproblem
+	if c.busy && c.slv != nil {
+		cp := c.slv.Checkpoint(solver.LightCheckpoint, 0)
+		orphan = &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0}
+	}
+	c.dead = true
+	c.busy = false
+	c.slv = nil
+	// Remove the client; in-flight messages to it become no-ops because
+	// its entry disappears.
+	delete(r.clients, id)
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	// Reservations and transfers involving the dead client unwind.
+	for splitID, pair := range r.pending {
+		if pair.recipient == id || pair.donor == id {
+			delete(r.pending, splitID)
+			if rec := r.clients[pair.recipient]; rec != nil {
+				rec.reserved = false
+			}
+			r.outstanding--
+		}
+	}
+	if orphan != nil {
+		r.orphans = append(r.orphans, orphan)
+		// The crashed client's outstanding piece survives as an orphan; no
+		// change to the outstanding count.
+		r.serveOrphans()
+	}
+	if r.assigned && r.outstanding == 0 {
+		r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+	}
+}
+
+// serveOrphans reassigns checkpointed subproblems to idle resources.
+func (r *runner) serveOrphans() {
+	for len(r.orphans) > 0 {
+		target, ok := PickSplitTarget(r.idleCandidates(), 0)
+		if !ok {
+			return
+		}
+		sub := r.orphans[0]
+		r.orphans = r.orphans[1:]
+		c := r.clients[target.ID]
+		c.reserved = true
+		bytes := subproblemBytes(sub)
+		delay := r.cfg.Grid.Network.Transfer(r.master, c.host, bytes)
+		r.sim.After(delay, func() {
+			if r.done || c.dead {
+				return
+			}
+			c.reserved = false
+			slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(c))
+			if err != nil {
+				return
+			}
+			c.slv = slv
+			c.busy = true
+			c.recvAt = r.sim.Now()
+			c.assignedAt = r.sim.Now()
+			c.xferTime = delay
+			r.noteBusy()
+			r.scheduleStep(c)
+		})
+	}
+}
+
+// releasePending undoes a reservation whose transfer will never happen.
+func (r *runner) releasePending(splitID int) {
+	pair := r.pending[splitID]
+	if pair == nil {
+		return
+	}
+	delete(r.pending, splitID)
+	if rec := r.clients[pair.recipient]; rec != nil {
+		rec.reserved = false
+	}
+	r.outstanding--
+	if r.assigned && r.outstanding == 0 {
+		r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+		return
+	}
+	r.serveBacklog()
+}
+
+func subproblemBytes(sub *solver.Subproblem) int64 {
+	n := len(sub.Assumptions) * 4
+	for _, c := range sub.Learnts {
+		n += len(c)*4 + 8
+	}
+	return int64(n + 64)
+}
+
+func (r *runner) idleCandidates() []Candidate {
+	var out []Candidate
+	for _, id := range r.order {
+		c := r.clients[id]
+		if c.busy || c.reserved || c.migrating || !c.registered {
+			continue
+		}
+		info := r.info.Forecast(c.host)
+		out = append(out, Candidate{ID: c.id, Rank: info.Rank, MemBytes: info.MemForecast})
+	}
+	return out
+}
+
+func (r *runner) noteBusy() {
+	n := r.busyCount()
+	if n > r.res.MaxClients {
+		r.res.MaxClients = n
+	}
+	r.sample(n)
+}
+
+func (r *runner) busyCount() int {
+	n := 0
+	for _, c := range r.clients {
+		if c.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// sample appends a timeline point, collapsing consecutive equal counts.
+func (r *runner) sample(busy int) {
+	tl := r.res.Timeline
+	if len(tl) > 0 && tl[len(tl)-1].Busy == busy && tl[len(tl)-1].VSec == r.sim.Now() {
+		return
+	}
+	r.res.Timeline = append(tl, TimelinePoint{VSec: r.sim.Now(), Busy: busy})
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/grid"
+	"gridsat/internal/solver"
+)
+
+func desConfig(f *cnf.Formula, timeout float64) RunnerConfig {
+	return RunnerConfig{
+		Grid:         grid.TestbedGrADS(1),
+		Formula:      f,
+		TimeoutVSec:  timeout,
+		PropsPerVSec: 1000,
+		QuantumProps: 5000,
+		ShareMaxLen:  10,
+		MasterHostID: -1,
+		Seed:         1,
+	}
+}
+
+func TestRunSequentialSolves(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	res := RunSequential(desConfig(f, 10_000))
+	if res.Outcome != OutcomeSolved || res.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v/%v", res.Outcome, res.Status)
+	}
+	if res.VSec <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.TotalProps == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestRunSequentialSAT(t *testing.T) {
+	f := gen.RandomKSAT(50, 210, 3, 5)
+	res := RunSequential(desConfig(f, 10_000))
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if res.Status == solver.StatusSAT {
+		if err := f.Verify(res.Model); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunSequentialTimeout(t *testing.T) {
+	f := gen.Pigeonhole(10)
+	res := RunSequential(desConfig(f, 5)) // 5 virtual seconds: hopeless
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("got %v after %v vsec", res.Outcome, res.VSec)
+	}
+}
+
+func TestRunSequentialMemOut(t *testing.T) {
+	cfg := desConfig(gen.Pigeonhole(10), 100_000)
+	cfg.MemDivisor = 20_000 // starve the baseline
+	res := RunSequential(cfg)
+	if res.Outcome != OutcomeMemOut {
+		t.Fatalf("got %v", res.Outcome)
+	}
+}
+
+func TestRunDistributedUNSAT(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	res := RunDistributed(desConfig(f, 10_000))
+	if res.Outcome != OutcomeSolved || res.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v/%v", res.Outcome, res.Status)
+	}
+	if res.MaxClients < 1 {
+		t.Fatal("no clients went busy")
+	}
+}
+
+func TestRunDistributedSAT(t *testing.T) {
+	f := gen.RandomKSAT(60, 255, 3, 9)
+	res := RunDistributed(desConfig(f, 10_000))
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if res.Status == solver.StatusSAT {
+		if err := f.Verify(res.Model); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunDistributedAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		f := gen.RandomKSAT(20, 85, 3, seed)
+		want, _ := brute.Solve(f, 0)
+		res := RunDistributed(desConfig(f, 10_000))
+		if res.Outcome != OutcomeSolved {
+			t.Fatalf("seed %d: %v", seed, res.Outcome)
+		}
+		if (res.Status == solver.StatusSAT) != (want == brute.SAT) {
+			t.Fatalf("seed %d: DES says %v, brute %v", seed, res.Status, want)
+		}
+	}
+}
+
+func TestRunDistributedDeterministic(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	a := RunDistributed(desConfig(f, 10_000))
+	b := RunDistributed(desConfig(f, 10_000))
+	if a.VSec != b.VSec || a.Splits != b.Splits || a.MaxClients != b.MaxClients ||
+		a.Shared != b.Shared || a.TotalProps != b.TotalProps {
+		t.Fatalf("nondeterministic DES: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunDistributedSplitsOnHardInstance(t *testing.T) {
+	f := gen.Pigeonhole(9)
+	cfg := desConfig(f, 10_000)
+	cfg.SplitTimeoutVSec = 5
+	// Pigeonhole learns long clauses, and globally valid exports carry
+	// their guiding-path literals; a wider share bound keeps them flowing.
+	cfg.ShareMaxLen = 40
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if res.Splits == 0 || res.MaxClients < 2 {
+		t.Fatalf("no parallelism: splits=%d maxClients=%d", res.Splits, res.MaxClients)
+	}
+	if res.MaxClients > 34 {
+		t.Fatalf("max clients %d exceeds the 34-host testbed", res.MaxClients)
+	}
+	if res.Shared == 0 {
+		t.Fatal("no clauses shared")
+	}
+}
+
+func TestRunDistributedTimeout(t *testing.T) {
+	f := gen.Pigeonhole(11)
+	cfg := desConfig(f, 30)
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("got %v at %v vsec", res.Outcome, res.VSec)
+	}
+	if res.VSec > 30 {
+		t.Fatalf("vsec %v exceeds budget", res.VSec)
+	}
+}
+
+func TestRunDistributedSpeedupOnHardUNSAT(t *testing.T) {
+	// A hard unstructured instance must run faster in virtual time on the
+	// grid than sequentially — the core Table-1 phenomenon.
+	f := gen.RandomKSAT(190, 809, 3, 1)
+	cfg := desConfig(f, 100_000)
+	seq := RunSequential(cfg)
+	dist := RunDistributed(cfg)
+	if seq.Outcome != OutcomeSolved || dist.Outcome != OutcomeSolved {
+		t.Fatalf("outcomes: seq=%v dist=%v", seq.Outcome, dist.Outcome)
+	}
+	if dist.VSec >= seq.VSec {
+		t.Errorf("no speedup: seq=%.1f vsec dist=%.1f vsec", seq.VSec, dist.VSec)
+	}
+	t.Logf("seq=%.1f dist=%.1f speedup=%.2f maxClients=%d splits=%d shared=%d",
+		seq.VSec, dist.VSec, seq.VSec/dist.VSec, dist.MaxClients, dist.Splits, dist.Shared)
+}
+
+func TestRunDistributedSlowdownOnSymmetricInstance(t *testing.T) {
+	// Pigeonhole's symmetric search space defeats guiding-path splitting:
+	// every half is nearly as hard as the whole, so the grid run wastes
+	// work — the paper's grid_10_20 row (0.31x) shows exactly this.
+	f := gen.Pigeonhole(9)
+	cfg := desConfig(f, 100_000)
+	cfg.SplitTimeoutVSec = 5
+	seq := RunSequential(cfg)
+	dist := RunDistributed(cfg)
+	if seq.Outcome != OutcomeSolved || dist.Outcome != OutcomeSolved {
+		t.Fatalf("outcomes: seq=%v dist=%v", seq.Outcome, dist.Outcome)
+	}
+	t.Logf("seq=%.1f dist=%.1f ratio=%.2f splits=%d", seq.VSec, dist.VSec, seq.VSec/dist.VSec, dist.Splits)
+	if dist.Splits == 0 {
+		t.Error("expected heavy splitting on the symmetric instance")
+	}
+}
+
+func TestRunDistributedOverheadOnTinyInstance(t *testing.T) {
+	// Tiny instances pay the client-launch overhead: the paper's glassy
+	// row ran 7 s sequentially but 68 s on the grid.
+	f := gen.RandomKSAT(60, 255, 3, 42)
+	cfg := desConfig(f, 10_000)
+	seq := RunSequential(cfg)
+	dist := RunDistributed(cfg)
+	if seq.Outcome != OutcomeSolved || dist.Outcome != OutcomeSolved {
+		t.Fatalf("outcomes: seq=%v dist=%v", seq.Outcome, dist.Outcome)
+	}
+	if dist.VSec <= seq.VSec {
+		t.Errorf("tiny instance showed speedup (%.2f vs %.2f); launch overhead missing",
+			dist.VSec, seq.VSec)
+	}
+}
+
+func TestRunDistributedBatchCanceledWhenSolvedEarly(t *testing.T) {
+	g := grid.TestbedTable2(1)
+	g.AddBlueHorizon(16)
+	f := gen.Pigeonhole(8)
+	cfg := desConfig(f, 100_000)
+	cfg.Grid = g
+	cfg.Batch = &BatchPlan{Nodes: 16, WalltimeVSec: 720, MeanQueueWaitVSec: 50_000}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if !res.BatchCanceled {
+		t.Error("batch job not canceled despite early solve")
+	}
+	if res.BatchStartVSec != 0 {
+		t.Error("batch reported a start despite cancellation")
+	}
+}
+
+func TestRunDistributedBatchNodesJoin(t *testing.T) {
+	g := grid.TestbedTable2(2)
+	g.AddBlueHorizon(16)
+	f := gen.Pigeonhole(10) // hard enough to outlast the short queue wait
+	cfg := desConfig(f, 100_000)
+	cfg.Grid = g
+	cfg.SplitTimeoutVSec = 5
+	cfg.MaxClients = 4
+	cfg.Batch = &BatchPlan{Nodes: 16, WalltimeVSec: 100_000, MeanQueueWaitVSec: 20}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if res.BatchStartVSec <= 0 {
+		t.Fatal("batch job never started")
+	}
+	if res.MaxClients <= 4 {
+		t.Errorf("batch nodes never went busy: maxClients=%d", res.MaxClients)
+	}
+}
+
+func TestRunDistributedBatchTerminateOnEnd(t *testing.T) {
+	g := grid.TestbedTable2(3)
+	g.AddBlueHorizon(8)
+	f := gen.Pigeonhole(12) // far beyond the budgets
+	cfg := desConfig(f, 100_000)
+	cfg.Grid = g
+	cfg.Batch = &BatchPlan{Nodes: 8, WalltimeVSec: 30, MeanQueueWaitVSec: 20, TerminateOnEnd: true}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	// The run must have ended near the batch end, far before the timeout.
+	if res.VSec > 10_000 {
+		t.Errorf("run did not terminate with the batch job (vsec=%v)", res.VSec)
+	}
+}
+
+func TestSimOutcomeString(t *testing.T) {
+	if OutcomeSolved.String() != "solved" || OutcomeTimeout.String() != "TIME_OUT" ||
+		OutcomeMemOut.String() != "MEM_OUT" || SimOutcome(9).String() != "unknown" {
+		t.Error("SimOutcome strings wrong")
+	}
+}
+
+// TestRunDistributedCrashRecovery kills busy clients mid-run; the master
+// must recover their subproblems from light checkpoints and still reach
+// the correct answer (the paper's §3.4 fault-tolerance extension).
+func TestRunDistributedCrashRecovery(t *testing.T) {
+	f := gen.Pigeonhole(9)
+	cfg := desConfig(f, 100_000)
+	cfg.SplitTimeoutVSec = 5
+	cfg.Failures = []FailurePlan{
+		{HostID: 0, AtVSec: 30},
+		{HostID: 1, AtVSec: 45},
+		{HostID: 5, AtVSec: 60},
+	}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved || res.Status != solver.StatusUNSAT {
+		t.Fatalf("crash run: %v/%v", res.Outcome, res.Status)
+	}
+}
+
+// TestRunDistributedCrashRecoveryPreservesAnswer cross-checks SAT/UNSAT
+// against the oracle with failures injected.
+func TestRunDistributedCrashRecoveryPreservesAnswer(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		f := gen.RandomKSAT(20, 85, 3, seed)
+		want, _ := brute.Solve(f, 0)
+		cfg := desConfig(f, 100_000)
+		cfg.SplitTimeoutVSec = 2
+		cfg.Failures = []FailurePlan{{HostID: 0, AtVSec: 10}, {HostID: 2, AtVSec: 14}}
+		res := RunDistributed(cfg)
+		if res.Outcome != OutcomeSolved {
+			t.Fatalf("seed %d: %v", seed, res.Outcome)
+		}
+		if (res.Status == solver.StatusSAT) != (want == brute.SAT) {
+			t.Fatalf("seed %d: got %v, brute %v", seed, res.Status, want)
+		}
+	}
+}
+
+// TestRunDistributedAllClientsCrash: losing every client (and every piece
+// to orphan recovery with no survivors) must not deadlock — the run times
+// out rather than hanging.
+func TestRunDistributedIdleCrashIgnored(t *testing.T) {
+	f := gen.RandomKSAT(30, 128, 3, 3)
+	cfg := desConfig(f, 5_000)
+	// Kill hosts that are almost certainly idle at t=1 (before launch).
+	cfg.Failures = []FailurePlan{{HostID: 30, AtVSec: 1}, {HostID: 31, AtVSec: 1}}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("idle crashes broke the run: %v", res.Outcome)
+	}
+}
+
+// TestRunDistributedMigration: when far better resources join (dedicated
+// batch nodes), the master migrates a long-running subproblem to them —
+// the paper's §3.4 policy.
+func TestRunDistributedMigration(t *testing.T) {
+	g := grid.TestbedTable2(4)
+	// Handicap the interactive hosts so the batch nodes dominate.
+	for _, h := range g.Hosts {
+		h.Speed = 0.3
+		h.MemBytes = 64 << 20
+		h.BaseAvail = 0.4
+	}
+	g.AddBlueHorizon(8)
+	f := gen.Pigeonhole(10)
+	cfg := desConfig(f, 100_000)
+	cfg.Grid = g
+	cfg.MaxClients = 2
+	cfg.MigrationFactor = 2
+	cfg.MonitorPeriodVSec = 10
+	cfg.Batch = &BatchPlan{Nodes: 8, WalltimeVSec: 100_000, MeanQueueWaitVSec: 15}
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	if res.Migrations == 0 {
+		t.Error("no migrations despite dominant idle batch nodes")
+	}
+}
+
+// TestRunDistributedMigrationPreservesAnswer cross-checks against brute.
+func TestRunDistributedMigrationPreservesAnswer(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		f := gen.RandomKSAT(20, 85, 3, seed)
+		want, _ := brute.Solve(f, 0)
+		cfg := desConfig(f, 100_000)
+		cfg.MigrationFactor = 1.2
+		cfg.MonitorPeriodVSec = 5
+		cfg.SplitTimeoutVSec = 2
+		res := RunDistributed(cfg)
+		if res.Outcome != OutcomeSolved {
+			t.Fatalf("seed %d: %v", seed, res.Outcome)
+		}
+		if (res.Status == solver.StatusSAT) != (want == brute.SAT) {
+			t.Fatalf("seed %d: got %v, brute %v", seed, res.Status, want)
+		}
+	}
+}
+
+// TestRunDistributedTimeline checks the paper's described active-client
+// curve: starts at one client, peaks at MaxClients, collapses to zero.
+func TestRunDistributedTimeline(t *testing.T) {
+	f := gen.Pigeonhole(9)
+	cfg := desConfig(f, 100_000)
+	cfg.SplitTimeoutVSec = 5
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("got %v", res.Outcome)
+	}
+	tl := res.Timeline
+	if len(tl) < 3 {
+		t.Fatalf("timeline too sparse: %v", tl)
+	}
+	if tl[0].Busy != 1 {
+		t.Errorf("run started with %d busy clients, want 1", tl[0].Busy)
+	}
+	if tl[len(tl)-1].Busy != 0 {
+		t.Errorf("run ended with %d busy clients, want 0", tl[len(tl)-1].Busy)
+	}
+	peak := 0
+	for i, p := range tl {
+		if p.Busy > peak {
+			peak = p.Busy
+		}
+		if i > 0 && p.VSec < tl[i-1].VSec {
+			t.Fatal("timeline not time-ordered")
+		}
+	}
+	if peak != res.MaxClients {
+		t.Errorf("timeline peak %d != MaxClients %d", peak, res.MaxClients)
+	}
+}
+
+// TestLiveAndSimulatedRuntimesAgree cross-validates the two runtimes: the
+// goroutine/transport implementation and the DES must reach the same
+// SAT/UNSAT verdicts (they share policies but none of the execution code).
+func TestLiveAndSimulatedRuntimesAgree(t *testing.T) {
+	for seed := int64(60); seed < 66; seed++ {
+		f := gen.RandomKSAT(25, 106, 3, seed)
+		sim := RunDistributed(desConfig(f, 100_000))
+		if sim.Outcome != OutcomeSolved {
+			t.Fatalf("seed %d: DES %v", seed, sim.Outcome)
+		}
+		live, err := Solve(f, JobConfig{
+			Clients:        3,
+			ClientMemBytes: 64 << 20,
+			ShareMaxLen:    10,
+			Timeout:        time.Minute,
+			MinRunTime:     5 * time.Millisecond,
+			SliceConflicts: 200,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if live.Status != sim.Status {
+			t.Fatalf("seed %d: live=%v sim=%v", seed, live.Status, sim.Status)
+		}
+	}
+}

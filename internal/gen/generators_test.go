@@ -1,0 +1,459 @@
+package gen
+
+import (
+	"testing"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+)
+
+func mustStatus(t *testing.T, f *cnf.Formula, want brute.Result) {
+	t.Helper()
+	r, m := brute.Solve(f, 0)
+	if r != want {
+		t.Fatalf("%s: got %v, want %v", f.Comment, r, want)
+	}
+	if r == brute.SAT {
+		if err := f.Verify(m); err != nil {
+			t.Fatalf("%s: bad model: %v", f.Comment, err)
+		}
+	}
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	f := RandomKSAT(20, 40, 3, 1)
+	if f.NumVars != 20 || f.NumClauses() != 40 {
+		t.Fatalf("shape %d/%d", f.NumVars, f.NumClauses())
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause length %d", len(c))
+		}
+		seen := map[cnf.Var]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("duplicate variable in clause %v", c)
+			}
+			seen[l.Var()] = true
+		}
+	}
+}
+
+func TestRandomKSATDeterministic(t *testing.T) {
+	a, b := RandomKSAT(15, 30, 3, 9), RandomKSAT(15, 30, 3, 9)
+	for i := range a.Clauses {
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != b.Clauses[i][j] {
+				t.Fatal("same seed produced different formulas")
+			}
+		}
+	}
+	c := RandomKSAT(15, 30, 3, 10)
+	same := true
+	for i := range a.Clauses {
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != c.Clauses[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical formulas")
+	}
+}
+
+func TestRandomKSATPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > nVars accepted")
+		}
+	}()
+	RandomKSAT(2, 5, 3, 0)
+}
+
+func TestPigeonholeUNSAT(t *testing.T) {
+	for holes := 2; holes <= 5; holes++ {
+		mustStatus(t, Pigeonhole(holes), brute.UNSAT)
+	}
+}
+
+func TestPigeonholeShape(t *testing.T) {
+	f := Pigeonhole(3)
+	// 4 pigeons-somewhere clauses + per-hole C(4,2)=6 exclusions * 3 holes.
+	if f.NumClauses() != 4+18 {
+		t.Fatalf("clauses = %d", f.NumClauses())
+	}
+	if f.NumVars != 12 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+}
+
+func TestParityChainStatus(t *testing.T) {
+	mustStatus(t, ParityChain(10, 6, true, 3), brute.SAT)
+	mustStatus(t, ParityChain(10, 6, false, 3), brute.UNSAT)
+}
+
+func TestXORSystemStatus(t *testing.T) {
+	mustStatus(t, XORSystem(12, 12, true, 5), brute.SAT)
+	// A single flipped equation makes the planted solution infeasible but
+	// the system may still have other solutions when underdetermined; use
+	// an overdetermined system to force UNSAT.
+	mustStatus(t, XORSystem(10, 30, false, 5), brute.UNSAT)
+}
+
+func TestXORClausesSemantics(t *testing.T) {
+	// x1 ^ x2 = true has exactly 2 models over 2 vars.
+	f := cnf.NewFormula(2)
+	xorClauses(f, []int{1, 2}, true)
+	if n := brute.CountModels(f); n != 2 {
+		t.Fatalf("x1^x2=1 has %d models, want 2", n)
+	}
+	g := cnf.NewFormula(2)
+	xorClauses(g, []int{1, 2}, false)
+	if n := brute.CountModels(g); n != 2 {
+		t.Fatalf("x1^x2=0 has %d models, want 2", n)
+	}
+	// Triple xor = true: 4 of 8 assignments.
+	h := cnf.NewFormula(3)
+	xorClauses(h, []int{1, 2, 3}, true)
+	if n := brute.CountModels(h); n != 4 {
+		t.Fatalf("x1^x2^x3=1 has %d models, want 4", n)
+	}
+	// Empty inconsistent XOR adds the empty clause.
+	e := cnf.NewFormula(0)
+	xorClauses(e, nil, true)
+	if len(e.Clauses) != 1 || len(e.Clauses[0]) != 0 {
+		t.Fatal("0=1 should add the empty clause")
+	}
+	e2 := cnf.NewFormula(0)
+	xorClauses(e2, nil, false)
+	if len(e2.Clauses) != 0 {
+		t.Fatal("0=0 should add nothing")
+	}
+}
+
+func TestAdderMiterUNSAT(t *testing.T) {
+	for w := 1; w <= 3; w++ {
+		mustStatus(t, AdderMiter(w), brute.UNSAT)
+	}
+}
+
+func TestAdderMiterBugSAT(t *testing.T) {
+	mustStatus(t, AdderMiterBug(3), brute.SAT)
+	mustStatus(t, AdderMiterBug(4), brute.SAT)
+}
+
+func TestAdderMiterBugPanicsOnWidth1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 1 accepted")
+		}
+	}()
+	AdderMiterBug(1)
+}
+
+func TestCounter(t *testing.T) {
+	// 3-bit counter stepped 5 times must equal 5.
+	mustStatus(t, Counter(3, 5, 5), brute.SAT)
+	mustStatus(t, Counter(3, 5, 6), brute.UNSAT)
+	// Wraparound: 3 bits, 9 steps => 1.
+	mustStatus(t, Counter(3, 9, 1), brute.SAT)
+	mustStatus(t, Counter(3, 9, 9%7), brute.UNSAT) // 2 != 1
+}
+
+func TestGraphColoringStatus(t *testing.T) {
+	// Triangle is 3-colorable but not 2-colorable. Build via dense random:
+	// nodes=3, edges=3 gives the triangle.
+	mustStatus(t, GraphColoring(3, 3, 3, 1), brute.SAT)
+	mustStatus(t, GraphColoring(3, 3, 2, 1), brute.UNSAT)
+}
+
+func TestGraphColoringShape(t *testing.T) {
+	f := GraphColoring(5, 4, 3, 2)
+	if f.NumVars != 15 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+	// 5 at-least-one + 5*3 at-most-one + 4*3 edge constraints.
+	if f.NumClauses() != 5+15+12 {
+		t.Fatalf("clauses = %d", f.NumClauses())
+	}
+}
+
+func TestHanoi(t *testing.T) {
+	// 4 cells: needs >= 3 steps.
+	mustStatus(t, Hanoi(4, 3), brute.SAT)
+	mustStatus(t, Hanoi(4, 2), brute.UNSAT)
+	mustStatus(t, Hanoi(4, 5), brute.SAT)
+}
+
+func TestFactoringLike(t *testing.T) {
+	// 15 = 3*5 factors with 3-bit operands.
+	mustStatus(t, FactoringLike(3, 15), brute.SAT)
+	// 7 is prime: no nontrivial factorization.
+	mustStatus(t, FactoringLike(3, 7), brute.UNSAT)
+}
+
+func TestCircuitGates(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(c *Circuit, a, b int) int
+		truth [4]bool // f(00),f(01),f(10),f(11) with (a,b) bits
+	}{
+		{"and", func(c *Circuit, a, b int) int { return c.And(a, b) }, [4]bool{false, false, false, true}},
+		{"or", func(c *Circuit, a, b int) int { return c.Or(a, b) }, [4]bool{false, true, true, true}},
+		{"xor", func(c *Circuit, a, b int) int { return c.Xor(a, b) }, [4]bool{false, true, true, false}},
+	}
+	for _, tc := range cases {
+		for input := 0; input < 4; input++ {
+			c := NewCircuit()
+			a, b := c.NewVar(), c.NewVar()
+			o := tc.build(c, a, b)
+			av, bv := input&2 != 0, input&1 != 0
+			if av {
+				c.AddClause(a)
+			} else {
+				c.AddClause(-a)
+			}
+			if bv {
+				c.AddClause(b)
+			} else {
+				c.AddClause(-b)
+			}
+			want := tc.truth[input]
+			if want {
+				c.AddClause(o)
+			} else {
+				c.AddClause(-o)
+			}
+			r, _ := brute.Solve(c.Formula(), 0)
+			if r != brute.SAT {
+				t.Errorf("%s(%v,%v) != %v per circuit", tc.name, av, bv, want)
+			}
+			// The complementary output value must be UNSAT.
+			c2 := NewCircuit()
+			a2, b2 := c2.NewVar(), c2.NewVar()
+			o2 := tc.build(c2, a2, b2)
+			if av {
+				c2.AddClause(a2)
+			} else {
+				c2.AddClause(-a2)
+			}
+			if bv {
+				c2.AddClause(b2)
+			} else {
+				c2.AddClause(-b2)
+			}
+			if want {
+				c2.AddClause(-o2)
+			} else {
+				c2.AddClause(o2)
+			}
+			if r, _ := brute.Solve(c2.Formula(), 0); r != brute.UNSAT {
+				t.Errorf("%s(%v,%v) complement satisfiable", tc.name, av, bv)
+			}
+		}
+	}
+}
+
+func TestCircuitMux(t *testing.T) {
+	for input := 0; input < 8; input++ {
+		c := NewCircuit()
+		sel, lo, hi := c.NewVar(), c.NewVar(), c.NewVar()
+		o := c.Mux(sel, lo, hi)
+		sv, lv, hv := input&4 != 0, input&2 != 0, input&1 != 0
+		fix := func(v int, val bool) {
+			if val {
+				c.AddClause(v)
+			} else {
+				c.AddClause(-v)
+			}
+		}
+		fix(sel, sv)
+		fix(lo, lv)
+		fix(hi, hv)
+		want := lv
+		if sv {
+			want = hv
+		}
+		fix(o, want)
+		if r, _ := brute.Solve(c.Formula(), 0); r != brute.SAT {
+			t.Errorf("mux(%v,%v,%v) != %v", sv, lv, hv, want)
+		}
+	}
+}
+
+func TestRippleVsCarrySelectAgree(t *testing.T) {
+	// For every 3-bit input pair, both adders produce the same sum.
+	for av := 0; av < 8; av++ {
+		for bv := 0; bv < 8; bv++ {
+			c := NewCircuit()
+			a, b := c.NewVars(3), c.NewVars(3)
+			s1, c1 := c.RippleAdder(a, b)
+			s2, c2 := c.CarrySelectAdder(a, b)
+			for i := 0; i < 3; i++ {
+				if av&(1<<i) != 0 {
+					c.AddClause(a[i])
+				} else {
+					c.AddClause(-a[i])
+				}
+				if bv&(1<<i) != 0 {
+					c.AddClause(b[i])
+				} else {
+					c.AddClause(-b[i])
+				}
+			}
+			c.AssertEqual(c1, c2)
+			for i := 0; i < 3; i++ {
+				c.AssertEqual(s1[i], s2[i])
+			}
+			r, m := brute.Solve(c.Formula(), 0)
+			if r != brute.SAT {
+				t.Fatalf("adders disagree on %d+%d", av, bv)
+			}
+			// Check the sum value is actually av+bv.
+			got := 0
+			for i, v := range s1 {
+				if m.Value(cnf.VarFromDIMACS(v)) == cnf.True {
+					got |= 1 << i
+				}
+			}
+			carry := 0
+			if m.Value(cnf.VarFromDIMACS(c1)) == cnf.True {
+				carry = 8
+			}
+			if got+carry != av+bv {
+				t.Fatalf("%d+%d computed as %d", av, bv, got+carry)
+			}
+		}
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	for av := 0; av < 8; av++ {
+		for bv := 0; bv < 8; bv++ {
+			c := NewCircuit()
+			a, b := c.NewVars(3), c.NewVars(3)
+			prod := c.multiply(a, b)
+			for i := 0; i < 3; i++ {
+				if av&(1<<i) != 0 {
+					c.AddClause(a[i])
+				} else {
+					c.AddClause(-a[i])
+				}
+				if bv&(1<<i) != 0 {
+					c.AddClause(b[i])
+				} else {
+					c.AddClause(-b[i])
+				}
+			}
+			r, m := brute.Solve(c.Formula(), 0)
+			if r != brute.SAT {
+				t.Fatalf("multiplier inconsistent on %d*%d", av, bv)
+			}
+			got := 0
+			for i, v := range prod {
+				if m.Value(cnf.VarFromDIMACS(v)) == cnf.True {
+					got |= 1 << i
+				}
+			}
+			if got != av*bv {
+				t.Fatalf("%d*%d computed as %d", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestPlantedKSATAlwaysSAT(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		f := PlantedKSAT(12, 60, 3, seed) // well past the UNSAT threshold
+		mustStatus(t, f, brute.SAT)
+	}
+}
+
+func TestPlantedKSATShape(t *testing.T) {
+	f := PlantedKSAT(20, 50, 3, 1)
+	if f.NumVars != 20 || f.NumClauses() != 50 {
+		t.Fatalf("shape %d/%d", f.NumVars, f.NumClauses())
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause length %d", len(c))
+		}
+	}
+}
+
+func TestPlantedKSATDeterministic(t *testing.T) {
+	a, b := PlantedKSAT(15, 40, 3, 4), PlantedKSAT(15, 40, 3, 4)
+	for i := range a.Clauses {
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != b.Clauses[i][j] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+}
+
+func TestPlantedKSATPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad k accepted")
+		}
+	}()
+	PlantedKSAT(3, 5, 5, 0)
+}
+
+func TestPigeonholeShuffledUNSATAndDistinct(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		f := PigeonholeShuffled(4, seed)
+		mustStatus(t, f, brute.UNSAT)
+		base := Pigeonhole(4)
+		if f.NumVars != base.NumVars || f.NumClauses() != base.NumClauses() {
+			t.Fatal("shuffle changed the shape")
+		}
+	}
+	a, b := PigeonholeShuffled(4, 1), PigeonholeShuffled(4, 2)
+	same := true
+	for i := range a.Clauses {
+		if a.Clauses[i].Key() != b.Clauses[i].Key() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different shuffle seeds produced identical formulas")
+	}
+}
+
+func TestLatinSquare(t *testing.T) {
+	// 3x3 with a few prefilled cells is satisfiable.
+	mustStatus(t, LatinSquare(3, 3, 1), brute.SAT)
+	// Full prefill pins the hidden square exactly: still satisfiable.
+	mustStatus(t, LatinSquare(3, 9, 2), brute.SAT)
+	f := LatinSquare(4, 0, 1)
+	if f.NumVars != 64 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+	r, m := brute.Solve(f, 0)
+	if r != brute.SAT {
+		t.Fatalf("empty 4x4 completion: %v", r)
+	}
+	// Check the model really is a Latin square.
+	val := func(row, col int) int {
+		for k := 0; k < 4; k++ {
+			if m.Value(cnf.VarFromDIMACS((row*4+col)*4+k+1)) == cnf.True {
+				return k
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 4; i++ {
+		rowSeen, colSeen := map[int]bool{}, map[int]bool{}
+		for j := 0; j < 4; j++ {
+			rv, cv := val(i, j), val(j, i)
+			if rv < 0 || cv < 0 || rowSeen[rv] || colSeen[cv] {
+				t.Fatalf("model is not a latin square at %d,%d", i, j)
+			}
+			rowSeen[rv], colSeen[cv] = true, true
+		}
+	}
+}

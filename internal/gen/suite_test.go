@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"testing"
+	"time"
+
+	"gridsat/internal/solver"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 42 {
+		t.Fatalf("suite has %d rows, paper has 42", len(suite))
+	}
+	sections := map[Section]int{}
+	names := map[string]bool{}
+	for _, inst := range suite {
+		if names[inst.Name] {
+			t.Errorf("duplicate row %q", inst.Name)
+		}
+		names[inst.Name] = true
+		sections[inst.Section]++
+		if inst.Build == nil {
+			t.Errorf("%s: nil Build", inst.Name)
+		}
+	}
+	// Paper: 23 both-solved rows, 10 GridSAT-only, 9 unsolved.
+	if sections[SecBothSolved] != 23 {
+		t.Errorf("both-solved rows = %d, want 23", sections[SecBothSolved])
+	}
+	if sections[SecGridSATOnly] != 10 {
+		t.Errorf("gridsat-only rows = %d, want 10", sections[SecGridSATOnly])
+	}
+	if sections[SecUnsolved] != 9 {
+		t.Errorf("unsolved rows = %d, want 9", sections[SecUnsolved])
+	}
+}
+
+func TestSuitePaperOutcomes(t *testing.T) {
+	for _, inst := range Suite() {
+		switch inst.Section {
+		case SecBothSolved:
+			if !inst.PaperZChaff.Finished() || !inst.PaperGridSAT.Finished() {
+				t.Errorf("%s: both-solved row with unfinished outcome", inst.Name)
+			}
+		case SecGridSATOnly:
+			if inst.PaperZChaff.Finished() {
+				t.Errorf("%s: gridsat-only row but zChaff finished", inst.Name)
+			}
+			if !inst.PaperGridSAT.Finished() {
+				t.Errorf("%s: gridsat-only row but GridSAT did not finish", inst.Name)
+			}
+		case SecUnsolved:
+			if inst.PaperZChaff.Finished() || inst.PaperGridSAT.Finished() {
+				t.Errorf("%s: unsolved row with finished outcome", inst.Name)
+			}
+			if !inst.Table2 {
+				t.Errorf("%s: unsolved row missing from Table 2", inst.Name)
+			}
+		}
+	}
+}
+
+func TestSuiteTable2(t *testing.T) {
+	rows := Table2Rows()
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 has %d rows, paper has 9", len(rows))
+	}
+	solved := 0
+	for _, r := range rows {
+		if r.Table2Result > 0 {
+			solved++
+		}
+	}
+	if solved != 3 {
+		t.Errorf("Table 2 solved rows = %d, paper solved 3 (par32-1-c, rand-net70-25-5, glassybp)", solved)
+	}
+}
+
+func TestSuiteBuildsAreDeterministic(t *testing.T) {
+	for _, inst := range Suite()[:6] {
+		a, b := inst.Build(), inst.Build()
+		if a.NumVars != b.NumVars || a.NumClauses() != b.NumClauses() {
+			t.Fatalf("%s: nondeterministic shape", inst.Name)
+		}
+		for i := range a.Clauses {
+			for j := range a.Clauses[i] {
+				if a.Clauses[i][j] != b.Clauses[i][j] {
+					t.Fatalf("%s: nondeterministic clause %d", inst.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSuiteBuildsNonEmpty(t *testing.T) {
+	for _, inst := range Suite() {
+		f := inst.Build()
+		if f.NumVars == 0 || f.NumClauses() == 0 {
+			t.Errorf("%s: empty formula", inst.Name)
+		}
+		if f.NumVars > 100000 || f.NumClauses() > 2000000 {
+			t.Errorf("%s: implausibly large stand-in (%d vars, %d clauses)",
+				inst.Name, f.NumVars, f.NumClauses())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	inst, ok := ByName("6pipe")
+	if !ok || inst.Name != "6pipe" {
+		t.Fatal("ByName failed for 6pipe")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName found nonexistent row")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusSAT.String() != "SAT" || StatusUNSAT.String() != "UNSAT" || StatusUnknown.String() != "UNKNOWN" {
+		t.Error("Status.String wrong")
+	}
+}
+
+func TestPaperOutcomeString(t *testing.T) {
+	if PaperTimeOut.String() != "TIME_OUT" {
+		t.Errorf("got %q", PaperTimeOut.String())
+	}
+	if PaperMemOut.String() != "MEM_OUT" {
+		t.Errorf("got %q", PaperMemOut.String())
+	}
+	if PaperOutcome(6322).String() != "6322" {
+		t.Errorf("got %q", PaperOutcome(6322).String())
+	}
+	if PaperOutcome(12.5).String() != "12.5" {
+		t.Errorf("got %q", PaperOutcome(12.5).String())
+	}
+	if PaperOutcome(1.25).String() != "1.25" {
+		t.Errorf("got %q", PaperOutcome(1.25).String())
+	}
+	if PaperTimeOut.Finished() || !PaperOutcome(3).Finished() {
+		t.Error("Finished wrong")
+	}
+}
+
+// TestSuiteSmallRowStatuses solves every stand-in whose paper baseline
+// time is under 600 s with the brute-force oracle-checked CDCL engine and
+// confirms the expected SAT/UNSAT status. Larger rows are covered by the
+// benchmark harness itself.
+func TestSuiteSmallRowStatuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solving a dozen instances is not -short material")
+	}
+	for _, inst := range Suite() {
+		if !inst.PaperZChaff.Finished() || inst.PaperZChaff.Seconds() >= 600 {
+			continue
+		}
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			f := inst.Build()
+			s := solver.New(f, solver.DefaultOptions())
+			r := s.Solve(solver.Limits{MaxTime: 30 * time.Second})
+			if r.Status == solver.StatusUnknown {
+				t.Skipf("budget too small for this machine")
+			}
+			want := solver.StatusUNSAT
+			if inst.Expected == StatusSAT {
+				want = solver.StatusSAT
+			}
+			if r.Status != want {
+				t.Fatalf("stand-in decides %v, paper row is %v", r.Status, inst.Expected)
+			}
+			if r.Status == solver.StatusSAT {
+				if err := f.Verify(r.Model); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

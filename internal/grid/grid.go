@@ -1,0 +1,208 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Host is one simulated machine.
+type Host struct {
+	ID   int
+	Name string
+	Site string
+	// Speed is relative CPU power; 1.0 is the baseline ("fastest UTK
+	// cluster node" class in the paper's first testbed).
+	Speed float64
+	// MemBytes is physical memory. GridSAT clients use at most 60% of the
+	// free portion (paper §3.3).
+	MemBytes int64
+	// BaseAvail is the long-run fraction of the CPU left by background
+	// users of the shared machine; 1.0 means dedicated.
+	BaseAvail float64
+	// Jitter is the amplitude of availability fluctuation.
+	Jitter float64
+	// Batch marks hosts that are only reachable through the batch system
+	// (Blue Horizon nodes).
+	Batch bool
+}
+
+// Grid is a set of hosts plus the network connecting their sites.
+type Grid struct {
+	Hosts   []*Host
+	Network *Network
+	// Seed drives the deterministic contention noise.
+	Seed int64
+}
+
+// HostByID returns the host with the given ID, or nil.
+func (g *Grid) HostByID(id int) *Host {
+	for _, h := range g.Hosts {
+		if h.ID == id {
+			return h
+		}
+	}
+	return nil
+}
+
+// splitmix64 provides cheap deterministic pseudo-random bits for the
+// contention model without any mutable state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (g *Grid) noise(h *Host, bucket int64, salt uint64) float64 {
+	x := splitmix64(uint64(g.Seed)*0x9e37 ^ uint64(h.ID)<<32 ^ uint64(bucket) ^ salt<<17)
+	return float64(x>>11) / float64(1<<53) // uniform [0,1)
+}
+
+// Availability returns the fraction of h's CPU available to GridSAT at
+// virtual time t. Deterministic in (grid seed, host, ⌊t/30⌋): contention
+// shifts every 30 virtual seconds, like the shared GrADS machines.
+func (g *Grid) Availability(h *Host, t float64) float64 {
+	if h.BaseAvail >= 1 && h.Jitter == 0 {
+		return 1
+	}
+	bucket := int64(math.Floor(t / 30))
+	n := g.noise(h, bucket, 1)
+	avail := h.BaseAvail + h.Jitter*(2*n-1)
+	if avail < 0.05 {
+		avail = 0.05
+	}
+	if avail > 1 {
+		avail = 1
+	}
+	return avail
+}
+
+// FreeMem returns h's free memory at virtual time t: other users' resident
+// sets fluctuate between 0 and 40% of the machine.
+func (g *Grid) FreeMem(h *Host, t float64) int64 {
+	bucket := int64(math.Floor(t / 60))
+	n := g.noise(h, bucket, 2)
+	used := 0.4 * n * (1 - h.BaseAvail + 0.2)
+	if used > 0.5 {
+		used = 0.5
+	}
+	return int64(float64(h.MemBytes) * (1 - used))
+}
+
+// Network models per-site latency and bandwidth. Transfers within a site
+// use the local parameters; transfers across sites use the WAN parameters.
+type Network struct {
+	// LocalLatency and LocalBandwidth apply within a site.
+	LocalLatency   float64 // virtual seconds
+	LocalBandwidth float64 // bytes per virtual second
+	// WANLatency and WANBandwidth apply between sites.
+	WANLatency   float64
+	WANBandwidth float64
+}
+
+// Transfer returns the virtual seconds needed to move `bytes` from a to b.
+// Same-host transfers are free.
+func (n *Network) Transfer(a, b *Host, bytes int64) float64 {
+	if a == nil || b == nil || a.ID == b.ID {
+		return 0
+	}
+	if a.Site == b.Site {
+		return n.LocalLatency + float64(bytes)/n.LocalBandwidth
+	}
+	return n.WANLatency + float64(bytes)/n.WANBandwidth
+}
+
+// DefaultNetwork mirrors a 2003-era campus LAN / Internet2 WAN:
+// 1 ms / 10 MB/s locally, 60 ms / 1.5 MB/s across sites (virtual units).
+func DefaultNetwork() *Network {
+	return &Network{
+		LocalLatency:   0.001,
+		LocalBandwidth: 10e6,
+		WANLatency:     0.060,
+		WANBandwidth:   1.5e6,
+	}
+}
+
+// TestbedGrADS builds the paper's first experimental setup: 34 machines in
+// three sites — two UTK clusters (one with the best hardware), two UIUC
+// clusters (including slow 250 MHz/128 MB nodes), and 8 UCSD desktops.
+// Host 0 in the returned grid is the best UTK node, the machine the
+// dedicated zChaff baseline runs on.
+func TestbedGrADS(seed int64) *Grid {
+	g := &Grid{Network: DefaultNetwork(), Seed: seed}
+	id := 0
+	add := func(n int, site string, speed float64, memMB int64, avail, jitter float64) {
+		for i := 0; i < n; i++ {
+			g.Hosts = append(g.Hosts, &Host{
+				ID:        id,
+				Name:      fmt.Sprintf("%s-%02d", site, i),
+				Site:      site,
+				Speed:     speed,
+				MemBytes:  memMB << 20,
+				BaseAvail: avail,
+				Jitter:    jitter,
+			})
+			id++
+		}
+	}
+	add(8, "utk-a", 1.00, 1024, 0.85, 0.15) // best cluster
+	add(8, "utk-b", 0.80, 512, 0.80, 0.20)
+	add(6, "uiuc-a", 0.70, 512, 0.80, 0.20)
+	add(4, "uiuc-b", 0.25, 128, 0.70, 0.25) // 250 MHz PII, 128 MB
+	add(8, "ucsd", 0.60, 256, 0.75, 0.25)   // desktops
+	return g
+}
+
+// TestbedTable2 builds the paper's second setup: a 16-node UIUC cluster,
+// 3 UCSD desktops and 8 UCSB desktops (27 hosts), with the slow machines
+// removed from consideration.
+func TestbedTable2(seed int64) *Grid {
+	g := &Grid{Network: DefaultNetwork(), Seed: seed}
+	id := 0
+	add := func(n int, site string, speed float64, memMB int64, avail, jitter float64) {
+		for i := 0; i < n; i++ {
+			g.Hosts = append(g.Hosts, &Host{
+				ID:        id,
+				Name:      fmt.Sprintf("%s-%02d", site, i),
+				Site:      site,
+				Speed:     speed,
+				MemBytes:  memMB << 20,
+				BaseAvail: avail,
+				Jitter:    jitter,
+			})
+			id++
+		}
+	}
+	add(16, "uiuc", 1.00, 1024, 0.85, 0.15)
+	add(3, "ucsd", 0.80, 512, 0.80, 0.20)
+	add(8, "ucsb", 0.90, 512, 0.85, 0.15)
+	return g
+}
+
+// AddBlueHorizon appends n batch-only nodes (the paper's Blue Horizon had
+// 8 CPUs and 4 GB per node; we model each allocated CPU as a host). They
+// are dedicated while allocated.
+func (g *Grid) AddBlueHorizon(n int) []*Host {
+	start := 0
+	for _, h := range g.Hosts {
+		if h.ID >= start {
+			start = h.ID + 1
+		}
+	}
+	var out []*Host
+	for i := 0; i < n; i++ {
+		h := &Host{
+			ID:        start + i,
+			Name:      fmt.Sprintf("bluehorizon-%03d", i),
+			Site:      "sdsc",
+			Speed:     1.1,
+			MemBytes:  512 << 20,
+			BaseAvail: 1.0, // dedicated during the batch allocation
+			Jitter:    0,
+			Batch:     true,
+		}
+		g.Hosts = append(g.Hosts, h)
+		out = append(out, h)
+	}
+	return out
+}

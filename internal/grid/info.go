@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"sort"
+
+	"gridsat/internal/nws"
+)
+
+// HostInfo is one entry of an information-service snapshot: the static
+// attributes plus NWS forecasts the GridSAT master ranks hosts with.
+type HostInfo struct {
+	Host         *Host
+	CPUForecast  float64 // predicted availability fraction
+	MemForecast  int64   // predicted free memory in bytes
+	Rank         float64
+	Measurements int
+}
+
+// InfoService simulates the Grid information system (Globus MDS + NWS):
+// it periodically samples every host's availability and free memory into
+// per-host NWS forecasters and serves ranked snapshots.
+type InfoService struct {
+	grid      *Grid
+	forecasts map[int]*nws.ResourceForecast
+}
+
+// NewInfoService creates a service over g with empty forecast history.
+func NewInfoService(g *Grid) *InfoService {
+	return &InfoService{grid: g, forecasts: map[int]*nws.ResourceForecast{}}
+}
+
+// Observe samples every host at virtual time t, feeding the forecasters.
+// The DES harness calls this on a fixed monitoring period (NWS sensors
+// measured every few tens of seconds).
+func (is *InfoService) Observe(t float64) {
+	for _, h := range is.grid.Hosts {
+		f := is.forecasts[h.ID]
+		if f == nil {
+			f = nws.NewResourceForecast()
+			is.forecasts[h.ID] = f
+		}
+		f.Observe(is.grid.Availability(h, t), float64(is.grid.FreeMem(h, t)))
+	}
+}
+
+// Snapshot returns forecasts for all hosts, best rank first. Hosts never
+// observed rank by their static attributes alone (the paper's fallback to
+// "static information" when NWS data is unavailable).
+func (is *InfoService) Snapshot() []HostInfo {
+	out := make([]HostInfo, 0, len(is.grid.Hosts))
+	for _, h := range is.grid.Hosts {
+		info := HostInfo{Host: h}
+		if f, ok := is.forecasts[h.ID]; ok && f.CPU.Samples() > 0 {
+			info.CPUForecast = f.CPU.Forecast()
+			info.MemForecast = int64(f.Memory.Forecast())
+			info.Rank = f.Rank(h.Speed)
+			info.Measurements = f.CPU.Samples()
+		} else {
+			info.CPUForecast = h.BaseAvail
+			info.MemForecast = h.MemBytes
+			info.Rank = h.Speed * h.BaseAvail * float64(h.MemBytes>>20)
+		}
+		out = append(out, info)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank > out[j].Rank })
+	return out
+}
+
+// Forecast returns the current forecast entry for one host.
+func (is *InfoService) Forecast(h *Host) HostInfo {
+	for _, info := range is.Snapshot() {
+		if info.Host.ID == h.ID {
+			return info
+		}
+	}
+	return HostInfo{Host: h}
+}

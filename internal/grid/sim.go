@@ -1,0 +1,110 @@
+// Package grid simulates the Computational Grid substrate the paper ran
+// on: heterogeneous hosts grouped into sites (the GrADS testbed at UTK,
+// UIUC and UCSD, plus UCSB desktops), a wide-area network with per-site
+// latency and bandwidth, background contention on the shared machines, an
+// MDS-like information service fed by NWS forecasters, and a Blue
+// Horizon-style batch system with long queue waits.
+//
+// Time is virtual: the package provides a deterministic discrete-event
+// simulation kernel (Sim). GridSAT's benchmark harness advances client
+// computation in work units (solver propagations) that convert to virtual
+// seconds through each host's speed and current availability, so a 34-host
+// distributed run can be reproduced exactly on a single physical core.
+package grid
+
+import "container/heap"
+
+// Sim is a deterministic discrete-event simulation kernel. Events with
+// equal timestamps run in scheduling order.
+type Sim struct {
+	now float64
+	seq int64
+	pq  eventHeap
+}
+
+// NewSim returns a kernel at virtual time 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d virtual seconds from now.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step runs the earliest pending event; false when none remain.
+func (s *Sim) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*event)
+	s.now = ev.t
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the next event would pass
+// the `until` horizon (which then becomes the current time). Events at
+// exactly `until` still run.
+func (s *Sim) Run(until float64) {
+	for s.pq.Len() > 0 {
+		if s.pq[0].t > until {
+			s.now = until
+			return
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.pq.Len() }
+
+// NextAt returns the timestamp of the earliest pending event.
+func (s *Sim) NextAt() (float64, bool) {
+	if s.pq.Len() == 0 {
+		return 0, false
+	}
+	return s.pq[0].t, true
+}
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

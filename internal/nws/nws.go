@@ -1,0 +1,233 @@
+// Package nws reimplements the forecasting core of the Network Weather
+// Service (Wolski et al.), which GridSAT's master uses to rank Grid
+// resources by predicted CPU power and free memory (paper §3.3).
+//
+// NWS's key idea: maintain a battery of cheap time-series predictors
+// (running mean, sliding-window means and medians, exponential smoothing
+// with several gains) and, for each new measurement, dynamically select the
+// predictor whose past forecasts have accumulated the lowest error. The
+// winning predictor supplies the forecast for the next interval.
+package nws
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Predictor is a single-step time-series forecaster.
+type Predictor interface {
+	// Update feeds one measurement.
+	Update(x float64)
+	// Forecast predicts the next measurement.
+	Forecast() float64
+	// Name identifies the predictor in diagnostics.
+	Name() string
+}
+
+// runningMean forecasts the mean of all history.
+type runningMean struct {
+	sum float64
+	n   int
+}
+
+func (p *runningMean) Update(x float64) { p.sum += x; p.n++ }
+func (p *runningMean) Forecast() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return p.sum / float64(p.n)
+}
+func (p *runningMean) Name() string { return "running-mean" }
+
+// lastValue forecasts the most recent measurement.
+type lastValue struct{ last float64 }
+
+func (p *lastValue) Update(x float64)  { p.last = x }
+func (p *lastValue) Forecast() float64 { return p.last }
+func (p *lastValue) Name() string      { return "last-value" }
+
+// slidingMean forecasts the mean over a bounded window.
+type slidingMean struct {
+	window []float64
+	size   int
+}
+
+func (p *slidingMean) Update(x float64) {
+	p.window = append(p.window, x)
+	if len(p.window) > p.size {
+		p.window = p.window[1:]
+	}
+}
+func (p *slidingMean) Forecast() float64 {
+	if len(p.window) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range p.window {
+		sum += v
+	}
+	return sum / float64(len(p.window))
+}
+func (p *slidingMean) Name() string { return fmt.Sprintf("sliding-mean-%d", p.size) }
+
+// slidingMedian forecasts the median over a bounded window, robust to the
+// load spikes typical of shared machines.
+type slidingMedian struct {
+	window []float64
+	size   int
+}
+
+func (p *slidingMedian) Update(x float64) {
+	p.window = append(p.window, x)
+	if len(p.window) > p.size {
+		p.window = p.window[1:]
+	}
+}
+func (p *slidingMedian) Forecast() float64 {
+	n := len(p.window)
+	if n == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), p.window...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+func (p *slidingMedian) Name() string { return fmt.Sprintf("sliding-median-%d", p.size) }
+
+// expSmooth forecasts with exponential smoothing at gain g.
+type expSmooth struct {
+	g     float64
+	state float64
+	init  bool
+}
+
+func (p *expSmooth) Update(x float64) {
+	if !p.init {
+		p.state = x
+		p.init = true
+		return
+	}
+	p.state = p.g*x + (1-p.g)*p.state
+}
+func (p *expSmooth) Forecast() float64 { return p.state }
+func (p *expSmooth) Name() string      { return fmt.Sprintf("exp-smooth-%.2f", p.g) }
+
+// Forecaster runs the NWS predictor battery with dynamic selection by
+// accumulated mean-squared error.
+type Forecaster struct {
+	predictors []Predictor
+	sqErr      []float64
+	n          int
+}
+
+// NewForecaster builds the standard battery.
+func NewForecaster() *Forecaster {
+	ps := []Predictor{
+		&runningMean{},
+		&lastValue{},
+		&slidingMean{size: 5},
+		&slidingMean{size: 20},
+		&slidingMedian{size: 5},
+		&slidingMedian{size: 21},
+		&expSmooth{g: 0.1},
+		&expSmooth{g: 0.3},
+		&expSmooth{g: 0.7},
+	}
+	return &Forecaster{predictors: ps, sqErr: make([]float64, len(ps))}
+}
+
+// Update feeds a new measurement: each predictor's previous forecast is
+// scored against it, then all predictors absorb the value.
+func (f *Forecaster) Update(x float64) {
+	if f.n > 0 {
+		for i, p := range f.predictors {
+			e := p.Forecast() - x
+			f.sqErr[i] += e * e
+		}
+	}
+	for _, p := range f.predictors {
+		p.Update(x)
+	}
+	f.n++
+}
+
+// Forecast returns the current best predictor's forecast. With no history
+// it returns 0.
+func (f *Forecaster) Forecast() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return f.predictors[f.best()].Forecast()
+}
+
+// BestPredictor names the predictor currently winning the error race.
+func (f *Forecaster) BestPredictor() string {
+	if f.n == 0 {
+		return "none"
+	}
+	return f.predictors[f.best()].Name()
+}
+
+// MSE returns the winning predictor's mean squared error so far.
+func (f *Forecaster) MSE() float64 {
+	if f.n <= 1 {
+		return 0
+	}
+	return f.sqErr[f.best()] / float64(f.n-1)
+}
+
+// Samples returns the number of measurements absorbed.
+func (f *Forecaster) Samples() int { return f.n }
+
+func (f *Forecaster) best() int {
+	best := 0
+	for i, e := range f.sqErr {
+		if e < f.sqErr[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ResourceForecast couples the two series GridSAT ranks hosts by:
+// fractional CPU availability and free memory.
+type ResourceForecast struct {
+	CPU    *Forecaster
+	Memory *Forecaster
+}
+
+// NewResourceForecast returns forecasters for one host.
+func NewResourceForecast() *ResourceForecast {
+	return &ResourceForecast{CPU: NewForecaster(), Memory: NewForecaster()}
+}
+
+// Observe feeds one joint measurement.
+func (r *ResourceForecast) Observe(cpuAvail, freeMem float64) {
+	r.CPU.Update(cpuAvail)
+	r.Memory.Update(freeMem)
+}
+
+// Rank computes the master's host-ranking score: predicted effective
+// processing power weighted by predicted memory capacity. speed is the
+// host's nominal speed; the forecasted CPU availability scales it.
+func (r *ResourceForecast) Rank(speed float64) float64 {
+	cpu := r.CPU.Forecast()
+	if cpu < 0 {
+		cpu = 0
+	}
+	if cpu > 1 {
+		cpu = 1
+	}
+	mem := r.Memory.Forecast()
+	if mem < 0 {
+		mem = 0
+	}
+	// Memory enters sub-linearly: doubling memory helps less than doubling
+	// effective CPU, but memory-starved hosts rank near zero (the paper
+	// refuses hosts under a minimum memory outright).
+	return speed * cpu * math.Sqrt(mem)
+}

@@ -1,0 +1,231 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMean(t *testing.T) {
+	p := &runningMean{}
+	if p.Forecast() != 0 {
+		t.Error("empty running mean not 0")
+	}
+	for _, x := range []float64{1, 2, 3} {
+		p.Update(x)
+	}
+	if p.Forecast() != 2 {
+		t.Errorf("mean = %v, want 2", p.Forecast())
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	p := &lastValue{}
+	p.Update(5)
+	p.Update(7)
+	if p.Forecast() != 7 {
+		t.Errorf("last = %v", p.Forecast())
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	p := &slidingMean{size: 2}
+	if p.Forecast() != 0 {
+		t.Error("empty sliding mean not 0")
+	}
+	for _, x := range []float64{10, 2, 4} {
+		p.Update(x)
+	}
+	if p.Forecast() != 3 {
+		t.Errorf("windowed mean = %v, want 3 (10 evicted)", p.Forecast())
+	}
+}
+
+func TestSlidingMedian(t *testing.T) {
+	p := &slidingMedian{size: 5}
+	if p.Forecast() != 0 {
+		t.Error("empty median not 0")
+	}
+	for _, x := range []float64{1, 100, 2} {
+		p.Update(x)
+	}
+	if p.Forecast() != 2 {
+		t.Errorf("median = %v, want 2", p.Forecast())
+	}
+	p.Update(3)
+	if p.Forecast() != 2.5 {
+		t.Errorf("even median = %v, want 2.5", p.Forecast())
+	}
+}
+
+func TestSlidingMedianDoesNotMutateWindow(t *testing.T) {
+	p := &slidingMedian{size: 5}
+	p.Update(3)
+	p.Update(1)
+	p.Update(2)
+	_ = p.Forecast()
+	if p.window[0] != 3 || p.window[1] != 1 || p.window[2] != 2 {
+		t.Error("Forecast sorted the live window")
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	p := &expSmooth{g: 0.5}
+	p.Update(10)
+	if p.Forecast() != 10 {
+		t.Errorf("first value should initialize state, got %v", p.Forecast())
+	}
+	p.Update(0)
+	if p.Forecast() != 5 {
+		t.Errorf("smoothed = %v, want 5", p.Forecast())
+	}
+}
+
+func TestForecasterConstantSeries(t *testing.T) {
+	f := NewForecaster()
+	for i := 0; i < 50; i++ {
+		f.Update(0.75)
+	}
+	if math.Abs(f.Forecast()-0.75) > 1e-9 {
+		t.Errorf("constant series forecast = %v", f.Forecast())
+	}
+	if f.Samples() != 50 {
+		t.Errorf("samples = %d", f.Samples())
+	}
+	if f.MSE() > 1e-12 {
+		t.Errorf("constant series MSE = %v", f.MSE())
+	}
+}
+
+func TestForecasterEmpty(t *testing.T) {
+	f := NewForecaster()
+	if f.Forecast() != 0 || f.BestPredictor() != "none" || f.MSE() != 0 {
+		t.Error("empty forecaster defaults wrong")
+	}
+}
+
+// On a noisy series with occasional huge spikes, the selected predictor
+// should track the base level far better than last-value would.
+func TestForecasterRobustToSpikes(t *testing.T) {
+	f := NewForecaster()
+	last := &lastValue{}
+	rng := rand.New(rand.NewSource(1))
+	var fErr, lastErr float64
+	for i := 0; i < 400; i++ {
+		x := 1.0 + 0.05*rng.NormFloat64()
+		if i%17 == 0 {
+			x = 25 // load spike
+		}
+		if i > 0 {
+			fErr += math.Abs(f.Forecast() - x)
+			lastErr += math.Abs(last.Forecast() - x)
+		}
+		f.Update(x)
+		last.Update(x)
+	}
+	if fErr >= lastErr {
+		t.Errorf("battery error %v not better than last-value %v", fErr, lastErr)
+	}
+}
+
+// The dynamic selection must do at least as well as the single worst
+// predictor on any series (it tracks the best, so this is a weak but
+// universal property).
+func TestForecasterSelectionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewForecaster()
+		n := 30 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			f.Update(rng.Float64() * 10)
+		}
+		best := f.best()
+		for i := range f.sqErr {
+			if f.sqErr[best] > f.sqErr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForecasterTrendFavorsSmoothing(t *testing.T) {
+	f := NewForecaster()
+	for i := 0; i < 200; i++ {
+		f.Update(float64(i))
+	}
+	// On a pure trend, the winner should be one of the reactive predictors
+	// (last-value or high-gain smoothing), never the running mean.
+	if f.BestPredictor() == "running-mean" {
+		t.Errorf("running mean won on a linear trend (forecast %v)", f.Forecast())
+	}
+	if f.Forecast() < 150 {
+		t.Errorf("trend forecast %v lags badly", f.Forecast())
+	}
+}
+
+func TestResourceForecastRank(t *testing.T) {
+	r := NewResourceForecast()
+	for i := 0; i < 20; i++ {
+		r.Observe(0.5, 4096)
+	}
+	got := r.Rank(2.0)
+	want := 2.0 * 0.5 * math.Sqrt(4096)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("rank = %v, want %v", got, want)
+	}
+}
+
+func TestRankClampsCPU(t *testing.T) {
+	r := NewResourceForecast()
+	for i := 0; i < 10; i++ {
+		r.Observe(3.0, 100) // bogus availability > 1
+	}
+	if got := r.Rank(1); got > math.Sqrt(100)+1e-9 {
+		t.Errorf("rank %v did not clamp cpu to 1", got)
+	}
+	r2 := NewResourceForecast()
+	for i := 0; i < 10; i++ {
+		r2.Observe(-1, -5)
+	}
+	if got := r2.Rank(1); got != 0 {
+		t.Errorf("negative forecasts should rank 0, got %v", got)
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	f := NewForecaster()
+	seen := map[string]bool{}
+	for _, p := range f.predictors {
+		if p.Name() == "" {
+			t.Error("empty predictor name")
+		}
+		if seen[p.Name()] {
+			t.Errorf("duplicate predictor name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestBestPredictorOnAlternatingSeries(t *testing.T) {
+	f := NewForecaster()
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			f.Update(0)
+		} else {
+			f.Update(10)
+		}
+	}
+	// Mean-like predictors (forecasting ~5) must beat last-value (always
+	// off by 10) on the alternating series.
+	if f.BestPredictor() == "last-value" {
+		t.Error("last-value won on alternating series")
+	}
+	if math.Abs(f.Forecast()-5) > 2.6 {
+		t.Errorf("alternating forecast = %v, want near 5", f.Forecast())
+	}
+}

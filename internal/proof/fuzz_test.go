@@ -1,0 +1,64 @@
+package proof
+
+import (
+	"strings"
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+)
+
+// FuzzParse checks the proof parser never panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add("1 -2 0\n0\n")
+	f.Add("d 1 0\nc comment\n-3 0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		lemmas, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be checkable without panicking (the result
+		// itself may be accept or reject).
+		base := gen.RandomKSAT(8, 20, 3, 1)
+		for _, lemma := range lemmas {
+			for _, l := range lemma {
+				if int(l.Var()) >= base.NumVars {
+					return // out of the toy formula's range; skip check
+				}
+			}
+		}
+		_ = Check(base, lemmas)
+	})
+}
+
+// FuzzCheckNeverCertifiesSAT feeds arbitrary lemma streams against a
+// formula known to be satisfiable: no stream may certify UNSAT unless it
+// smuggles in unsound lemmas — which Check must reject.
+func FuzzCheckNeverCertifiesSAT(f *testing.F) {
+	f.Add([]byte{2, 4, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Decode bytes as DIMACS-ish literals over 4 variables, 0 ends a
+		// lemma. The base formula (x1∨x2)∧(x3∨x4) is clearly SAT.
+		base := cnf.NewFormula(4)
+		base.Add(1, 2).Add(3, 4)
+		var lemmas []cnf.Clause
+		var cur cnf.Clause
+		for _, b := range raw {
+			d := int(int8(b)) % 5
+			if d == 0 {
+				lemmas = append(lemmas, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, cnf.LitFromDIMACS(d))
+		}
+		if err := Check(base, lemmas); err == nil {
+			// A "refutation" was accepted: it must genuinely contain an
+			// empty clause RUP-derivable only via unsound lemmas, which is
+			// impossible — every accepted lemma is implied by the base, so
+			// a satisfiable base can never check out.
+			t.Fatalf("satisfiable formula certified UNSAT via lemmas %v", lemmas)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package proof produces and checks RUP (reverse unit propagation)
+// refutation proofs, the verification discipline of zChaff's companion
+// checker zVerify. A CDCL run that answers UNSAT emits its learned clauses
+// in derivation order; each is checkable by a solver-independent rule:
+// asserting the clause's negation and unit-propagating over the original
+// formula plus the previously accepted lemmas must yield a conflict. A
+// proof ends with the empty clause, certifying unsatisfiability.
+//
+// The checker is deliberately simple and independent of internal/solver —
+// counting-based unit propagation with none of the engine's machinery —
+// so it can certify the engine's answers rather than echo its bugs.
+package proof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gridsat/internal/cnf"
+)
+
+// Writer streams a DRUP-style proof: one learned clause per line as
+// DIMACS literals terminated by 0. The final empty clause line is "0".
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Hook returns the function to install as solver.Options.OnLemma.
+func (pw *Writer) Hook() func(cnf.Clause) {
+	return func(c cnf.Clause) { pw.Add(c) }
+}
+
+// Add appends one lemma.
+func (pw *Writer) Add(c cnf.Clause) {
+	if pw.err != nil {
+		return
+	}
+	for _, l := range c {
+		if _, err := pw.w.WriteString(strconv.Itoa(l.DIMACS())); err != nil {
+			pw.err = err
+			return
+		}
+		if err := pw.w.WriteByte(' '); err != nil {
+			pw.err = err
+			return
+		}
+	}
+	if _, err := pw.w.WriteString("0\n"); err != nil {
+		pw.err = err
+		return
+	}
+	pw.n++
+}
+
+// Lemmas returns how many lemmas were written.
+func (pw *Writer) Lemmas() int { return pw.n }
+
+// Flush completes the proof stream.
+func (pw *Writer) Flush() error {
+	if pw.err != nil {
+		return pw.err
+	}
+	return pw.w.Flush()
+}
+
+// Parse reads a DRUP-style lemma stream.
+func Parse(r io.Reader) ([]cnf.Clause, error) {
+	var out []cnf.Clause
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var cur cnf.Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "d ") {
+			continue // deletions are advisory in RUP checking
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("proof: line %d: bad literal %q", line, tok)
+			}
+			if n == 0 {
+				out = append(out, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, cnf.LitFromDIMACS(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// CheckError describes a failed proof check.
+type CheckError struct {
+	// LemmaIndex is the 0-based index of the offending lemma, or -1 for a
+	// structural problem.
+	LemmaIndex int
+	Reason     string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	if e.LemmaIndex < 0 {
+		return "proof: " + e.Reason
+	}
+	return fmt.Sprintf("proof: lemma %d: %s", e.LemmaIndex, e.Reason)
+}
+
+// Check verifies that lemmas form a RUP refutation of f: every lemma is
+// RUP with respect to f plus the preceding lemmas, and some lemma is (or
+// propagates into) the empty clause. Returns nil when f is certified
+// unsatisfiable.
+func Check(f *cnf.Formula, lemmas []cnf.Clause) error {
+	ck := newChecker(f)
+	for i, lemma := range lemmas {
+		if !ck.rup(lemma) {
+			return &CheckError{LemmaIndex: i, Reason: "not implied by reverse unit propagation"}
+		}
+		if len(lemma) == 0 {
+			return nil // explicit empty clause: refutation complete
+		}
+		ck.addClause(lemma)
+	}
+	// No explicit empty clause: accept iff unit propagation alone now
+	// refutes the accumulated set (the engine stops at a level-0 conflict
+	// without emitting an explicit empty clause). Note that once the set
+	// is propagation-refutable, every further lemma is trivially RUP, so
+	// checking once at the end is equivalent to checking after each unit.
+	if ck.topLevelConflict() {
+		return nil
+	}
+	return &CheckError{LemmaIndex: -1, Reason: "proof ends without deriving the empty clause"}
+}
+
+// checker is a minimal counting-based unit propagator over a growing
+// clause set. It is O(clauses) per propagation pass — slow but simple and
+// independent, which is the point.
+type checker struct {
+	nVars   int
+	clauses []cnf.Clause
+	units   []cnf.Lit // accumulated top-level units
+}
+
+func newChecker(f *cnf.Formula) *checker {
+	ck := &checker{nVars: f.NumVars}
+	for _, c := range f.Clauses {
+		ck.addClause(c)
+	}
+	return ck
+}
+
+func (ck *checker) addClause(c cnf.Clause) {
+	cc := c.Clone()
+	ck.clauses = append(ck.clauses, cc)
+	if len(cc) == 1 {
+		ck.units = append(ck.units, cc[0])
+	}
+}
+
+// topLevelConflict reports whether the clause set is refuted by unit
+// propagation alone.
+func (ck *checker) topLevelConflict() bool {
+	a := cnf.NewAssignment(ck.nVars)
+	return !ck.propagate(a)
+}
+
+// rup checks the lemma by asserting its negation and propagating.
+func (ck *checker) rup(lemma cnf.Clause) bool {
+	a := cnf.NewAssignment(ck.nVars)
+	for _, l := range lemma {
+		switch a.LitValue(l) {
+		case cnf.True:
+			// The negation is itself contradictory (lemma is a tautology);
+			// tautologies are trivially implied.
+			return true
+		case cnf.Undef:
+			a.Set(l.Not())
+		}
+	}
+	return !ck.propagate(a)
+}
+
+// propagate runs unit propagation to fixpoint under a; false on conflict.
+func (ck *checker) propagate(a cnf.Assignment) bool {
+	for _, u := range ck.units {
+		switch a.LitValue(u) {
+		case cnf.False:
+			return false
+		case cnf.Undef:
+			a.Set(u)
+		}
+	}
+	for {
+		progress := false
+		for _, c := range ck.clauses {
+			var unit cnf.Lit = cnf.NoLit
+			nUndef := 0
+			sat := false
+			for _, l := range c {
+				switch a.LitValue(l) {
+				case cnf.True:
+					sat = true
+				case cnf.Undef:
+					nUndef++
+					unit = l
+				}
+				if sat || nUndef > 1 {
+					break
+				}
+			}
+			if sat || nUndef > 1 {
+				continue
+			}
+			if nUndef == 0 {
+				return false
+			}
+			a.Set(unit)
+			progress = true
+		}
+		if !progress {
+			return true
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Package simplify is a CNF preprocessor in the SatELite/NiVER tradition:
+// top-level unit propagation, subsumption, self-subsuming resolution
+// (clause strengthening), and bounded variable elimination by resolution.
+// GridSAT-era solvers ran without preprocessing — the engine defaults to
+// the raw formula — but a modern release ships one, so it is provided as
+// an opt-in front end (cmd/zchaff -presimplify).
+//
+// Variable elimination changes the variable set, so satisfying assignments
+// of the simplified formula must be extended back: Simplified.ExtendModel
+// reconstructs values for eliminated variables from the saved clauses, in
+// reverse elimination order.
+package simplify
+
+import (
+	"fmt"
+	"sort"
+
+	"gridsat/internal/cnf"
+)
+
+// Options bounds the preprocessing effort.
+type Options struct {
+	// Rounds caps the simplification fixpoint iterations.
+	Rounds int
+	// MaxElimOccurrences skips elimination of variables occurring more
+	// often than this on either polarity (keeps resolution quadratic
+	// blow-ups away).
+	MaxElimOccurrences int
+	// MaxGrowth allows elimination only when the clause count grows by at
+	// most this many clauses (0 = never grow, the NiVER rule).
+	MaxGrowth int
+	// MaxResolventLen drops eliminations that would create clauses longer
+	// than this (0 = unlimited).
+	MaxResolventLen int
+}
+
+// DefaultOptions returns conservative bounds.
+func DefaultOptions() Options {
+	return Options{
+		Rounds:             5,
+		MaxElimOccurrences: 12,
+		MaxGrowth:          0,
+		MaxResolventLen:    12,
+	}
+}
+
+// Simplified is the preprocessing result.
+type Simplified struct {
+	// F is the simplified formula (same variable numbering; eliminated
+	// variables simply no longer occur).
+	F *cnf.Formula
+	// Unsat is set when preprocessing itself refuted the formula.
+	Unsat bool
+	// Stats summarizes the work done.
+	Stats Stats
+	// elims records eliminated variables with their saved clauses, in
+	// elimination order.
+	elims []elimRecord
+	// units are the top-level facts discovered (already applied to F).
+	units []cnf.Lit
+}
+
+// Stats counts preprocessing effects.
+type Stats struct {
+	Units        int
+	Subsumed     int
+	Strengthened int
+	Eliminated   int
+	Rounds       int
+}
+
+type elimRecord struct {
+	v     cnf.Var
+	saved []cnf.Clause // every clause that contained v at elimination time
+}
+
+// Simplify preprocesses f. The input formula is not modified.
+func Simplify(f *cnf.Formula, opts Options) *Simplified {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 1
+	}
+	st := newState(f)
+	out := &Simplified{}
+	for round := 0; round < opts.Rounds; round++ {
+		out.Stats.Rounds = round + 1
+		changed := false
+		if !st.propagateUnits(&out.Stats) {
+			out.Unsat = true
+			break
+		}
+		if st.subsume(&out.Stats) {
+			changed = true
+		}
+		if st.strengthen(&out.Stats) {
+			changed = true
+		}
+		if !st.propagateUnits(&out.Stats) {
+			out.Unsat = true
+			break
+		}
+		if st.eliminate(opts, &out.Stats, out) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	out.F = st.formula(f.NumVars)
+	out.units = st.unitTrail
+	if !out.Unsat {
+		out.F.Comment = f.Comment
+	}
+	return out
+}
+
+// ExtendModel lifts a model of the simplified formula to the original
+// variable space: unit facts are re-applied and eliminated variables are
+// reconstructed in reverse elimination order.
+func (s *Simplified) ExtendModel(m cnf.Assignment) cnf.Assignment {
+	out := m.Clone()
+	for _, u := range s.units {
+		out.Set(u)
+	}
+	for i := len(s.elims) - 1; i >= 0; i-- {
+		rec := s.elims[i]
+		// Try v = false first; if any saved clause with literal ¬v is not
+		// otherwise satisfied, v must be true (and by the resolution
+		// closure, true then satisfies everything it must).
+		val := cnf.False
+		for _, c := range rec.saved {
+			satisfiedOtherwise := false
+			containsPos := false
+			for _, l := range c {
+				if l.Var() == rec.v {
+					if !l.Neg() {
+						containsPos = true
+					}
+					continue
+				}
+				if out.LitValue(l) == cnf.True {
+					satisfiedOtherwise = true
+					break
+				}
+			}
+			if !satisfiedOtherwise && containsPos {
+				val = cnf.True
+				break
+			}
+		}
+		if val == cnf.True {
+			out.Set(cnf.PosLit(rec.v))
+		} else {
+			out.Set(cnf.NegLit(rec.v))
+		}
+	}
+	return out
+}
+
+// NumEliminated returns how many variables were eliminated.
+func (s *Simplified) NumEliminated() int { return len(s.elims) }
+
+// ---- internal state ----
+
+type state struct {
+	nVars   int
+	clauses []cnf.Clause // nil entries are deleted
+	// occ[lit] lists clause indexes containing lit (lazily cleaned).
+	occ       [][]int
+	assigned  cnf.Assignment
+	unitQueue []cnf.Lit
+	unitTrail []cnf.Lit
+	gone      []bool // eliminated variables
+}
+
+func newState(f *cnf.Formula) *state {
+	st := &state{
+		nVars:    f.NumVars,
+		occ:      make([][]int, 2*f.NumVars),
+		assigned: cnf.NewAssignment(f.NumVars),
+		gone:     make([]bool, f.NumVars),
+	}
+	for _, c := range f.Clauses {
+		norm, taut := c.Clone().Normalize()
+		if taut {
+			continue
+		}
+		st.addClause(norm)
+	}
+	return st
+}
+
+func (st *state) addClause(c cnf.Clause) {
+	if len(c) == 1 {
+		st.unitQueue = append(st.unitQueue, c[0])
+	}
+	idx := len(st.clauses)
+	st.clauses = append(st.clauses, c)
+	for _, l := range c {
+		st.occ[l] = append(st.occ[l], idx)
+	}
+}
+
+func (st *state) removeClause(i int) {
+	st.clauses[i] = nil // occurrence lists are cleaned lazily
+}
+
+// liveOcc returns the live clause indexes containing l, compacting the list.
+func (st *state) liveOcc(l cnf.Lit) []int {
+	list := st.occ[l]
+	w := 0
+	for _, i := range list {
+		if st.clauses[i] != nil && st.clauses[i].Has(l) {
+			list[w] = i
+			w++
+		}
+	}
+	st.occ[l] = list[:w]
+	return st.occ[l]
+}
+
+// propagateUnits applies queued unit facts; false on contradiction.
+func (st *state) propagateUnits(stats *Stats) bool {
+	for len(st.unitQueue) > 0 {
+		u := st.unitQueue[0]
+		st.unitQueue = st.unitQueue[1:]
+		switch st.assigned.LitValue(u) {
+		case cnf.True:
+			continue
+		case cnf.False:
+			return false
+		}
+		st.assigned.Set(u)
+		st.unitTrail = append(st.unitTrail, u)
+		stats.Units++
+		// Clauses with u are satisfied; clauses with ¬u shrink.
+		for _, i := range st.liveOcc(u) {
+			st.removeClause(i)
+		}
+		for _, i := range st.liveOcc(u.Not()) {
+			c := st.clauses[i]
+			shrunk := make(cnf.Clause, 0, len(c)-1)
+			for _, l := range c {
+				if l != u.Not() {
+					shrunk = append(shrunk, l)
+				}
+			}
+			st.removeClause(i)
+			if len(shrunk) == 0 {
+				return false
+			}
+			st.addClause(shrunk)
+		}
+	}
+	return true
+}
+
+// signature is a cheap subsumption filter: a bitmask of variable hashes.
+func signature(c cnf.Clause) uint64 {
+	var s uint64
+	for _, l := range c {
+		s |= 1 << (uint(l.Var()) % 64)
+	}
+	return s
+}
+
+// subsume removes clauses that are supersets of another clause.
+func (st *state) subsume(stats *Stats) bool {
+	changed := false
+	// Order live clause indexes by length so short clauses subsume first.
+	var order []int
+	for i, c := range st.clauses {
+		if c != nil {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return len(st.clauses[order[a]]) < len(st.clauses[order[b]]) })
+	for _, i := range order {
+		c := st.clauses[i]
+		if c == nil {
+			continue
+		}
+		sig := signature(c)
+		// Candidates must contain c's least-occurring literal.
+		pivot := c[0]
+		for _, l := range c[1:] {
+			if len(st.occ[l]) < len(st.occ[pivot]) {
+				pivot = l
+			}
+		}
+		for _, j := range st.liveOcc(pivot) {
+			if j == i || st.clauses[j] == nil {
+				continue
+			}
+			d := st.clauses[j]
+			if len(d) < len(c) || signature(d)&sig != sig {
+				continue
+			}
+			if subset(c, d) {
+				st.removeClause(j)
+				stats.Subsumed++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// subset reports whether every literal of c appears in d.
+func subset(c, d cnf.Clause) bool {
+	for _, l := range c {
+		if !d.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// strengthen performs self-subsuming resolution: when c = (l ∨ A) and
+// d ⊇ (¬l ∨ A), remove ¬l from d.
+func (st *state) strengthen(stats *Stats) bool {
+	changed := false
+	for i, c := range st.clauses {
+		if c == nil {
+			continue
+		}
+		for li, l := range c {
+			// c with l flipped must subsume d.
+			flipped := c.Clone()
+			flipped[li] = l.Not()
+			sig := signature(flipped)
+			for _, j := range st.liveOcc(l.Not()) {
+				if j == i {
+					continue
+				}
+				d := st.clauses[j]
+				if d == nil || len(d) < len(flipped) || signature(d)&sig != sig {
+					continue
+				}
+				if subset(flipped, d) {
+					shrunk := make(cnf.Clause, 0, len(d)-1)
+					for _, x := range d {
+						if x != l.Not() {
+							shrunk = append(shrunk, x)
+						}
+					}
+					st.removeClause(j)
+					if len(shrunk) == 0 {
+						// Strengthened to empty: queue an impossible unit
+						// pair to surface the contradiction.
+						st.addClause(cnf.Clause{l})
+						st.addClause(cnf.Clause{l.Not()})
+					} else {
+						st.addClause(shrunk)
+					}
+					stats.Strengthened++
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// eliminate performs bounded variable elimination by resolution.
+func (st *state) eliminate(opts Options, stats *Stats, out *Simplified) bool {
+	changed := false
+	for v := 0; v < st.nVars; v++ {
+		vv := cnf.Var(v)
+		if st.gone[v] || st.assigned.Value(vv) != cnf.Undef {
+			continue
+		}
+		pos := st.liveOcc(cnf.PosLit(vv))
+		neg := st.liveOcc(cnf.NegLit(vv))
+		if len(pos) == 0 && len(neg) == 0 {
+			continue // pure absence; nothing to do
+		}
+		if len(pos) > opts.MaxElimOccurrences || len(neg) > opts.MaxElimOccurrences {
+			continue
+		}
+		// Build all non-tautological resolvents.
+		var resolvents []cnf.Clause
+		ok := true
+		for _, pi := range pos {
+			for _, ni := range neg {
+				r, taut := resolve(st.clauses[pi], st.clauses[ni], vv)
+				if taut {
+					continue
+				}
+				if opts.MaxResolventLen > 0 && len(r) > opts.MaxResolventLen {
+					ok = false
+					break
+				}
+				resolvents = append(resolvents, r)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok || len(resolvents) > len(pos)+len(neg)+opts.MaxGrowth {
+			continue
+		}
+		// Commit: save the clauses for model reconstruction, remove them,
+		// add the resolvents.
+		rec := elimRecord{v: vv}
+		for _, i := range append(append([]int{}, pos...), neg...) {
+			rec.saved = append(rec.saved, st.clauses[i].Clone())
+			st.removeClause(i)
+		}
+		for _, r := range resolvents {
+			norm, taut := r.Normalize()
+			if !taut {
+				st.addClause(norm)
+			}
+		}
+		st.gone[v] = true
+		out.elims = append(out.elims, rec)
+		stats.Eliminated++
+		changed = true
+	}
+	return changed
+}
+
+// resolve computes the resolvent of c (containing v) and d (containing ¬v);
+// the bool reports a tautological resolvent.
+func resolve(c, d cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	out := make(cnf.Clause, 0, len(c)+len(d)-2)
+	for _, l := range c {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range d {
+		if l.Var() != v && !out.Has(l) {
+			out = append(out, l)
+		}
+	}
+	return out.Normalize()
+}
+
+// formula assembles the live clause set.
+func (st *state) formula(nVars int) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for _, c := range st.clauses {
+		if c != nil {
+			f.AddClause(c.Clone())
+		}
+	}
+	return f
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("units=%d subsumed=%d strengthened=%d eliminated=%d rounds=%d",
+		s.Units, s.Subsumed, s.Strengthened, s.Eliminated, s.Rounds)
+}

@@ -1,0 +1,181 @@
+package simplify
+
+import (
+	"strings"
+	"testing"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/solver"
+)
+
+func TestUnitPropagation(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.Add(1).Add(-1, 2).Add(-2, 3)
+	s := Simplify(f, DefaultOptions())
+	if s.Unsat {
+		t.Fatal("satisfiable formula refuted")
+	}
+	if s.Stats.Units != 3 {
+		t.Fatalf("units = %d, want the whole chain", s.Stats.Units)
+	}
+	if s.F.NumClauses() != 0 {
+		t.Fatalf("%d clauses left after full propagation", s.F.NumClauses())
+	}
+	m := s.ExtendModel(cnf.NewAssignment(3))
+	if err := f.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsatDetected(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.Add(1).Add(-1, 2).Add(-2).Add(2, -1)
+	s := Simplify(f, DefaultOptions())
+	if !s.Unsat {
+		t.Fatal("contradiction missed")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	f := cnf.NewFormula(4)
+	f.Add(1, 2).Add(1, 2, 3).Add(1, 2, 3, 4).Add(3, 4)
+	s := Simplify(f, Options{Rounds: 1, MaxElimOccurrences: 0})
+	if s.Stats.Subsumed < 2 {
+		t.Fatalf("subsumed = %d, want the two supersets gone", s.Stats.Subsumed)
+	}
+	if s.F.NumClauses() != 2 {
+		t.Fatalf("clauses = %d, want 2", s.F.NumClauses())
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (1 2) and (-1 2 3): strengthen the latter to (2 3).
+	f := cnf.NewFormula(3)
+	f.Add(1, 2).Add(-1, 2, 3)
+	s := Simplify(f, Options{Rounds: 1, MaxElimOccurrences: 0})
+	if s.Stats.Strengthened != 1 {
+		t.Fatalf("strengthened = %d, want 1", s.Stats.Strengthened)
+	}
+	found := false
+	for _, c := range s.F.Clauses {
+		if len(c) == 2 && c.Has(cnf.PosLit(1)) && c.Has(cnf.PosLit(2)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strengthened clause (2 3) missing: %v", s.F.Clauses)
+	}
+}
+
+func TestVariableElimination(t *testing.T) {
+	// v (var 2) occurs once positively, once negatively: eliminating it
+	// replaces both clauses with one resolvent.
+	f := cnf.NewFormula(3)
+	f.Add(1, 2).Add(-2, 3)
+	s := Simplify(f, DefaultOptions())
+	if s.NumEliminated() == 0 {
+		t.Fatal("no variables eliminated")
+	}
+	// The models must extend back to the original formula.
+	slv := solver.New(s.F, solver.DefaultOptions())
+	r := slv.Solve(solver.Limits{})
+	if r.Status != solver.StatusSAT {
+		t.Fatalf("simplified formula %v", r.Status)
+	}
+	m := s.ExtendModel(r.Model)
+	if err := f.Verify(m); err != nil {
+		t.Fatalf("extended model invalid: %v", err)
+	}
+}
+
+// TestEquisatisfiableRandom is the core property: for random formulas the
+// simplified instance has the same satisfiability, and SAT models extend
+// to valid original models.
+func TestEquisatisfiableRandom(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		nv := 8 + int(seed%10)
+		f := gen.RandomKSAT(nv, int(4.2*float64(nv)), 3, seed)
+		want, _ := brute.Solve(f, 0)
+
+		s := Simplify(f, DefaultOptions())
+		if s.Unsat {
+			if want != brute.UNSAT {
+				t.Fatalf("seed %d: preprocessor refuted a %v instance", seed, want)
+			}
+			continue
+		}
+		got, model := brute.Solve(s.F, 0)
+		if got != want {
+			t.Fatalf("seed %d: simplified %v, original %v", seed, got, want)
+		}
+		if got == brute.SAT {
+			full := s.ExtendModel(model)
+			if err := f.Verify(full); err != nil {
+				t.Fatalf("seed %d: model extension failed: %v (stats %v)", seed, err, s.Stats)
+			}
+		}
+	}
+}
+
+// TestEquisatisfiableStructured repeats on structured families.
+func TestEquisatisfiableStructured(t *testing.T) {
+	cases := []struct {
+		f    *cnf.Formula
+		want solver.Status
+	}{
+		{gen.Pigeonhole(6), solver.StatusUNSAT},
+		{gen.XORSystem(14, 18, true, 2), solver.StatusSAT},
+		{gen.XORSystem(12, 30, false, 2), solver.StatusUNSAT},
+		{gen.AdderMiter(4), solver.StatusUNSAT},
+		{gen.AdderMiterBug(4), solver.StatusSAT},
+	}
+	for i, tc := range cases {
+		s := Simplify(tc.f, DefaultOptions())
+		if s.Unsat {
+			if tc.want != solver.StatusUNSAT {
+				t.Fatalf("case %d: wrongly refuted", i)
+			}
+			continue
+		}
+		slv := solver.New(s.F, solver.DefaultOptions())
+		r := slv.Solve(solver.Limits{})
+		if r.Status != tc.want {
+			t.Fatalf("case %d: simplified %v, want %v", i, r.Status, tc.want)
+		}
+		if r.Status == solver.StatusSAT {
+			if err := tc.f.Verify(s.ExtendModel(r.Model)); err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestPreprocessingReducesPigeonhole(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := Simplify(f, DefaultOptions())
+	if s.F.NumClauses() > f.NumClauses() {
+		t.Fatalf("preprocessing grew the formula: %d -> %d", f.NumClauses(), s.F.NumClauses())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Units: 1, Subsumed: 2, Strengthened: 3, Eliminated: 4, Rounds: 5}
+	for _, part := range []string{"units=1", "subsumed=2", "strengthened=3", "eliminated=4", "rounds=5"} {
+		if !strings.Contains(s.String(), part) {
+			t.Fatalf("stats string %q missing %q", s.String(), part)
+		}
+	}
+}
+
+func TestOriginalFormulaUntouched(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.Add(1, 2).Add(-2, 3).Add(2)
+	before := f.NumClauses()
+	lit := f.Clauses[0][0]
+	Simplify(f, DefaultOptions())
+	if f.NumClauses() != before || f.Clauses[0][0] != lit {
+		t.Fatal("Simplify mutated its input")
+	}
+}

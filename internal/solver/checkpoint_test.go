@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+)
+
+func TestLightCheckpointRoundtrip(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := New(f, DefaultOptions())
+	s.Solve(Limits{MaxConflicts: 200})
+	cp := s.Checkpoint(LightCheckpoint, 0)
+	if cp.Kind != LightCheckpoint || len(cp.Learnts) != 0 {
+		t.Fatalf("light checkpoint carries learnts: %d", len(cp.Learnts))
+	}
+	restored, err := Restore(f, cp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := restored.Solve(Limits{}); r.Status != StatusUNSAT {
+		t.Fatalf("restored run: %v", r.Status)
+	}
+}
+
+func TestHeavyCheckpointRoundtrip(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := New(f, DefaultOptions())
+	s.Solve(Limits{MaxConflicts: 500})
+	cp := s.Checkpoint(HeavyCheckpoint, 0)
+	if len(cp.Learnts) == 0 {
+		t.Fatal("heavy checkpoint carries no learnts after 500 conflicts")
+	}
+	restored, err := Restore(f, cp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored solver starts with the checkpointed clauses pending.
+	if restored.PendingImports() != len(cp.Learnts) {
+		t.Fatalf("pending imports = %d, want %d", restored.PendingImports(), len(cp.Learnts))
+	}
+	if r := restored.Solve(Limits{}); r.Status != StatusUNSAT {
+		t.Fatalf("restored run: %v", r.Status)
+	}
+}
+
+func TestHeavyCheckpointCap(t *testing.T) {
+	s := New(gen.Pigeonhole(8), DefaultOptions())
+	s.Solve(Limits{MaxConflicts: 500})
+	cp := s.Checkpoint(HeavyCheckpoint, 5)
+	if len(cp.Learnts) > 5 {
+		t.Fatalf("cap ignored: %d learnts", len(cp.Learnts))
+	}
+}
+
+// TestCheckpointPreservesAnswer: restoring from a mid-run checkpoint must
+// reach the same SAT/UNSAT verdict as the oracle on the original formula.
+func TestCheckpointPreservesAnswer(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := gen.RandomKSAT(10, 43, 3, seed)
+		want, _ := brute.Solve(f, 0)
+		s := New(f, DefaultOptions())
+		s.Solve(Limits{MaxConflicts: 3})
+		if s.Status() != StatusUnknown {
+			continue
+		}
+		for _, kind := range []CheckpointKind{LightCheckpoint, HeavyCheckpoint} {
+			cp := s.Checkpoint(kind, 0)
+			restored, err := Restore(f, cp, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := restored.Solve(Limits{})
+			if (r.Status == StatusSAT) != (want == brute.SAT) {
+				t.Fatalf("seed %d kind %d: restored=%v brute=%v", seed, kind, r.Status, want)
+			}
+			if r.Status == StatusSAT {
+				if err := f.Verify(r.Model); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointAfterSplitPreservesHalf: a checkpoint taken after a split
+// must restore the donor's committed half, not the whole problem.
+func TestCheckpointAfterSplitRestoresDonorHalf(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := New(f, DefaultOptions())
+	s.Solve(Limits{MaxConflicts: 10})
+	if s.Status() != StatusUnknown || s.DecisionLevel() == 0 {
+		t.Skip("finished before split")
+	}
+	sub, err := s.Split(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitLit := sub.Assumptions[len(sub.Assumptions)-1]
+	cp := s.Checkpoint(LightCheckpoint, 0)
+	restored, err := Restore(f, cp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Donor committed to the complement of the recipient's split literal.
+	if restored.assigns.LitValue(splitLit) != cnf.False {
+		t.Fatal("restored donor lost its committed split assignment")
+	}
+}
+
+func TestRestoreMismatch(t *testing.T) {
+	cp := &Checkpoint{NumVars: 3}
+	if _, err := Restore(cnf.NewFormula(5), cp, DefaultOptions()); err == nil {
+		t.Fatal("mismatched restore accepted")
+	}
+}
+
+func TestCheckpointSaveLoadRoundtrip(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := New(f, DefaultOptions())
+	s.Solve(Limits{MaxConflicts: 300})
+	cp := s.Checkpoint(HeavyCheckpoint, 50)
+
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVars != cp.NumVars || len(got.Level0) != len(cp.Level0) || len(got.Learnts) != len(cp.Learnts) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, cp)
+	}
+	restored, err := Restore(f, got, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := restored.Solve(Limits{}); r.Status != StatusUNSAT {
+		t.Fatalf("restored-from-disk run: %v", r.Status)
+	}
+}
+
+func TestLoadCheckpointGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/solver"
+)
+
+// ExampleSolver demonstrates the basic solve loop on a small formula.
+func ExampleSolver() {
+	f := cnf.NewFormula(3)
+	f.Add(1, 2).Add(-1, 3).Add(-2, -3)
+
+	s := solver.New(f, solver.DefaultOptions())
+	res := s.Solve(solver.Limits{})
+	fmt.Println(res.Status)
+	fmt.Println(f.Verify(res.Model) == nil)
+	// Output:
+	// SAT
+	// true
+}
+
+// ExampleSolver_Assume shows guiding-path assumptions: the mechanism a
+// GridSAT split recipient uses to adopt its half of the search space.
+func ExampleSolver_Assume() {
+	f := cnf.NewFormula(2)
+	f.Add(1, 2)
+
+	s := solver.New(f, solver.DefaultOptions())
+	_ = s.Assume(cnf.NegLit(0)) // x1 = false, permanently
+	res := s.Solve(solver.Limits{})
+	fmt.Println(res.Status, res.Model.Value(1))
+	// Output:
+	// SAT true
+}
+
+// ExampleSolver_Split demonstrates the paper's Figure-2 transformation:
+// the donor commits to its first decision and emits the complementary
+// subproblem for another client.
+func ExampleSolver_Split() {
+	f := gen.Pigeonhole(7) // hard enough to pause mid-search
+
+	donor := solver.New(f, solver.DefaultOptions())
+	donor.Solve(solver.Limits{MaxConflicts: 5}) // run briefly
+	if donor.Status() != solver.StatusUnknown || donor.DecisionLevel() == 0 {
+		fmt.Println("solved before splitting")
+		return
+	}
+	sub, err := donor.Split(10, 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	recipient, _ := solver.NewFromSubproblem(f, sub, solver.DefaultOptions())
+	a := donor.Solve(solver.Limits{})
+	b := recipient.Solve(solver.Limits{})
+	// The halves partition the search space; the pigeonhole principle is
+	// unsatisfiable, so both halves are refuted.
+	fmt.Println(a.Status, b.Status)
+	// Output:
+	// UNSAT UNSAT
+}

@@ -1,0 +1,104 @@
+package solver
+
+import "gridsat/internal/cnf"
+
+// litHeap is a binary max-heap over literals keyed by VSIDS activity, with
+// a position index for O(log n) increase-key. Chaff picks the unassigned
+// literal with the highest counter; assigned literals are filtered lazily
+// by the caller and re-pushed on backtrack.
+type litHeap struct {
+	act  *[]float64
+	data []cnf.Lit
+	pos  []int32 // position of each literal in data, -1 if absent
+}
+
+func newLitHeap(act *[]float64) litHeap {
+	n := len(*act)
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return litHeap{act: act, pos: pos}
+}
+
+func (h *litHeap) less(i, j int) bool {
+	a := *h.act
+	ai, aj := a[h.data[i]], a[h.data[j]]
+	if ai != aj {
+		return ai < aj
+	}
+	// Deterministic tie-break: lower literal wins (max-heap keeps it lower).
+	return h.data[i] > h.data[j]
+}
+
+func (h *litHeap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = int32(i)
+	h.pos[h.data[j]] = int32(j)
+}
+
+func (h *litHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(parent, i) {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *litHeap) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.less(largest, l) {
+			largest = l
+		}
+		if r < n && h.less(largest, r) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+// push inserts l if absent; no-op when already present.
+func (h *litHeap) push(l cnf.Lit) {
+	if h.pos[l] >= 0 {
+		return
+	}
+	h.data = append(h.data, l)
+	h.pos[l] = int32(len(h.data) - 1)
+	h.up(len(h.data) - 1)
+}
+
+// update restores heap order after l's activity increased.
+func (h *litHeap) update(l cnf.Lit) {
+	if p := h.pos[l]; p >= 0 {
+		h.up(int(p))
+	}
+}
+
+// popMax removes and returns the highest-activity literal.
+func (h *litHeap) popMax() (cnf.Lit, bool) {
+	if len(h.data) == 0 {
+		return cnf.NoLit, false
+	}
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// size returns the number of literals currently in the heap.
+func (h *litHeap) size() int { return len(h.data) }

@@ -1,0 +1,162 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"gridsat/internal/cnf"
+)
+
+// ImportClause queues a clause learned by another GridSAT client for merge
+// into this solver's database. Safe to call from any goroutine while Solve
+// runs. Per the paper (§3.2), imported clauses are merged in batches only
+// when the search is back at the first decision level.
+func (s *Solver) ImportClause(c cnf.Clause) error {
+	return s.importOne(c, false)
+}
+
+// ImportClauses queues a batch of globally valid clauses; see ImportClause.
+func (s *Solver) ImportClauses(cs []cnf.Clause) error {
+	for _, c := range cs {
+		if err := s.importOne(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportClausesLocal queues clauses that are valid only under this
+// solver's guiding-path assumptions — the learned clauses forwarded inside
+// a split payload or restored from a checkpoint. They are merged like
+// shared clauses but marked local so they are never re-exported.
+func (s *Solver) ImportClausesLocal(cs []cnf.Clause) error {
+	for _, c := range cs {
+		if err := s.importOne(c, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Solver) importOne(c cnf.Clause, local bool) error {
+	for _, l := range c {
+		if int(l.Var()) >= s.nVars {
+			return fmt.Errorf("solver: imported literal %v out of range", l)
+		}
+	}
+	s.importMu.Lock()
+	s.importBuf = append(s.importBuf, pendingImport{clause: c.Clone(), local: local})
+	s.importMu.Unlock()
+	return nil
+}
+
+// PendingImports returns the number of clauses waiting to be merged.
+func (s *Solver) PendingImports() int {
+	s.importMu.Lock()
+	defer s.importMu.Unlock()
+	return len(s.importBuf)
+}
+
+func (s *Solver) hasImports() bool { return s.PendingImports() > 0 }
+
+// needMergeRestart reports whether the import buffer has waited long enough
+// that the solver should force a restart to merge it (Options.
+// ImportMergeConflicts). Without this, a client deep in its search would
+// never benefit from clauses its peers share.
+func (s *Solver) needMergeRestart() bool {
+	return s.opts.ImportMergeConflicts > 0 &&
+		s.importWaitConflicts >= s.opts.ImportMergeConflicts &&
+		s.hasImports()
+}
+
+// mergeImports merges the queued clauses into the database. It implements
+// the paper's four cases: a clause that is all-false yields a level-0
+// conflict (subproblem UNSAT: returns false); one unknown literal yields an
+// implication; two or more unknowns adds the clause; an already-satisfied
+// clause is discarded. Must be called at decision level 0.
+// pendingImport is one queued clause with its validity scope.
+type pendingImport struct {
+	clause cnf.Clause
+	local  bool
+}
+
+func (s *Solver) mergeImports() bool {
+	s.importMu.Lock()
+	batch := s.importBuf
+	s.importBuf = nil
+	s.importMu.Unlock()
+	if len(batch) == 0 {
+		return true
+	}
+	s.importWaitConflicts = 0
+	for _, raw := range batch {
+		norm, taut := raw.clause.Normalize()
+		if taut {
+			continue
+		}
+		s.stats.Imported++
+		if !s.mergeOne(norm, raw.local) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeOne merges a single normalized clause at level 0.
+func (s *Solver) mergeOne(c cnf.Clause, local bool) bool {
+	// Partition: true literals (satisfied => discard), unknown, false.
+	nTrue, nUndef := 0, 0
+	for _, l := range c {
+		switch s.assigns.LitValue(l) {
+		case cnf.True:
+			nTrue++
+		case cnf.Undef:
+			nUndef++
+		}
+	}
+	if nTrue > 0 {
+		return true // case 4: satisfied at level 0, prunes nothing — discard
+	}
+	switch nUndef {
+	case 0:
+		return false // case 3: all false — the subproblem is unsatisfiable
+	case 1:
+		// Case 1: implication at level 0. The implied assignment depends
+		// on the clause's validity and on the falsifying assignments, so
+		// taint it when any of those are assumption-dependent.
+		taint := local
+		if !taint {
+			for _, l := range c {
+				if s.tainted[l.Var()] {
+					taint = true
+					break
+				}
+			}
+		}
+		for _, l := range c {
+			if s.assigns.LitValue(l) == cnf.Undef {
+				s.uncheckedEnqueue(l, nil)
+				if taint {
+					s.taint(l.Var())
+				}
+				break
+			}
+		}
+		return true
+	}
+	// Case 2: add to the learned database. Order unknown literals first so
+	// the watched positions are valid.
+	sorted := c.Clone()
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return s.assigns.LitValue(sorted[i]) == cnf.Undef && s.assigns.LitValue(sorted[j]) != cnf.Undef
+	})
+	cl := &clause{lits: sorted, learnt: true, act: s.actInc, local: local}
+	s.learnts = append(s.learnts, cl)
+	s.attach(cl)
+	atomic.AddInt64(&s.litsStored, int64(len(sorted)))
+	for _, l := range sorted {
+		s.bump(l)
+	}
+	return true
+}

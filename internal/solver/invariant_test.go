@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+)
+
+// checkInvariants validates the engine's core data-structure invariants at
+// a quiescent point (between Solve calls):
+//
+//  1. trail assignments and the assignment array agree;
+//  2. decision-level boundaries are monotone and levels consistent;
+//  3. no live clause is falsified without the solver having noticed
+//     (qhead caught up means no all-false clause may exist unless the
+//     instance is already decided);
+//  4. every literal watched by a live clause indexes a sane watcher list.
+func checkInvariants(t *testing.T, s *Solver) {
+	t.Helper()
+	// (1) + (2)
+	seenVars := map[cnf.Var]bool{}
+	for i, l := range s.trail {
+		v := l.Var()
+		if seenVars[v] {
+			t.Fatalf("trail[%d]: variable %d assigned twice", i, v.DIMACS())
+		}
+		seenVars[v] = true
+		if s.assigns.LitValue(l) != cnf.True {
+			t.Fatalf("trail[%d]: literal %v not true in assigns", i, l)
+		}
+		lvl := 0
+		for _, lim := range s.trailLim {
+			if i >= lim {
+				lvl++
+			}
+		}
+		if int(s.level[v]) != lvl {
+			t.Fatalf("trail[%d]: stored level %d, positional level %d", i, s.level[v], lvl)
+		}
+	}
+	for v := 0; v < s.nVars; v++ {
+		if s.assigns[v] != cnf.Undef && !seenVars[cnf.Var(v)] {
+			t.Fatalf("variable %d assigned but absent from trail", v+1)
+		}
+	}
+	for i := 1; i < len(s.trailLim); i++ {
+		if s.trailLim[i-1] > s.trailLim[i] {
+			t.Fatalf("trailLim not monotone: %v", s.trailLim)
+		}
+	}
+	// (3)
+	if s.qhead == len(s.trail) && s.status == StatusUnknown {
+		for _, c := range append(append([]*clause{}, s.clauses...), s.learnts...) {
+			if c.deleted {
+				continue
+			}
+			falsified := true
+			for _, l := range c.lits {
+				if s.assigns.LitValue(l) != cnf.False {
+					falsified = false
+					break
+				}
+			}
+			if falsified {
+				t.Fatalf("undetected falsified clause %v", cnf.Clause(c.lits))
+			}
+		}
+	}
+	// (4) every live clause's two watch positions appear in watch lists.
+	inList := func(l cnf.Lit, c *clause) bool {
+		for _, w := range s.watches[l.Not()] {
+			if w.c == c {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range append(append([]*clause{}, s.clauses...), s.learnts...) {
+		if c.deleted || len(c.lits) < 2 {
+			continue
+		}
+		if !inList(c.lits[0], c) || !inList(c.lits[1], c) {
+			t.Fatalf("clause %v lost a watcher", cnf.Clause(c.lits))
+		}
+	}
+}
+
+// TestInvariantsAcrossRandomRuns pauses random solves at random points and
+// validates the structural invariants each time.
+func TestInvariantsAcrossRandomRuns(t *testing.T) {
+	prop := func(seedRaw uint16, budgetRaw uint8) bool {
+		seed := int64(seedRaw)
+		f := gen.RandomKSAT(25+int(seed%20), int(4.26*float64(25+seed%20)), 3, seed)
+		s := New(f, DefaultOptions())
+		for round := 0; round < 4; round++ {
+			s.Solve(Limits{MaxConflicts: 1 + int64(budgetRaw)%64})
+			checkInvariants(t, s)
+			if s.Status() != StatusUnknown {
+				break
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvariantsSurviveSplitAndImport validates invariants through the
+// distributed operations: splits, local imports and shared imports.
+func TestInvariantsSurviveSplitAndImport(t *testing.T) {
+	f := gen.Pigeonhole(8)
+	s := New(f, DefaultOptions())
+	for round := 0; round < 6; round++ {
+		s.Solve(Limits{MaxConflicts: 60})
+		checkInvariants(t, s)
+		if s.Status() != StatusUnknown {
+			break
+		}
+		if s.DecisionLevel() > 0 && round%2 == 0 {
+			if _, err := s.Split(10, 50); err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, s)
+		}
+		if err := s.ImportClause(cnf.NewClause(1, 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ImportClausesLocal([]cnf.Clause{cnf.NewClause(-4, 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInvariantsWithMinimization repeats the random-run check with
+// clause minimization enabled.
+func TestInvariantsWithMinimization(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinimizeLearnts = true
+	for seed := int64(0); seed < 15; seed++ {
+		f := gen.RandomKSAT(30, 128, 3, seed)
+		s := New(f, opts)
+		for round := 0; round < 3; round++ {
+			s.Solve(Limits{MaxConflicts: 40})
+			checkInvariants(t, s)
+			if s.Status() != StatusUnknown {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package solver
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"gridsat/internal/cnf"
+)
+
+// simplify removes clauses satisfied by level-0 assignments and strips
+// level-0-false literals from the rest — the paper's §3.1 pruning of
+// "inconsequential" clauses, which it also backports to the sequential
+// baseline. Must be called at decision level 0 with propagation complete.
+func (s *Solver) simplify() {
+	if s.DecisionLevel() != 0 || s.qhead != len(s.trail) {
+		return
+	}
+	if len(s.trail) == s.lastSimplifyTrail {
+		return // nothing new at level 0 since the last pass
+	}
+	s.lastSimplifyTrail = len(s.trail)
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+}
+
+func (s *Solver) simplifyList(list []*clause) []*clause {
+	kept := list[:0]
+	for _, c := range list {
+		if c.deleted {
+			continue
+		}
+		if s.satisfiedAtLevel0(c) {
+			s.detach(c)
+			s.stats.Simplified++
+			continue
+		}
+		// Strip false literals from non-watched positions. After full
+		// level-0 propagation the two watched literals of an unsatisfied
+		// clause are never false, so watches stay valid.
+		w := 2
+		for r := 2; r < len(c.lits); r++ {
+			if s.assigns.LitValue(c.lits[r]) == cnf.False {
+				if s.tainted[c.lits[r].Var()] {
+					// Strengthening by an assumption-dependent assignment
+					// restricts the clause to this guiding path.
+					c.local = true
+				}
+				atomic.AddInt64(&s.litsStored, -1)
+				continue
+			}
+			c.lits[w] = c.lits[r]
+			w++
+		}
+		c.lits = c.lits[:w]
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// satisfiedAtLevel0 reports whether some literal of c is true at level 0.
+func (s *Solver) satisfiedAtLevel0(c *clause) bool {
+	for _, l := range c.lits {
+		if s.assigns.LitValue(l) == cnf.True && s.level[l.Var()] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reduceDB halves the learned-clause database, keeping high-activity and
+// short clauses plus any clause that is currently a reason ("locked").
+// Mirrors the paper's observation (§4.2) that antecedent clauses must be
+// retained while inactive learned clauses can be discarded under memory
+// pressure.
+func (s *Solver) reduceDB() {
+	live := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !c.deleted {
+			live = append(live, c)
+		}
+	}
+	s.learnts = live
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].act < s.learnts[j].act
+	})
+	target := len(s.learnts) / 2
+	removed := 0
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if removed < target && len(c.lits) > 2 && !s.locked(c) {
+			s.detach(c)
+			s.stats.Deleted++
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+	s.maxLearnts = s.maxLearnts + s.maxLearnts/5
+}
+
+// ShedMemory aggressively halves the learned-clause database. GridSAT
+// clients call it when the memory budget is hit while waiting for a split,
+// mirroring the paper's §4.2 observation that a memory-starved solver must
+// discard inactive learned clauses to keep making (degraded) progress.
+func (s *Solver) ShedMemory() { s.reduceDB() }
+
+// locked reports whether c is the antecedent of a current assignment.
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.reason[v] == c && s.assigns.LitValue(c.lits[0]) == cnf.True
+}

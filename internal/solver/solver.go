@@ -1,0 +1,995 @@
+// Package solver implements the zChaff-style CDCL engine at the core of
+// GridSAT, exactly as the paper describes it (§2): DPLL search with
+// two-watched-literal Boolean constraint propagation, VSIDS decision
+// heuristics (per-literal decaying counters), FirstUIP conflict analysis
+// with clause learning, and non-chronological backjumping.
+//
+// On top of the sequential engine the package provides the hooks GridSAT's
+// distributed layer needs (§3): level-0 clause pruning, export of short
+// learned clauses, batched import of clauses from other clients (merged
+// only when the solver is back at the first decision level), the Figure-2
+// search-space split, run limits (conflicts, propagations, wall time,
+// memory budget), and light/heavy checkpoints (§3.4).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridsat/internal/cnf"
+)
+
+// Status is the satisfiability status of a (sub)problem.
+type Status int
+
+// Solve statuses.
+const (
+	StatusUnknown Status = iota // not yet determined
+	StatusSAT
+	StatusUNSAT
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusSAT:
+		return "SAT"
+	case StatusUNSAT:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// StopReason explains why Solve returned.
+type StopReason int
+
+// Reasons Solve can return.
+const (
+	ReasonSolved        StopReason = iota // Status is SAT or UNSAT
+	ReasonConflictLimit                   // Limits.MaxConflicts reached
+	ReasonPropLimit                       // Limits.MaxPropagations reached
+	ReasonTimeout                         // Limits.MaxTime elapsed
+	ReasonMemLimit                        // Limits.MaxMemoryBytes exceeded
+	ReasonStopped                         // Stop() was called
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonSolved:
+		return "solved"
+	case ReasonConflictLimit:
+		return "conflict-limit"
+	case ReasonPropLimit:
+		return "propagation-limit"
+	case ReasonTimeout:
+		return "timeout"
+	case ReasonMemLimit:
+		return "memory-limit"
+	case ReasonStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	Reason StopReason
+	// Model holds a satisfying assignment when Status is StatusSAT.
+	Model cnf.Assignment
+}
+
+// Limits bounds a Solve call. Zero fields mean "unlimited".
+type Limits struct {
+	MaxConflicts    int64
+	MaxPropagations int64
+	MaxTime         time.Duration
+	// MaxMemoryBytes bounds the solver's estimated clause-database size —
+	// the budget a GridSAT client derives from its host's free memory
+	// (the paper's 60%-of-free-memory rule).
+	MaxMemoryBytes int64
+}
+
+// Options configures the engine. The zero value is usable; DefaultOptions
+// supplies the tuning the benchmarks use.
+type Options struct {
+	// DecayInterval is the number of conflicts between VSIDS decays
+	// (Chaff divides all literal counters by 2 periodically).
+	DecayInterval int
+	// RestartBase is the base of the Luby restart sequence in conflicts;
+	// 0 disables restarts.
+	RestartBase int
+	// ShareMaxLen is the maximum length of learned clauses passed to
+	// OnLearn for distribution to other clients (the paper uses 10 and 3).
+	// 0 disables sharing.
+	ShareMaxLen int
+	// OnLearn, when set, receives a copy of every learned clause of length
+	// at most ShareMaxLen. Called on the solving goroutine.
+	OnLearn func(cnf.Clause)
+	// PruneLevel0 enables removal of clauses satisfied at decision level 0
+	// (the paper's "inconsequential clause" pruning, §3.1). The paper also
+	// backports this to its sequential baseline; it defaults to on.
+	PruneLevel0 bool
+	// ImportMergeConflicts forces a restart to merge imported clauses when
+	// the import buffer has been non-empty for this many conflicts.
+	// 0 means imports merge only when search naturally reaches level 0.
+	ImportMergeConflicts int
+	// MaxLearnts is the initial learned-clause cap before database
+	// reduction; 0 derives it from the problem size.
+	MaxLearnts int
+	// MinimizeLearnts enables recursive learned-clause minimization, a
+	// post-Chaff refinement (the 2003 engine did not minimize). Off by
+	// default for fidelity; the ablation benchmark quantifies its effect.
+	MinimizeLearnts bool
+	// PhaseSaving makes decisions reuse the variable's last assigned
+	// polarity (progress saving, another post-Chaff refinement). Off by
+	// default for 2003 fidelity.
+	PhaseSaving bool
+	// Seed randomizes VSIDS tie-breaking slightly. Same seed, same run.
+	Seed int64
+	// DecisionOverride, when non-nil, is consulted before VSIDS on each
+	// decision; returning cnf.NoLit falls through to VSIDS. Used by tests
+	// to replay the paper's worked examples.
+	DecisionOverride func(s *Solver) cnf.Lit
+	// Instrument, when non-nil, receives low-level engine events
+	// (decisions, conflicts, learned clauses, restarts, splits). The paper
+	// ran its experiments with instrumentation disabled, noting it can
+	// cost up to 50%; leave nil for production runs.
+	Instrument func(Event)
+	// OnLemma, when non-nil, receives every learned clause in derivation
+	// order for RUP/DRUP proof logging (see internal/proof). zChaff's
+	// companion zVerify checked such traces; the same discipline lets an
+	// independent checker certify this engine's UNSAT answers. Sequential
+	// runs only: imported clauses from other clients would break the local
+	// derivation order.
+	OnLemma func(cnf.Clause)
+}
+
+// EventKind tags an instrumentation event.
+type EventKind int
+
+// Instrumentation event kinds.
+const (
+	EvDecision EventKind = iota
+	EvConflict
+	EvLearn
+	EvRestart
+	EvSplit
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvDecision:
+		return "decision"
+	case EvConflict:
+		return "conflict"
+	case EvLearn:
+		return "learn"
+	case EvRestart:
+		return "restart"
+	case EvSplit:
+		return "split"
+	}
+	return "unknown"
+}
+
+// Event is one instrumentation record.
+type Event struct {
+	Kind EventKind
+	// Lit is the decision or asserting literal, when applicable.
+	Lit cnf.Lit
+	// Level is the decision level at the event.
+	Level int
+	// ClauseLen is the learned-clause length for EvLearn.
+	ClauseLen int
+}
+
+// DefaultOptions returns the tuning used throughout the benchmarks.
+func DefaultOptions() Options {
+	return Options{
+		DecayInterval:        256,
+		RestartBase:          512,
+		PruneLevel0:          true,
+		ImportMergeConflicts: 2048,
+	}
+}
+
+// clause is the internal clause representation. lits[0] and lits[1] are the
+// watched literals.
+type clause struct {
+	lits   []cnf.Lit
+	act    float64
+	learnt bool
+	// local marks clauses valid only under this solver's guiding-path
+	// assumptions (paper §3.2: removing known assignments "might make
+	// learned clauses only valid for the current client"). Local clauses
+	// are used freely here and may be forwarded inside splits (the
+	// recipient inherits a superset of our assumptions), but are never
+	// shared globally.
+	local   bool
+	deleted bool
+}
+
+type watcher struct {
+	c *clause
+	// blocker is some other literal of the clause; if it is already true
+	// the clause is satisfied and need not be inspected.
+	blocker cnf.Lit
+}
+
+// Solver is a single CDCL engine instance. It is not safe for concurrent
+// use except for Stop, ImportClause, ImportClauses, and the read-only
+// stats/memory accessors, which may be called from other goroutines.
+type Solver struct {
+	opts Options
+
+	nVars   int
+	clauses []*clause // problem clauses (and imported non-learnt merges)
+	learnts []*clause
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  cnf.Assignment
+	level    []int32
+	reason   []*clause
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	// VSIDS: per-literal activities with a max-heap (lazy removal).
+	activity []float64
+	heap     litHeap
+	actInc   float64
+
+	maxLearnts  int
+	litsStored  int64 // atomic: approximate literal count in the DB
+	lastLearnt  cnf.Clause
+	model       cnf.Assignment
+	status      Status
+	emptyClause bool // an empty clause was added: trivially UNSAT
+
+	// Shared-clause import buffer (paper §3.2): merged at level 0.
+	importMu  sync.Mutex
+	importBuf []pendingImport
+
+	stop atomic.Bool
+
+	rng   *rand.Rand
+	stats Stats
+
+	conflictsSinceRestart int
+	restartCount          int
+	importWaitConflicts   int
+	lastSimplifyTrail     int
+	seen                  []bool // scratch for analyze
+	// tainted[v] marks variables whose current assignment depends on the
+	// guiding-path assumptions rather than the base formula alone.
+	tainted    []bool
+	numTainted int
+	// savedPhase remembers each variable's last polarity for PhaseSaving.
+	savedPhase []cnf.LBool
+}
+
+// New builds a solver over f's clauses with the given options.
+// The formula is copied; the solver never mutates f.
+func New(f *cnf.Formula, opts Options) *Solver {
+	s := &Solver{
+		opts:     opts,
+		nVars:    f.NumVars,
+		assigns:  cnf.NewAssignment(f.NumVars),
+		level:    make([]int32, f.NumVars),
+		reason:   make([]*clause, f.NumVars),
+		watches:  make([][]watcher, 2*f.NumVars),
+		activity: make([]float64, 2*f.NumVars),
+		actInc:   1,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		seen:     make([]bool, f.NumVars),
+		tainted:  make([]bool, f.NumVars),
+	}
+	if opts.PhaseSaving {
+		s.savedPhase = make([]cnf.LBool, f.NumVars)
+	}
+	s.heap = newLitHeap(&s.activity)
+	for _, c := range f.Clauses {
+		s.addProblemClause(c)
+	}
+	if opts.MaxLearnts > 0 {
+		s.maxLearnts = opts.MaxLearnts
+	} else {
+		s.maxLearnts = len(s.clauses)/3 + 2000
+	}
+	// Seed VSIDS: Chaff initializes counters from occurrences in the
+	// initial clause database.
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			s.activity[l]++
+		}
+	}
+	for l := 0; l < 2*s.nVars; l++ {
+		s.heap.push(cnf.Lit(l))
+	}
+	return s
+}
+
+// addProblemClause normalizes and installs an original clause.
+func (s *Solver) addProblemClause(c cnf.Clause) {
+	norm, taut := c.Clone().Normalize()
+	if taut {
+		return
+	}
+	switch len(norm) {
+	case 0:
+		s.emptyClause = true
+		s.status = StatusUNSAT
+		return
+	case 1:
+		// Unit problem clause: a level-0 fact (the paper's example puts
+		// V14 from clause 9 at level 0). Conflicts surface in Solve.
+		s.pendingUnit(norm[0])
+		return
+	}
+	cl := &clause{lits: norm}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	atomic.AddInt64(&s.litsStored, int64(len(norm)))
+}
+
+// pendingUnit enqueues a level-0 fact; contradictions mark UNSAT.
+func (s *Solver) pendingUnit(l cnf.Lit) {
+	switch s.assigns.LitValue(l) {
+	case cnf.True:
+		return
+	case cnf.False:
+		s.status = StatusUNSAT
+		return
+	}
+	s.uncheckedEnqueue(l, nil)
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+}
+
+// detach is lazy: the clause is flagged and watchers drop it when visited.
+func (s *Solver) detach(c *clause) {
+	c.deleted = true
+	atomic.AddInt64(&s.litsStored, -int64(len(c.lits)))
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// DecisionLevel returns the current decision level (0 = no decisions).
+func (s *Solver) DecisionLevel() int { return len(s.trailLim) }
+
+// Value returns the current value of v.
+func (s *Solver) Value(v cnf.Var) cnf.LBool { return s.assigns.Value(v) }
+
+// LevelOf returns the decision level at which v was assigned; meaningless
+// for unassigned variables.
+func (s *Solver) LevelOf(v cnf.Var) int { return int(s.level[v]) }
+
+// Status returns the determined status, if any.
+func (s *Solver) Status() Status { return s.status }
+
+// Model returns the satisfying assignment found by a SAT result.
+func (s *Solver) Model() cnf.Assignment { return s.model.Clone() }
+
+// LastLearnt returns a copy of the most recently learned clause.
+func (s *Solver) LastLearnt() cnf.Clause { return s.lastLearnt.Clone() }
+
+// NumLearnts returns the live learned-clause count.
+func (s *Solver) NumLearnts() int {
+	n := 0
+	for _, c := range s.learnts {
+		if !c.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryBytes estimates the clause database footprint in bytes. GridSAT
+// clients compare it against their host memory budget to decide when to
+// request a split (paper §3.3). Safe to call concurrently with Solve.
+func (s *Solver) MemoryBytes() int64 {
+	lits := atomic.LoadInt64(&s.litsStored)
+	return lits*4 + int64(s.nVars)*40
+}
+
+// Stop asynchronously interrupts a running Solve; it returns with
+// ReasonStopped at the next decision boundary. Safe from any goroutine.
+func (s *Solver) Stop() { s.stop.Store(true) }
+
+// SetOnLearn replaces the learned-clause export callback. Must only be
+// called while Solve is not running (e.g. between work slices).
+func (s *Solver) SetOnLearn(fn func(cnf.Clause)) { s.opts.OnLearn = fn }
+
+// Assume enqueues assumption literals at decision level 0 — the mechanism
+// by which a split recipient adopts its subproblem's guiding assignments.
+// It must be called before Solve. A conflicting assumption set marks the
+// subproblem UNSAT.
+func (s *Solver) Assume(lits ...cnf.Lit) error {
+	if s.DecisionLevel() != 0 {
+		return errors.New("solver: Assume requires decision level 0")
+	}
+	for _, l := range lits {
+		if int(l.Var()) >= s.nVars {
+			return fmt.Errorf("solver: assumption %v out of range", l)
+		}
+		switch s.assigns.LitValue(l) {
+		case cnf.True:
+			continue
+		case cnf.False:
+			s.status = StatusUNSAT
+			return nil
+		}
+		s.taint(l.Var())
+		s.uncheckedEnqueue(l, nil)
+	}
+	return nil
+}
+
+// taint marks v's assignment as assumption-dependent.
+func (s *Solver) taint(v cnf.Var) {
+	if !s.tainted[v] {
+		s.tainted[v] = true
+		s.numTainted++
+	}
+}
+
+// Level0Lits returns the literals currently fixed at decision level 0 —
+// the content of a light checkpoint and the assignment prefix shipped in a
+// split message.
+func (s *Solver) Level0Lits() []cnf.Lit {
+	end := len(s.trail)
+	if len(s.trailLim) > 0 {
+		end = s.trailLim[0]
+	}
+	out := make([]cnf.Lit, end)
+	copy(out, s.trail[:end])
+	return out
+}
+
+// uncheckedEnqueue records a new assignment with its antecedent clause.
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+	s.assigns.Set(l)
+	s.level[l.Var()] = int32(s.DecisionLevel())
+	s.reason[l.Var()] = from
+	s.trail = append(s.trail, l)
+	// Taint flows through implications: an assignment forced by a local
+	// clause, or by any clause containing a tainted literal, itself
+	// depends on the assumptions. Skipped entirely while no taint exists,
+	// so the sequential baseline pays nothing.
+	if from != nil && (s.numTainted > 0 || from.local) {
+		if from.local {
+			s.taint(l.Var())
+			return
+		}
+		for _, q := range from.lits {
+			if s.tainted[q.Var()] {
+				s.taint(l.Var())
+				return
+			}
+		}
+	}
+}
+
+// propagate runs BCP over the watch lists; it returns the conflicting
+// clause or nil. This is the >90%-of-runtime hot path the paper describes.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; visit watchers of p's complement
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue // lazily drop watchers of deleted clauses
+			}
+			if s.assigns.LitValue(w.blocker) == cnf.True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			falseLit := p.Not()
+			// Ensure the false literal is at lits[1].
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.assigns.LitValue(first) == cnf.True {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.assigns.LitValue(c.lits[k]) != cnf.False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting on first.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.assigns.LitValue(first) == cnf.False {
+				// Conflict: keep remaining watchers and bail out.
+				for i++; i < len(ws); i++ {
+					if !ws[i].c.deleted {
+						kept = append(kept, ws[i])
+					}
+				}
+				confl = c
+				s.qhead = len(s.trail)
+				break
+			}
+			s.stats.Implications++
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs FirstUIP conflict analysis (paper §2.2–2.3): walk the
+// implication graph backward from the conflict, resolving on literals of
+// the current decision level until a single one — the first unique
+// implication point — remains. Returns the learned clause (asserting
+// literal first), the backjump level (the maximum level among the other
+// literals), the distinct guiding-path (tainted level-0) literals the
+// derivation rests on, and whether a local-only clause was used.
+//
+// The deps list is how clause sharing stays sound under the paper's §3.2
+// constraint: the short clause stored locally is valid only under this
+// client's assumptions, but appending deps yields a clause implied by the
+// base formula alone, which is what gets shared globally.
+func (s *Solver) analyze(confl *clause) (learnt cnf.Clause, back int, deps []cnf.Lit, localUsed bool) {
+	learnt = make(cnf.Clause, 1) // learnt[0] reserved for the UIP literal
+	counter := 0
+	p := cnf.NoLit
+	idx := len(s.trail) - 1
+	cur := int32(s.DecisionLevel())
+
+	c := confl
+	for {
+		if c.local {
+			localUsed = true // derivation rests on an assumption-only clause
+		}
+		for _, q := range c.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] {
+				continue
+			}
+			if s.level[v] == 0 {
+				if s.tainted[v] {
+					// The derivation depends on this guiding-path literal.
+					s.seen[v] = true
+					deps = append(deps, q)
+				}
+				continue
+			}
+			s.seen[v] = true
+			s.bump(q)
+			if s.level[v] >= cur {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select the next trail literal to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+		idx--
+	}
+	learnt[0] = p.Not()
+	if s.opts.MinimizeLearnts {
+		learnt = s.minimize(learnt, &deps)
+	}
+	for _, q := range learnt[1:] {
+		s.seen[q.Var()] = false
+	}
+	for _, q := range deps {
+		s.seen[q.Var()] = false
+	}
+	// Backjump to the highest level among the non-asserting literals.
+	back = 0
+	for i := 1; i < len(learnt); i++ {
+		if l := int(s.level[learnt[i].Var()]); l > back {
+			back = l
+		}
+	}
+	// Chaff's VSIDS also counts the learned clause's literals (it is a new
+	// clause entering the database); bump the asserting literal too.
+	s.bump(learnt[0])
+	return learnt, back, deps, localUsed
+}
+
+// minimize removes redundant literals from a learned clause: a literal is
+// redundant when its reason clause's literals are all already in the
+// clause (or recursively redundant). Guiding-path dependencies uncovered
+// while chasing reasons are added to deps so shared clauses stay globally
+// valid. Requires seen[] to be set exactly for learnt[1:] and deps, which
+// analyze guarantees; removed literals' seen bits are cleared here.
+func (s *Solver) minimize(learnt cnf.Clause, deps *[]cnf.Lit) cnf.Clause {
+	w := 1
+	var removed []cnf.Var
+	for i := 1; i < len(learnt); i++ {
+		q := learnt[i]
+		if s.reason[q.Var()] == nil || !s.litRedundant(q, deps) {
+			learnt[w] = q
+			w++
+		} else {
+			// Keep the seen bit until every literal is checked: a removed
+			// literal is implied by the rest, so later redundancy checks
+			// may soundly treat it as still present.
+			removed = append(removed, q.Var())
+		}
+	}
+	for _, v := range removed {
+		s.seen[v] = false
+	}
+	return learnt[:w]
+}
+
+// litRedundant reports whether q's falsity is implied by the other clause
+// literals, walking the implication graph. New tainted level-0 literals
+// found on the way are appended to deps (and marked seen).
+func (s *Solver) litRedundant(q cnf.Lit, deps *[]cnf.Lit) bool {
+	stack := []cnf.Lit{q}
+	var marked []cnf.Var // vars temporarily marked during this check
+	var pendingDeps []cnf.Lit
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.reason[l.Var()]
+		if c == nil {
+			// Walked back to a decision: q is not redundant. Roll back.
+			for _, v := range marked {
+				s.seen[v] = false
+			}
+			return false
+		}
+		for _, r := range c.lits {
+			v := r.Var()
+			if v == l.Var() || s.seen[v] {
+				continue
+			}
+			if s.level[v] == 0 {
+				if s.tainted[v] {
+					s.seen[v] = true
+					marked = append(marked, v) // dedup within this check
+					pendingDeps = append(pendingDeps, r)
+				}
+				continue
+			}
+			if s.reason[v] == nil {
+				for _, mv := range marked {
+					s.seen[mv] = false
+				}
+				return false
+			}
+			s.seen[v] = true
+			marked = append(marked, v)
+			stack = append(stack, r)
+		}
+	}
+	// Redundant: keep dep marks (they are real dependencies of the clause)
+	// but clear the non-dep interior marks.
+	depVars := map[cnf.Var]bool{}
+	for _, d := range pendingDeps {
+		depVars[d.Var()] = true
+	}
+	for _, v := range marked {
+		if !depVars[v] {
+			s.seen[v] = false
+		}
+	}
+	*deps = append(*deps, pendingDeps...)
+	return true
+}
+
+// backtrackTo undoes all assignments above the given decision level.
+func (s *Solver) backtrackTo(level int) {
+	if s.DecisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if s.savedPhase != nil {
+			s.savedPhase[v] = s.assigns[v]
+		}
+		s.assigns.Unset(v)
+		s.reason[v] = nil
+		if s.tainted[v] {
+			s.tainted[v] = false
+			s.numTainted--
+		}
+		s.heap.push(cnf.PosLit(v))
+		s.heap.push(cnf.NegLit(v))
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	if s.qhead > bound {
+		s.qhead = bound
+	}
+}
+
+// record attaches a learned clause and enqueues its asserting literal.
+// The caller must already have backjumped to the clause's assertion level.
+//
+// The stored clause omits the guiding-path dependencies (deps) — locally
+// they are permanently false — and is marked local when any exist. The
+// version offered for global sharing has deps appended, restoring validity
+// under the base formula alone; derivations through local-only clauses
+// cannot be repaired that way and are never exported.
+func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
+	s.lastLearnt = learnt
+	s.stats.Learned++
+	if s.opts.OnLemma != nil {
+		lemma := learnt.Clone()
+		lemma = append(lemma, deps...)
+		s.opts.OnLemma(lemma)
+	}
+	local := localUsed || len(deps) > 0
+	if !localUsed && s.opts.OnLearn != nil && s.opts.ShareMaxLen > 0 &&
+		len(learnt)+len(deps) <= s.opts.ShareMaxLen {
+		global := learnt.Clone()
+		global = append(global, deps...)
+		s.opts.OnLearn(global)
+		s.stats.Exported++
+	}
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], nil)
+		if local {
+			s.taint(learnt[0].Var())
+		}
+		return
+	}
+	cl := &clause{lits: learnt, learnt: true, act: s.actInc, local: local}
+	// Watch the asserting literal and the highest-level other literal so
+	// backjumping keeps the watches valid.
+	best := 1
+	for i := 2; i < len(learnt); i++ {
+		if s.level[learnt[i].Var()] > s.level[learnt[best].Var()] {
+			best = i
+		}
+	}
+	cl.lits[1], cl.lits[best] = cl.lits[best], cl.lits[1]
+	s.learnts = append(s.learnts, cl)
+	s.attach(cl)
+	atomic.AddInt64(&s.litsStored, int64(len(learnt)))
+	s.uncheckedEnqueue(learnt[0], cl)
+}
+
+// bump increases a literal's VSIDS activity.
+func (s *Solver) bump(l cnf.Lit) {
+	s.activity[l] += s.actInc
+	if s.activity[l] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+	s.heap.update(l)
+}
+
+// decay implements Chaff's periodic divide-all-counters-by-two by scaling
+// the increment instead (equivalent ordering, O(1)).
+func (s *Solver) decay() { s.actInc *= 2 }
+
+// decide picks the next decision literal via VSIDS (or the test override).
+// Returns false when every variable is assigned.
+func (s *Solver) decide() bool {
+	if s.opts.DecisionOverride != nil {
+		if l := s.opts.DecisionOverride(s); l != cnf.NoLit {
+			s.newDecisionLevel()
+			s.uncheckedEnqueue(l, nil)
+			s.stats.Decisions++
+			if s.opts.Instrument != nil {
+				s.opts.Instrument(Event{Kind: EvDecision, Lit: l, Level: s.DecisionLevel()})
+			}
+			return true
+		}
+	}
+	for {
+		l, ok := s.heap.popMax()
+		if !ok {
+			return false
+		}
+		if s.assigns.Value(l.Var()) != cnf.Undef {
+			continue
+		}
+		if s.savedPhase != nil {
+			// Progress saving: keep the variable choice from VSIDS but
+			// reuse the polarity the search last assigned it.
+			if ph := s.savedPhase[l.Var()]; ph != cnf.Undef {
+				l = cnf.MkLit(l.Var(), ph == cnf.False)
+			}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(l, nil)
+		s.stats.Decisions++
+		if s.opts.Instrument != nil {
+			s.opts.Instrument(Event{Kind: EvDecision, Lit: l, Level: s.DecisionLevel()})
+		}
+		return true
+	}
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+// Solve runs CDCL search until the problem is decided, a limit is hit, or
+// Stop is called. It may be called repeatedly with fresh limits to resume.
+func (s *Solver) Solve(lim Limits) Result {
+	if s.status != StatusUnknown {
+		return s.finished()
+	}
+	start := time.Now()
+	startConflicts := s.stats.Conflicts
+	startProps := s.stats.Propagations
+	restartLimit := s.restartThreshold()
+
+	for {
+		if s.stop.Load() {
+			s.stop.Store(false)
+			return Result{Status: StatusUnknown, Reason: ReasonStopped}
+		}
+		if lim.MaxConflicts > 0 && s.stats.Conflicts-startConflicts >= lim.MaxConflicts {
+			return Result{Status: StatusUnknown, Reason: ReasonConflictLimit}
+		}
+		if lim.MaxPropagations > 0 && s.stats.Propagations-startProps >= lim.MaxPropagations {
+			return Result{Status: StatusUnknown, Reason: ReasonPropLimit}
+		}
+		if lim.MaxTime > 0 && time.Since(start) >= lim.MaxTime {
+			return Result{Status: StatusUnknown, Reason: ReasonTimeout}
+		}
+		if lim.MaxMemoryBytes > 0 && s.MemoryBytes() > lim.MaxMemoryBytes {
+			return Result{Status: StatusUnknown, Reason: ReasonMemLimit}
+		}
+
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			s.conflictsSinceRestart++
+			if s.opts.Instrument != nil {
+				s.opts.Instrument(Event{Kind: EvConflict, Level: s.DecisionLevel()})
+			}
+			if s.DecisionLevel() == 0 {
+				s.status = StatusUNSAT
+				return s.finished()
+			}
+			learnt, back, deps, localUsed := s.analyze(confl)
+			s.backtrackTo(back)
+			s.record(learnt, deps, localUsed)
+			if s.opts.Instrument != nil {
+				s.opts.Instrument(Event{Kind: EvLearn, Lit: learnt[0], Level: back, ClauseLen: len(learnt)})
+			}
+			if s.opts.DecayInterval > 0 && s.stats.Conflicts%int64(s.opts.DecayInterval) == 0 {
+				s.decay()
+			}
+			if s.hasImports() {
+				s.importWaitConflicts++
+			}
+			continue
+		}
+
+		// No conflict. Handle level-0 housekeeping and restarts.
+		if s.DecisionLevel() == 0 {
+			if !s.mergeImports() {
+				s.status = StatusUNSAT
+				return s.finished()
+			}
+			if s.qhead != len(s.trail) {
+				// Merged imports implied level-0 units; propagate them
+				// before deciding, or a conflict among them would surface
+				// at a positive decision level and confuse analysis.
+				continue
+			}
+			if s.opts.PruneLevel0 {
+				s.simplify()
+			}
+		} else if s.needMergeRestart() {
+			s.backtrackTo(0)
+			continue
+		}
+		if s.opts.RestartBase > 0 && s.conflictsSinceRestart >= restartLimit {
+			s.conflictsSinceRestart = 0
+			s.restartCount++
+			s.stats.Restarts++
+			restartLimit = s.restartThreshold()
+			s.backtrackTo(0)
+			if s.opts.Instrument != nil {
+				s.opts.Instrument(Event{Kind: EvRestart})
+			}
+			continue
+		}
+		if len(s.learnts) > s.maxLearnts {
+			s.reduceDB()
+		}
+		if !s.decide() {
+			s.model = s.assigns.Clone()
+			s.status = StatusSAT
+			return s.finished()
+		}
+	}
+}
+
+func (s *Solver) finished() Result {
+	r := Result{Status: s.status, Reason: ReasonSolved}
+	if s.status == StatusSAT {
+		r.Model = s.Model()
+	}
+	return r
+}
+
+// restartThreshold returns the next restart interval from the Luby series.
+func (s *Solver) restartThreshold() int {
+	if s.opts.RestartBase == 0 {
+		return 0
+	}
+	return s.opts.RestartBase * luby(s.restartCount+1)
+}
+
+// luby computes the Luby restart series 1,1,2,1,1,2,4,...
+func luby(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	Implications int64
+	Learned      int64
+	Deleted      int64
+	Restarts     int64
+	Imported     int64
+	Exported     int64
+	Simplified   int64
+	Splits       int64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Solver) Stats() Stats { return s.stats }

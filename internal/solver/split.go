@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"errors"
+
+	"gridsat/internal/cnf"
+)
+
+// Subproblem describes one half of a split search space — the message a
+// donor client sends to a recipient (paper Figure 2 and Figure 3's message
+// (3)). The recipient reconstructs a solver from the shared base formula,
+// the assumption literals, and whatever learned clauses the donor chose to
+// forward.
+type Subproblem struct {
+	// NumVars is the variable count of the base formula.
+	NumVars int
+	// Assumptions are the level-0 literals defining the subspace: the
+	// donor's level-0 assignments plus the complement of its first
+	// decision.
+	Assumptions []cnf.Lit
+	// Learnts are donor learned clauses forwarded to seed the recipient's
+	// database (filtered by length, like shared clauses).
+	Learnts []cnf.Clause
+}
+
+// ErrNothingToSplit is returned by Split when the solver has no decision
+// to fork on (decision level 0).
+var ErrNothingToSplit = errors.New("solver: no decision level to split")
+
+// Split implements the paper's Figure-2 stack transformation. The donor
+// backtracks to its first decision level, promotes that level into the
+// permanent level-0 assignments (committing to its first decision), and
+// returns the complementary Subproblem: level-0 assignments plus the
+// complement of the first decision. Donor and recipient then cover
+// disjoint halves of the original search space.
+//
+// learntMaxLen bounds the learned clauses copied into the subproblem
+// (0 forwards none); learntMaxCount caps how many are forwarded.
+func (s *Solver) Split(learntMaxLen, learntMaxCount int) (*Subproblem, error) {
+	if s.status != StatusUnknown {
+		return nil, errors.New("solver: cannot split a decided problem")
+	}
+	if s.DecisionLevel() == 0 {
+		return nil, ErrNothingToSplit
+	}
+	firstDecision := s.trail[s.trailLim[0]]
+
+	// Recipient: level-0 assignments + complement of the first decision.
+	level0 := s.trail[:s.trailLim[0]]
+	sub := &Subproblem{NumVars: s.nVars}
+	sub.Assumptions = make([]cnf.Lit, 0, len(level0)+1)
+	sub.Assumptions = append(sub.Assumptions, level0...)
+	sub.Assumptions = append(sub.Assumptions, firstDecision.Not())
+	sub.Learnts = s.ExportLearnts(learntMaxLen, learntMaxCount)
+
+	// Donor: promote decision level 1 into level 0 and shift every higher
+	// level down by one, exactly as Figure 2 shows — the donor keeps its
+	// current search position; only the ownership of the first decision
+	// changes. The promoted assignments are a commitment to this half of
+	// the search space — logically new assumptions — so they are tainted
+	// and clauses that later depend on them stay local to this client.
+	end := len(s.trail)
+	if len(s.trailLim) > 1 {
+		end = s.trailLim[1]
+	}
+	for i := s.trailLim[0]; i < end; i++ {
+		v := s.trail[i].Var()
+		s.level[v] = 0
+		s.taint(v)
+	}
+	for i := end; i < len(s.trail); i++ {
+		s.level[s.trail[i].Var()]--
+	}
+	s.trailLim = s.trailLim[1:]
+	s.lastSimplifyTrail = -1 // level 0 grew: force the next simplify pass
+	s.stats.Splits++
+	if s.opts.Instrument != nil {
+		s.opts.Instrument(Event{Kind: EvSplit, Lit: firstDecision, Level: s.DecisionLevel()})
+	}
+	// The promoted assignments may now satisfy clauses permanently; the
+	// next level-0 pass prunes them (Figure 2's clause removal).
+	return sub, nil
+}
+
+// ExportLearnts returns copies of live learned clauses with length at most
+// maxLen (0 disables), up to maxCount (0 means no cap), shortest first —
+// the donor half of the paper's clause-sharing policy during splits.
+func (s *Solver) ExportLearnts(maxLen, maxCount int) []cnf.Clause {
+	if maxLen <= 0 {
+		return nil
+	}
+	var out []cnf.Clause
+	for _, c := range s.learnts {
+		if c.deleted || len(c.lits) > maxLen {
+			continue
+		}
+		out = append(out, cnf.Clause(c.lits).Clone())
+	}
+	sortClausesByLen(out)
+	if maxCount > 0 && len(out) > maxCount {
+		out = out[:maxCount]
+	}
+	return out
+}
+
+func sortClausesByLen(cs []cnf.Clause) {
+	// Insertion sort: export lists are short and mostly ordered.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && len(cs[j]) < len(cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// NewFromSubproblem reconstructs a recipient solver: the base formula plus
+// the subproblem's assumptions (installed at level 0) and forwarded learned
+// clauses. The returned solver may already be decided (StatusUNSAT) when
+// the assumptions conflict with the formula.
+func NewFromSubproblem(base *cnf.Formula, sub *Subproblem, opts Options) (*Solver, error) {
+	if base.NumVars != sub.NumVars {
+		return nil, errors.New("solver: subproblem variable count mismatch")
+	}
+	s := New(base, opts)
+	if s.status != StatusUnknown {
+		return s, nil
+	}
+	if err := s.Assume(sub.Assumptions...); err != nil {
+		return nil, err
+	}
+	if err := s.ImportClausesLocal(sub.Learnts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

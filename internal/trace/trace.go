@@ -1,0 +1,133 @@
+// Package trace records and summarizes solver instrumentation events.
+// The paper's EveryWare instrumentation could cost up to 50% of solver
+// performance, so GridSAT's timed runs disabled it (§4.1); this package is
+// the optional diagnostics channel for everything else — understanding a
+// run's decision/conflict dynamics, plotting active-client behavior, and
+// the ablation benchmark that reproduces the overhead observation.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gridsat/internal/solver"
+)
+
+// Recorder accumulates solver events in a bounded ring buffer with
+// aggregate counters. Safe for concurrent use; one Recorder can serve many
+// solvers.
+type Recorder struct {
+	mu     sync.Mutex
+	ring   []solver.Event
+	next   int
+	filled bool
+	counts [5]int64
+	// learned-clause length histogram, bucketed by powers of two.
+	lenHist [16]int64
+}
+
+// NewRecorder returns a recorder keeping the most recent `capacity` events
+// (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]solver.Event, capacity)}
+}
+
+// Hook returns the function to install as solver.Options.Instrument.
+func (r *Recorder) Hook() func(solver.Event) {
+	return func(ev solver.Event) {
+		r.mu.Lock()
+		r.ring[r.next] = ev
+		r.next++
+		if r.next == len(r.ring) {
+			r.next = 0
+			r.filled = true
+		}
+		if int(ev.Kind) >= 0 && int(ev.Kind) < len(r.counts) {
+			r.counts[ev.Kind]++
+		}
+		if ev.Kind == solver.EvLearn {
+			b := 0
+			for l := ev.ClauseLen; l > 1 && b < len(r.lenHist)-1; l >>= 1 {
+				b++
+			}
+			r.lenHist[b]++
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Count returns how many events of the given kind were recorded.
+func (r *Recorder) Count(kind solver.EventKind) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(kind) < 0 || int(kind) >= len(r.counts) {
+		return 0
+	}
+	return r.counts[kind]
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []solver.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		out := make([]solver.Event, r.next)
+		copy(out, r.ring[:r.next])
+		return out
+	}
+	out := make([]solver.Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Summary is an aggregate view of a recording.
+type Summary struct {
+	Decisions, Conflicts, Learned, Restarts, Splits int64
+	// MeanLearnedLen approximates the average learned-clause length from
+	// the power-of-two histogram.
+	MeanLearnedLen float64
+}
+
+// Summary computes the aggregate view.
+func (r *Recorder) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{
+		Decisions: r.counts[solver.EvDecision],
+		Conflicts: r.counts[solver.EvConflict],
+		Learned:   r.counts[solver.EvLearn],
+		Restarts:  r.counts[solver.EvRestart],
+		Splits:    r.counts[solver.EvSplit],
+	}
+	var total, weighted float64
+	for b, n := range r.lenHist {
+		total += float64(n)
+		weighted += float64(n) * float64(int(1)<<uint(b))
+	}
+	if total > 0 {
+		s.MeanLearnedLen = weighted / total
+	}
+	return s
+}
+
+// WriteCSV dumps the retained events as CSV (kind,lit,level,clauselen).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,lit,level,clause_len"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		lit := ""
+		if ev.Kind == solver.EvDecision || ev.Kind == solver.EvLearn || ev.Kind == solver.EvSplit {
+			lit = ev.Lit.String()
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d\n", ev.Kind, lit, ev.Level, ev.ClauseLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}

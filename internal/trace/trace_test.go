@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gridsat/internal/gen"
+	"gridsat/internal/solver"
+)
+
+func runWithRecorder(t *testing.T, capacity int) (*Recorder, solver.Stats) {
+	t.Helper()
+	rec := NewRecorder(capacity)
+	opts := solver.DefaultOptions()
+	opts.Instrument = rec.Hook()
+	s := solver.New(gen.Pigeonhole(7), opts)
+	if r := s.Solve(solver.Limits{}); r.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v", r.Status)
+	}
+	return rec, s.Stats()
+}
+
+func TestRecorderCountsMatchSolverStats(t *testing.T) {
+	rec, st := runWithRecorder(t, 1<<16)
+	if rec.Count(solver.EvDecision) != st.Decisions {
+		t.Errorf("decisions: recorder %d, stats %d", rec.Count(solver.EvDecision), st.Decisions)
+	}
+	if rec.Count(solver.EvConflict) != st.Conflicts {
+		t.Errorf("conflicts: recorder %d, stats %d", rec.Count(solver.EvConflict), st.Conflicts)
+	}
+	if rec.Count(solver.EvLearn) != st.Learned {
+		t.Errorf("learned: recorder %d, stats %d", rec.Count(solver.EvLearn), st.Learned)
+	}
+	if rec.Count(solver.EvRestart) != st.Restarts {
+		t.Errorf("restarts: recorder %d, stats %d", rec.Count(solver.EvRestart), st.Restarts)
+	}
+}
+
+func TestRecorderRingRetention(t *testing.T) {
+	rec, _ := runWithRecorder(t, 100)
+	evs := rec.Events()
+	if len(evs) != 100 {
+		t.Fatalf("retained %d events, want the last 100", len(evs))
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	rec, st := runWithRecorder(t, 1024)
+	sum := rec.Summary()
+	if sum.Decisions != st.Decisions || sum.Conflicts != st.Conflicts {
+		t.Fatalf("summary mismatch: %+v vs %+v", sum, st)
+	}
+	if sum.MeanLearnedLen <= 1 {
+		t.Errorf("mean learned length %.1f implausible for pigeonhole", sum.MeanLearnedLen)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rec, _ := runWithRecorder(t, 50)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 51 { // header + 50 retained events
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "kind,lit,level,clause_len" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}
+
+func TestRecorderMinimumCapacity(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Hook()(solver.Event{Kind: solver.EvDecision})
+	if len(rec.Events()) != 1 {
+		t.Fatal("zero-capacity recorder broken")
+	}
+}
+
+func TestSplitEventRecorded(t *testing.T) {
+	rec := NewRecorder(1024)
+	opts := solver.DefaultOptions()
+	opts.Instrument = rec.Hook()
+	s := solver.New(gen.Pigeonhole(8), opts)
+	s.Solve(solver.Limits{MaxConflicts: 20})
+	if s.DecisionLevel() == 0 {
+		t.Skip("no decision to split")
+	}
+	if _, err := s.Split(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(solver.EvSplit) != 1 {
+		t.Fatalf("split events = %d, want 1", rec.Count(solver.EvSplit))
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[solver.EventKind]string{
+		solver.EvDecision: "decision", solver.EvConflict: "conflict",
+		solver.EvLearn: "learn", solver.EvRestart: "restart", solver.EvSplit: "split",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", k, k.String(), want)
+		}
+	}
+	if solver.EventKind(99).String() != "unknown" {
+		t.Error("unknown kind should render")
+	}
+}
