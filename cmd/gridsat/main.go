@@ -19,6 +19,7 @@ import (
 	"gridsat/internal/comm"
 	"gridsat/internal/core"
 	"gridsat/internal/grid"
+	"gridsat/internal/obs"
 	"gridsat/internal/proof"
 	"gridsat/internal/solver"
 )
@@ -147,8 +148,15 @@ func cmdRun(args []string) error {
 	clients := fs.Int("clients", 4, "number of in-process clients")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
+	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
+	logLevel := fs.String("log", "", "structured log level (debug|info|warn|error; empty = off)")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	logger, err := runLogger(*logLevel)
 	if err != nil {
 		return err
 	}
@@ -156,13 +164,39 @@ func cmdRun(args []string) error {
 		Clients:     *clients,
 		ShareMaxLen: *shareLen,
 		Timeout:     *timeout,
+		MetricsAddr: *metricsAddr,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
 	}
 	report(res.Status, res.Model, f)
-	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d\n",
-		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses)
+	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
+		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
+		res.Comm.MsgsSent, res.Comm.BytesSent)
+	return writeReport(*reportPath, fs.Arg(0), res)
+}
+
+// runLogger builds the stderr structured logger for -log; "" disables.
+func runLogger(level string) (*obs.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	return obs.NewLogger(os.Stderr, obs.ParseLevel(level)), nil
+}
+
+// writeReport writes the -report JSON file; "" is a no-op.
+func writeReport(path, instance string, res core.Result) error {
+	if path == "" {
+		return nil
+	}
+	if instance == "" {
+		instance = "-"
+	}
+	if err := core.BuildReport(instance, res).WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gridsat: report written to %s\n", path)
 	return nil
 }
 
@@ -172,31 +206,48 @@ func cmdMaster(args []string) error {
 	minMem := fs.Int64("min-mem", 128<<20, "minimum client free memory (bytes)")
 	timeout := fs.Duration("timeout", 0, "overall budget (0 = none)")
 	expected := fs.Int("expect-clients", 0, "wait for this many registrations before starting")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
+	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
+	logLevel := fs.String("log", "", "structured log level (debug|info|warn|error; empty = off)")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	logger, err := runLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	cm := comm.NewMetrics(reg)
 	m, err := core.NewMaster(core.MasterConfig{
-		Transport:       comm.TCPTransport{},
+		Transport:       comm.Instrument(comm.TCPTransport{}, cm),
 		ListenAddr:      *listen,
 		Formula:         f,
 		MinMemBytes:     *minMem,
 		Timeout:         *timeout,
 		ExpectedClients: *expected,
+		Metrics:         reg,
+		MetricsAddr:     *metricsAddr,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "gridsat master listening on", m.Addr())
+	if a := m.MetricsAddr(); a != "" {
+		fmt.Fprintln(os.Stderr, "gridsat metrics on http://"+a+"/metrics")
+	}
 	res, err := m.Run()
 	if err != nil {
 		return err
 	}
+	res.Comm = cm.Totals()
 	report(res.Status, res.Model, f)
-	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d\n",
-		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses)
-	return nil
+	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
+		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
+		res.Comm.MsgsSent, res.Comm.BytesSent)
+	return writeReport(*reportPath, fs.Arg(0), res)
 }
 
 func cmdClient(args []string) error {
@@ -296,8 +347,9 @@ func cmdSim(args []string) error {
 		res = core.RunDistributed(cfg)
 	}
 	report(res.Status, res.Model, f)
-	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d splits=%d shared=%d work=%d-props\n",
-		res.Outcome, res.VSec, res.MaxClients, res.Splits, res.Shared, res.TotalProps)
+	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d splits=%d shared=%d work=%d-props msgs=%d bytes=%d\n",
+		res.Outcome, res.VSec, res.MaxClients, res.Splits, res.Shared, res.TotalProps,
+		res.Msgs, res.Bytes)
 	if *timeline != "" && !*sequential {
 		fd, err := os.Create(*timeline)
 		if err != nil {

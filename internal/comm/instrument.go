@@ -1,0 +1,234 @@
+package comm
+
+import (
+	"encoding/gob"
+	"io"
+	"sort"
+	"sync"
+
+	"gridsat/internal/obs"
+)
+
+// Metrics aggregates per-message-kind traffic counters for instrumented
+// transports. All counters also live in the supplied obs.Registry, so a
+// master's /metrics endpoint exposes them as
+//
+//	gridsat_comm_msgs_total{dir="send",kind="split-payload"} 12
+//	gridsat_comm_bytes_total{dir="recv",kind="share-clauses"} 80640
+//	gridsat_comm_conns_total{role="dial"} 5
+//
+// Byte counts are measured by gob-encoding each message into a counting
+// sink with a per-connection encoder, which reproduces wire framing
+// (type descriptors are charged once per connection, like a real stream).
+type Metrics struct {
+	reg   *obs.Registry
+	dials *obs.Counter
+	accps *obs.Counter
+
+	mu      sync.RWMutex
+	perKind map[string]*kindCounters
+}
+
+type kindCounters struct {
+	sentMsgs, recvMsgs   *obs.Counter
+	sentBytes, recvBytes *obs.Counter
+}
+
+// NewMetrics registers the comm counter families in reg and returns the
+// handle that instrumented transports update.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:     reg,
+		dials:   reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "dial")),
+		accps:   reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "accept")),
+		perKind: map[string]*kindCounters{},
+	}
+}
+
+func (m *Metrics) kind(k string) *kindCounters {
+	m.mu.RLock()
+	kc := m.perKind[k]
+	m.mu.RUnlock()
+	if kc != nil {
+		return kc
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if kc = m.perKind[k]; kc != nil {
+		return kc
+	}
+	kc = &kindCounters{
+		sentMsgs:  m.reg.Counter("gridsat_comm_msgs_total", "protocol messages by kind and direction", obs.L("kind", k), obs.L("dir", "send")),
+		recvMsgs:  m.reg.Counter("gridsat_comm_msgs_total", "protocol messages by kind and direction", obs.L("kind", k), obs.L("dir", "recv")),
+		sentBytes: m.reg.Counter("gridsat_comm_bytes_total", "encoded message bytes by kind and direction", obs.L("kind", k), obs.L("dir", "send")),
+		recvBytes: m.reg.Counter("gridsat_comm_bytes_total", "encoded message bytes by kind and direction", obs.L("kind", k), obs.L("dir", "recv")),
+	}
+	m.perKind[k] = kc
+	return kc
+}
+
+// KindTotals is the traffic of one message kind in a Totals summary.
+type KindTotals struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// Totals is a point-in-time traffic summary for run reports.
+type Totals struct {
+	MsgsSent  int64                 `json:"msgs_sent"`
+	MsgsRecv  int64                 `json:"msgs_recv"`
+	BytesSent int64                 `json:"bytes_sent"`
+	BytesRecv int64                 `json:"bytes_recv"`
+	PerKind   map[string]KindTotals `json:"per_kind,omitempty"`
+}
+
+// Totals snapshots the aggregate and per-kind counters.
+func (m *Metrics) Totals() Totals {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t := Totals{PerKind: make(map[string]KindTotals, len(m.perKind))}
+	kinds := make([]string, 0, len(m.perKind))
+	for k := range m.perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		kc := m.perKind[k]
+		kt := KindTotals{
+			MsgsSent:  kc.sentMsgs.Value(),
+			MsgsRecv:  kc.recvMsgs.Value(),
+			BytesSent: kc.sentBytes.Value(),
+			BytesRecv: kc.recvBytes.Value(),
+		}
+		t.PerKind[k] = kt
+		t.MsgsSent += kt.MsgsSent
+		t.MsgsRecv += kt.MsgsRecv
+		t.BytesSent += kt.BytesSent
+		t.BytesRecv += kt.BytesRecv
+	}
+	return t
+}
+
+// Instrument wraps t so every connection it produces counts messages and
+// encoded bytes per kind into m. A nil m returns t unchanged.
+func Instrument(t Transport, m *Metrics) Transport {
+	if m == nil {
+		return t
+	}
+	return &instrumentedTransport{inner: t, m: m}
+}
+
+type instrumentedTransport struct {
+	inner Transport
+	m     *Metrics
+}
+
+func (t *instrumentedTransport) Listen(addr string) (Listener, error) {
+	l, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedListener{inner: l, m: t.m}, nil
+}
+
+func (t *instrumentedTransport) Dial(addr string) (Conn, error) {
+	c, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.m.dials.Inc()
+	return newInstrumentedConn(c, t.m), nil
+}
+
+type instrumentedListener struct {
+	inner Listener
+	m     *Metrics
+}
+
+func (l *instrumentedListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.m.accps.Inc()
+	return newInstrumentedConn(c, l.m), nil
+}
+
+func (l *instrumentedListener) Close() error { return l.inner.Close() }
+func (l *instrumentedListener) Addr() string { return l.inner.Addr() }
+
+type instrumentedConn struct {
+	inner Conn
+	m     *Metrics
+	send  sizer
+	recv  sizer
+}
+
+func newInstrumentedConn(c Conn, m *Metrics) *instrumentedConn {
+	ic := &instrumentedConn{inner: c, m: m}
+	ic.send.init()
+	ic.recv.init()
+	return ic
+}
+
+func (c *instrumentedConn) Send(m Message) error {
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	kc := c.m.kind(m.Kind())
+	kc.sentMsgs.Inc()
+	kc.sentBytes.Add(c.send.size(m))
+	return nil
+}
+
+func (c *instrumentedConn) Recv() (Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	kc := c.m.kind(m.Kind())
+	kc.recvMsgs.Inc()
+	kc.recvBytes.Add(c.recv.size(m))
+	return m, nil
+}
+
+func (c *instrumentedConn) Close() error { return c.inner.Close() }
+
+// sizer measures a message's gob encoding with a persistent encoder, so
+// stream state (one-time type descriptors) is accounted the way a real
+// connection would see it.
+type sizer struct {
+	mu  sync.Mutex
+	cw  countWriter
+	enc *gob.Encoder
+}
+
+func (s *sizer) init() { s.enc = gob.NewEncoder(&s.cw) }
+
+func (s *sizer) size(m Message) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.cw.n
+	if err := s.enc.Encode(&m); err != nil {
+		// A message that round-tripped a real transport must re-encode;
+		// failures here mean the sizer stream is wedged — restart it.
+		s.cw.n = before
+		s.enc = gob.NewEncoder(&s.cw)
+		return 0
+	}
+	return s.cw.n - before
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)

@@ -1,0 +1,173 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"gridsat/internal/obs"
+)
+
+// TestEveryKindGobRoundtrip encodes and decodes one instance of every
+// protocol message through a fresh gob stream and checks the payload
+// survives structurally, not just by kind.
+func TestEveryKindGobRoundtrip(t *testing.T) {
+	for _, want := range allMessages() {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&want); err != nil {
+			t.Fatalf("%s: encode: %v", want.Kind(), err)
+		}
+		var got Message
+		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+			t.Fatalf("%s: decode: %v", want.Kind(), err)
+		}
+		if got.Kind() != want.Kind() {
+			t.Fatalf("kind %q decoded as %q", want.Kind(), got.Kind())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: payload mangled:\n got %+v\nwant %+v", want.Kind(), got, want)
+		}
+	}
+}
+
+// TestAllMessagesCoversEveryKind keeps the allMessages fixture honest: a
+// new protocol message must be added here (and to the gob init block) or
+// the round-trip and instrumentation tests silently lose coverage.
+func TestAllMessagesCoversEveryKind(t *testing.T) {
+	wantKinds := []string{
+		"register", "register-ack", "base-problem", "split-request",
+		"split-assign", "split-payload", "split-done", "share-clauses",
+		"solved", "migrate", "shutdown", "status",
+	}
+	have := map[string]bool{}
+	for _, m := range allMessages() {
+		have[m.Kind()] = true
+	}
+	for _, k := range wantKinds {
+		if !have[k] {
+			t.Errorf("allMessages is missing kind %q", k)
+		}
+	}
+}
+
+// TestInstrumentedTransportCounts drives every message kind through an
+// instrumented in-process transport and checks per-kind message and byte
+// counters on both directions.
+func TestInstrumentedTransportCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	tr := Instrument(NewInprocTransport(), m)
+	l, err := tr.Listen("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := tr.Dial("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+
+	msgs := allMessages()
+	for _, msg := range msgs {
+		if err := client.Send(msg); err != nil {
+			t.Fatalf("send %s: %v", msg.Kind(), err)
+		}
+		if _, err := server.Recv(); err != nil {
+			t.Fatalf("recv %s: %v", msg.Kind(), err)
+		}
+	}
+
+	totals := m.Totals()
+	if totals.MsgsSent != int64(len(msgs)) || totals.MsgsRecv != int64(len(msgs)) {
+		t.Fatalf("msgs sent=%d recv=%d, want %d each", totals.MsgsSent, totals.MsgsRecv, len(msgs))
+	}
+	for _, msg := range msgs {
+		kt, ok := totals.PerKind[msg.Kind()]
+		if !ok {
+			t.Errorf("no counters for kind %q", msg.Kind())
+			continue
+		}
+		if kt.MsgsSent < 1 || kt.MsgsRecv < 1 {
+			t.Errorf("%s: msgs sent=%d recv=%d", msg.Kind(), kt.MsgsSent, kt.MsgsRecv)
+		}
+		if kt.BytesSent <= 0 || kt.BytesRecv <= 0 {
+			t.Errorf("%s: zero byte count (sent=%d recv=%d)", msg.Kind(), kt.BytesSent, kt.BytesRecv)
+		}
+	}
+	if totals.BytesSent <= 0 || totals.BytesSent != totals.BytesRecv {
+		t.Errorf("aggregate bytes sent=%d recv=%d", totals.BytesSent, totals.BytesRecv)
+	}
+
+	// The registry carries the same numbers for /metrics exposition.
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("gridsat_comm_msgs_total", obs.L("dir", "send")); got != int64(len(msgs)) {
+		t.Errorf("registry msgs_total{dir=send} = %d, want %d", got, len(msgs))
+	}
+	if got := snap.CounterValue("gridsat_comm_conns_total"); got != 2 {
+		t.Errorf("conns_total = %d, want 2 (one dial + one accept)", got)
+	}
+}
+
+// TestInstrumentOverTCP checks the wrapper composes with the real TCP
+// transport and that a connection-scoped sizer charges type descriptors
+// once, like the wire does.
+func TestInstrumentOverTCP(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	tr := Instrument(TCPTransport{}, m)
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := client.Send(StatusReport{ClientID: i, Deltas: SolverDeltas{Conflicts: 10}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kt := m.Totals().PerKind["status"]
+	if kt.MsgsSent != 3 || kt.BytesSent <= 0 {
+		t.Fatalf("status totals: %+v", kt)
+	}
+	// Three reports must cost less than three first-message encodings:
+	// the type descriptor is charged once per connection, not per message.
+	first := sizeOfFirst(t, StatusReport{ClientID: 0, Deltas: SolverDeltas{Conflicts: 10}})
+	if kt.BytesSent >= 3*first {
+		t.Errorf("sizer re-charges descriptors: 3 msgs cost %d, first alone costs %d", kt.BytesSent, first)
+	}
+}
+
+func sizeOfFirst(t *testing.T, m Message) int64 {
+	t.Helper()
+	var cw countWriter
+	if err := gob.NewEncoder(&cw).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return cw.n
+}

@@ -165,13 +165,35 @@ type Shutdown struct{}
 // Kind implements Message.
 func (Shutdown) Kind() string { return "shutdown" }
 
+// SolverDeltas carries solver counter increments accumulated since the
+// client's previous StatusReport, so the master can maintain a live
+// cluster-wide view by summation alone — no per-client reset handling.
+type SolverDeltas struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	Learned      int64
+}
+
+// Add accumulates another delta into d.
+func (d *SolverDeltas) Add(o SolverDeltas) {
+	d.Decisions += o.Decisions
+	d.Conflicts += o.Conflicts
+	d.Propagations += o.Propagations
+	d.Learned += o.Learned
+}
+
 // StatusReport is a periodic client heartbeat with resource telemetry.
+// MemBytes, Learnts, and Conflicts are point-in-time gauges of the
+// client's current solver; Deltas are counter increments since the last
+// report (see SolverDeltas).
 type StatusReport struct {
 	ClientID  int
 	MemBytes  int64
 	Learnts   int
 	Conflicts int64
 	Busy      bool
+	Deltas    SolverDeltas
 }
 
 // Kind implements Message.

@@ -38,6 +38,11 @@ type ClientConfig struct {
 	HeartbeatEvery int
 	// SolverOptions tunes the engine; zero value uses solver defaults.
 	SolverOptions *solver.Options
+	// Counters, when set, receives the always-on solver metrics
+	// (decisions, conflicts, propagations, ...) for every subproblem this
+	// client solves. Cheap enough to leave on (see internal/bench's
+	// instrumentation ablation); may be shared across clients.
+	Counters *solver.Counters
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
@@ -85,6 +90,10 @@ type Client struct {
 	splitAsked bool
 
 	sliceCount int
+	// lastHB is the Stats snapshot at the previous heartbeat; the next
+	// StatusReport carries the delta so the master can sum without
+	// worrying about per-subproblem counter resets.
+	lastHB solver.Stats
 
 	control chan comm.Message
 	stopped chan struct{}
@@ -274,6 +283,9 @@ func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 		opts = *c.cfg.SolverOptions
 	}
 	opts.ShareMaxLen = c.cfg.ShareMaxLen
+	if c.cfg.Counters != nil {
+		opts.Counters = c.cfg.Counters
+	}
 	opts.OnLearn = func(cl cnf.Clause) {
 		c.mu.Lock()
 		c.shareBuf = append(c.shareBuf, cl)
@@ -287,6 +299,7 @@ func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 	c.slv = slv
 	c.busy = true
 	c.splitAsked = false
+	c.lastHB = solver.Stats{} // fresh solver: deltas restart from zero
 	c.recvAt = time.Now()
 	if sub.Assumptions != nil {
 		// Rough transfer-time proxy in the live runtime: proportional to
@@ -310,21 +323,16 @@ func (c *Client) solveSlice() (bool, error) {
 	c.flushShares()
 	c.sliceCount++
 	if c.cfg.HeartbeatEvery > 0 && c.sliceCount%c.cfg.HeartbeatEvery == 0 {
-		st := c.slv.Stats()
-		_ = c.master.Send(comm.StatusReport{
-			ClientID:  c.id,
-			MemBytes:  c.slv.MemoryBytes(),
-			Learnts:   c.slv.NumLearnts(),
-			Conflicts: st.Conflicts,
-			Busy:      true,
-		})
+		c.sendHeartbeat(true)
 	}
 	switch res.Status {
 	case solver.StatusSAT:
 		c.busy = false
+		c.sendHeartbeat(false) // flush the tail deltas before Solved
 		return false, c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
 	case solver.StatusUNSAT:
 		c.busy = false
+		c.sendHeartbeat(false)
 		if err := c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
 			return false, err
 		}
@@ -354,6 +362,31 @@ func (c *Client) solveSlice() (bool, error) {
 		c.requestSplit(reason)
 	}
 	return false, nil
+}
+
+// sendHeartbeat reports the current solver gauges plus the counter
+// increments since the previous heartbeat; the master aggregates the
+// deltas into its live cluster view.
+func (c *Client) sendHeartbeat(busy bool) {
+	if c.slv == nil {
+		return
+	}
+	st := c.slv.Stats()
+	d := solver.StatsDelta(st, c.lastHB)
+	c.lastHB = st
+	_ = c.master.Send(comm.StatusReport{
+		ClientID:  c.id,
+		MemBytes:  c.slv.MemoryBytes(),
+		Learnts:   c.slv.NumLearnts(),
+		Conflicts: st.Conflicts,
+		Busy:      busy,
+		Deltas: comm.SolverDeltas{
+			Decisions:    d.Decisions,
+			Conflicts:    d.Conflicts,
+			Propagations: d.Propagations,
+			Learned:      d.Learned,
+		},
+	})
 }
 
 func (c *Client) requestSplit(why comm.SplitReason) {

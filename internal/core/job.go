@@ -7,6 +7,7 @@ import (
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/comm"
+	"gridsat/internal/obs"
 	"gridsat/internal/solver"
 )
 
@@ -31,6 +32,16 @@ type JobConfig struct {
 	SliceConflicts int64
 	// SolverOptions overrides engine tuning for every client.
 	SolverOptions *solver.Options
+	// Metrics receives every observability series for the run (comm
+	// traffic, master pool state, solver counters). nil allocates a
+	// private registry, so instrumentation is always on — it is cheap
+	// (see internal/bench's instrumentation ablation).
+	Metrics *obs.Registry
+	// MetricsAddr, when non-empty, serves /metrics, /status and pprof
+	// from the master for the duration of the run.
+	MetricsAddr string
+	// Logger receives structured run logs; nil discards them.
+	Logger *obs.Logger
 }
 
 // Solve runs a complete GridSAT job over f and blocks for the result.
@@ -41,13 +52,22 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 	if cfg.ClientMemBytes == 0 {
 		cfg.ClientMemBytes = 256 << 20
 	}
-	tr := comm.NewInprocTransport()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cm := comm.NewMetrics(reg)
+	tr := comm.Instrument(comm.NewInprocTransport(), cm)
+	counters := solver.NewCounters(reg)
 	master, err := NewMaster(MasterConfig{
 		Transport:       tr,
 		ListenAddr:      "master",
 		Formula:         f,
 		Timeout:         cfg.Timeout,
 		ExpectedClients: cfg.Clients,
+		Metrics:         reg,
+		MetricsAddr:     cfg.MetricsAddr,
+		Logger:          cfg.Logger,
 	})
 	if err != nil {
 		return Result{}, err
@@ -75,6 +95,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 			SliceConflicts: cfg.SliceConflicts,
 			MinRunTime:     cfg.MinRunTime,
 			SolverOptions:  cfg.SolverOptions,
+			Counters:       counters,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: launching client %d: %w", i, err)
@@ -88,5 +109,6 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 
 	out := <-masterDone
 	wg.Wait()
+	out.res.Comm = cm.Totals()
 	return out.res, out.err
 }

@@ -3,10 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"sort"
 	"time"
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/comm"
+	"gridsat/internal/obs"
 	"gridsat/internal/solver"
 )
 
@@ -27,6 +30,16 @@ type MasterConfig struct {
 	// registrations before assigning the problem, which keeps small test
 	// topologies deterministic. Zero assigns to the first registrant.
 	ExpectedClients int
+	// Metrics receives the master's counters, gauges, and histograms;
+	// nil allocates a private registry (reachable via Metrics()).
+	Metrics *obs.Registry
+	// Logger receives structured master events; nil discards them.
+	Logger *obs.Logger
+	// MetricsAddr, when non-empty, serves live HTTP introspection on
+	// that address (":0" picks a port — see MetricsAddr()): /metrics is
+	// Prometheus text, /status is the JSON StatusSnapshot with
+	// per-client aggregates, and /debug/pprof is the Go profiler.
+	MetricsAddr string
 }
 
 // Result is the outcome of a distributed run.
@@ -41,6 +54,30 @@ type Result struct {
 	Splits int
 	// SharedClauses counts clauses the master fanned out.
 	SharedClauses int
+	// Clients holds the end-of-run per-client aggregates built from the
+	// heartbeat stream, sorted by ID (see ClientStatus).
+	Clients []ClientStatus
+	// Comm is the wire-traffic summary, filled by runners that instrument
+	// their transport (Solve, cmd/gridsat); zero when uninstrumented.
+	Comm comm.Totals
+}
+
+// ClientStatus is one client's view in a StatusSnapshot or final Result:
+// identity, current state, and solver-stat totals aggregated from the
+// heartbeat deltas.
+type ClientStatus struct {
+	ID       int    `json:"id"`
+	Host     string `json:"host,omitempty"`
+	Busy     bool   `json:"busy"`
+	Reserved bool   `json:"reserved"`
+	// MemBytes and DBLearnts are the latest reported gauges.
+	MemBytes  int64 `json:"mem_bytes"`
+	DBLearnts int   `json:"db_learnts"`
+	// Counter totals summed from StatusReport deltas.
+	Decisions    int64 `json:"decisions"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	Learned      int64 `json:"learned"`
 }
 
 type masterClient struct {
@@ -55,13 +92,39 @@ type masterClient struct {
 	reserved     bool // chosen as split recipient; payload in flight
 	assignedAt   time.Time
 	pendingSplit bool // has an unserved split request
+
+	// Live cluster view: totals summed from heartbeat deltas plus the
+	// latest gauges, mirrored into per-client registry series.
+	agg       comm.SolverDeltas
+	dbLearnts int
+	gauges    *clientGauges
+}
+
+// clientGauges are the per-client registry series behind /metrics.
+type clientGauges struct {
+	mem, learnts, busy                       *obs.Gauge
+	decisions, conflicts, propagations, lrnd *obs.Counter
+}
+
+func newClientGauges(reg *obs.Registry, id int) *clientGauges {
+	l := obs.L("client", fmt.Sprintf("%d", id))
+	return &clientGauges{
+		mem:          reg.Gauge("gridsat_client_mem_bytes", "latest reported client memory use", l),
+		learnts:      reg.Gauge("gridsat_client_learnts", "latest reported learned-clause DB size", l),
+		busy:         reg.Gauge("gridsat_client_busy", "1 while the client holds a subproblem", l),
+		decisions:    reg.Counter("gridsat_client_decisions_total", "client decisions (heartbeat-aggregated)", l),
+		conflicts:    reg.Counter("gridsat_client_conflicts_total", "client conflicts (heartbeat-aggregated)", l),
+		propagations: reg.Counter("gridsat_client_propagations_total", "client propagations (heartbeat-aggregated)", l),
+		lrnd:         reg.Counter("gridsat_client_learned_total", "client learned clauses (heartbeat-aggregated)", l),
+	}
 }
 
 // splitPair is one in-flight transfer: donor splits, recipient receives.
 type splitPair struct {
-	donor     int
-	recipient int
-	delivered bool // the donor reported successful delivery
+	donor      int
+	recipient  int
+	delivered  bool // the donor reported successful delivery
+	assignedAt time.Time
 }
 
 type masterEvent struct {
@@ -93,6 +156,76 @@ type Master struct {
 	started       time.Time
 	assigned      bool // the initial problem has been handed out
 	outstanding   int  // subproblems alive (busy clients + in-flight transfers)
+
+	reg      *obs.Registry
+	log      *obs.Logger
+	httpSrv  *http.Server
+	httpAddr string
+	met      masterMetrics
+}
+
+// masterMetrics caches the master's registry handles so the event loop
+// never does a registry lookup.
+type masterMetrics struct {
+	msgs        map[string]*obs.Counter // by message kind
+	splits      *obs.Counter
+	shared      *obs.Counter
+	heartbeats  *obs.Counter
+	rejected    *obs.Counter
+	registered  *obs.Gauge
+	busy        *obs.Gauge
+	reserved    *obs.Gauge
+	backlog     *obs.Gauge
+	outstanding *obs.Gauge
+	splitLat    *obs.Histogram
+}
+
+func newMasterMetrics(reg *obs.Registry) masterMetrics {
+	return masterMetrics{
+		msgs:        map[string]*obs.Counter{},
+		splits:      reg.Counter("gridsat_master_splits_total", "completed subproblem transfers"),
+		shared:      reg.Counter("gridsat_master_shared_clauses_total", "learned clauses fanned out to peers"),
+		heartbeats:  reg.Counter("gridsat_master_heartbeats_total", "StatusReport messages aggregated"),
+		rejected:    reg.Counter("gridsat_master_rejected_clients_total", "registrations refused for low memory"),
+		registered:  reg.Gauge("gridsat_master_registered_clients", "clients currently registered"),
+		busy:        reg.Gauge("gridsat_master_busy_clients", "clients currently holding subproblems"),
+		reserved:    reg.Gauge("gridsat_master_reserved_clients", "clients reserved for in-flight transfers"),
+		backlog:     reg.Gauge("gridsat_master_split_backlog", "queued unserved split requests"),
+		outstanding: reg.Gauge("gridsat_master_outstanding_subproblems", "live subproblems (busy + in flight)"),
+		splitLat:    reg.Histogram("gridsat_master_split_latency_seconds", "SplitAssign to recipient SplitDone", nil),
+	}
+}
+
+// countMsg bumps the per-kind inbound message counter.
+func (m *Master) countMsg(kind string) {
+	c := m.met.msgs[kind]
+	if c == nil {
+		c = m.reg.Counter("gridsat_master_msgs_total", "protocol messages handled by kind", obs.L("kind", kind))
+		m.met.msgs[kind] = c
+	}
+	c.Inc()
+}
+
+// updateGauges recomputes the pool gauges; called from the event loop
+// after any state change (O(clients), which is tiny next to the wire).
+func (m *Master) updateGauges() {
+	var reg, busy, res int64
+	for _, c := range m.clients {
+		if c.addr != "" {
+			reg++
+		}
+		if c.busy {
+			busy++
+		}
+		if c.reserved {
+			res++
+		}
+	}
+	m.met.registered.Set(reg)
+	m.met.busy.Set(busy)
+	m.met.reserved.Set(res)
+	m.met.backlog.Set(int64(len(m.backlog)))
+	m.met.outstanding.Set(int64(m.outstanding))
 }
 
 // NewMaster builds a master and starts listening; the returned master's
@@ -108,6 +241,14 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
 	m := &Master{
 		cfg:           cfg,
 		listener:      l,
@@ -115,6 +256,19 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		clients:       map[int]*masterClient{},
 		pendingSplits: map[int]*splitPair{},
 		seenClauses:   map[string]bool{},
+		reg:           reg,
+		log:           log.Named("master"),
+		met:           newMasterMetrics(reg),
+	}
+	if cfg.MetricsAddr != "" {
+		srv, addr, err := obs.Serve(cfg.MetricsAddr,
+			obs.Handler(reg, func() any { return m.Status() }))
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("core: metrics server: %w", err)
+		}
+		m.httpSrv, m.httpAddr = srv, addr
+		m.log.Info("introspection server up", "addr", addr)
 	}
 	go m.acceptLoop()
 	return m, nil
@@ -122,6 +276,14 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 
 // Addr returns the master's dialable address.
 func (m *Master) Addr() string { return m.listener.Addr() }
+
+// MetricsAddr returns the bound introspection address ("" when
+// MasterConfig.MetricsAddr was empty).
+func (m *Master) MetricsAddr() string { return m.httpAddr }
+
+// Metrics returns the master's registry (the config's, or the private
+// one allocated when none was supplied).
+func (m *Master) Metrics() *obs.Registry { return m.reg }
 
 // StatusSnapshot is a point-in-time view of the master's pool, served
 // through the event loop so it is always consistent.
@@ -134,6 +296,10 @@ type StatusSnapshot struct {
 	Outstanding int
 	Splits      int
 	Shared      int
+	// WallSeconds is the elapsed run time (0 before Run starts).
+	WallSeconds float64
+	// Clients are the live per-client aggregates, sorted by ID.
+	Clients []ClientStatus
 }
 
 // Status asynchronously requests a snapshot from a running master. It
@@ -208,26 +374,67 @@ func (m *Master) Run() (Result, error) {
 		defer t.Stop()
 		timeout = t.C
 	}
+	defer func() {
+		if m.httpSrv != nil {
+			_ = m.httpSrv.Close()
+		}
+	}()
 	for {
 		select {
 		case ev := <-m.events:
 			done, err := m.handle(ev)
 			if err != nil {
+				m.finishResult()
 				m.shutdownAll()
 				return m.result, err
 			}
 			if done {
 				m.result.Wall = time.Since(m.started)
+				m.finishResult()
+				m.log.Info("run decided", "status", m.result.Status,
+					"wall", m.result.Wall, "splits", m.result.Splits)
 				m.shutdownAll()
 				return m.result, nil
 			}
 		case <-timeout:
 			m.result.Status = solver.StatusUnknown
 			m.result.Wall = time.Since(m.started)
+			m.finishResult()
+			m.log.Warn("run timed out", "after", m.cfg.Timeout)
 			m.shutdownAll()
 			return m.result, nil
 		}
 	}
+}
+
+// finishResult freezes the per-client aggregates into the Result.
+func (m *Master) finishResult() {
+	m.result.Clients = m.clientStatuses()
+}
+
+// clientStatuses builds the per-client aggregate list, sorted by ID.
+// Event-loop only.
+func (m *Master) clientStatuses() []ClientStatus {
+	out := make([]ClientStatus, 0, len(m.clients))
+	for _, c := range m.clients {
+		if c.addr == "" {
+			continue // connection still mid-registration
+		}
+		out = append(out, ClientStatus{
+			ID:           c.id,
+			Host:         c.hostName,
+			Busy:         c.busy,
+			Reserved:     c.reserved,
+			MemBytes:     c.memBytes,
+			DBLearnts:    c.dbLearnts,
+			Decisions:    c.agg.Decisions,
+			Conflicts:    c.agg.Conflicts,
+			Propagations: c.agg.Propagations,
+			Learned:      c.agg.Learned,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 func (m *Master) handle(ev masterEvent) (bool, error) {
@@ -237,6 +444,10 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 			Outstanding: m.outstanding,
 			Splits:      m.result.Splits,
 			Shared:      m.result.SharedClauses,
+			Clients:     m.clientStatuses(),
+		}
+		if !m.started.IsZero() {
+			snap.WallSeconds = time.Since(m.started).Seconds()
 		}
 		for _, c := range m.clients {
 			if c.addr != "" {
@@ -268,6 +479,8 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 	if ev.err != nil {
 		return m.clientLost(c)
 	}
+	m.countMsg(ev.msg.Kind())
+	defer m.updateGauges()
 	switch msg := ev.msg.(type) {
 	case comm.Register:
 		return false, m.handleRegister(c, msg)
@@ -281,15 +494,42 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 	case comm.Solved:
 		return m.handleSolved(c, msg)
 	case comm.StatusReport:
-		c.memBytes = msg.MemBytes
+		m.handleStatusReport(c, msg)
 	}
 	return false, nil
+}
+
+// handleStatusReport folds a heartbeat into the live cluster view: the
+// latest gauges replace, the deltas accumulate.
+func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
+	m.met.heartbeats.Inc()
+	c.memBytes = msg.MemBytes
+	c.dbLearnts = msg.Learnts
+	c.agg.Add(msg.Deltas)
+	if g := c.gauges; g != nil {
+		g.mem.Set(msg.MemBytes)
+		g.learnts.Set(int64(msg.Learnts))
+		if msg.Busy {
+			g.busy.Set(1)
+		} else {
+			g.busy.Set(0)
+		}
+		g.decisions.Add(msg.Deltas.Decisions)
+		g.conflicts.Add(msg.Deltas.Conflicts)
+		g.propagations.Add(msg.Deltas.Propagations)
+		g.lrnd.Add(msg.Deltas.Learned)
+	}
+	m.log.Debug("heartbeat", "client", c.id, "mem", msg.MemBytes,
+		"learnts", msg.Learnts, "conflicts+", msg.Deltas.Conflicts)
 }
 
 func (m *Master) handleRegister(c *masterClient, msg comm.Register) error {
 	if msg.FreeMemBytes < m.cfg.MinMemBytes {
 		// Paper §3.3: clients on low-memory resources terminate; they
 		// would split constantly and add only communication overhead.
+		m.met.rejected.Inc()
+		m.log.Warn("registration rejected", "host", msg.HostName,
+			"free_mem", msg.FreeMemBytes, "min_mem", m.cfg.MinMemBytes)
 		m.send(c, comm.RegisterAck{Rejected: true,
 			Reason: fmt.Sprintf("free memory %d below minimum %d", msg.FreeMemBytes, m.cfg.MinMemBytes)})
 		delete(m.clients, c.id)
@@ -299,6 +539,10 @@ func (m *Master) handleRegister(c *masterClient, msg comm.Register) error {
 	c.hostName = msg.HostName
 	c.speed = msg.SpeedHint
 	c.memBytes = msg.FreeMemBytes
+	c.gauges = newClientGauges(m.reg, c.id)
+	c.gauges.mem.Set(msg.FreeMemBytes)
+	m.log.Info("client registered", "id", c.id, "host", msg.HostName,
+		"addr", msg.Addr, "free_mem", msg.FreeMemBytes)
 	m.send(c, comm.RegisterAck{ClientID: c.id})
 	m.send(c, comm.BaseProblem{Formula: m.cfg.Formula})
 	if !m.assigned && m.registeredCount() >= max(1, m.cfg.ExpectedClients) {
@@ -364,7 +608,7 @@ func (m *Master) serveBacklog() {
 		recipient.reserved = true
 		m.outstanding++ // the in-flight half counts as outstanding work
 		m.nextSplitID++
-		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id}
+		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id, assignedAt: time.Now()}
 		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, PeerID: recipient.id, PeerAddr: recipient.addr})
 	}
 }
@@ -382,6 +626,8 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 			c.busy = true
 			c.assignedAt = time.Now()
 			m.result.Splits++
+			m.met.splits.Inc()
+			m.met.splitLat.Observe(time.Since(pair.assignedAt).Seconds())
 			m.noteBusyCount()
 		} else {
 			m.outstanding--
@@ -420,6 +666,7 @@ func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
 		return
 	}
 	m.result.SharedClauses += len(fresh)
+	m.met.shared.Add(int64(len(fresh)))
 	for _, other := range m.clients {
 		if other.id == c.id || other.addr == "" {
 			continue
@@ -435,6 +682,8 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 	c.busy = false
 	c.pendingSplit = false
 	m.outstanding--
+	m.log.Info("subproblem solved", "client", c.id, "status", msg.Status,
+		"outstanding", m.outstanding)
 	switch msg.Status {
 	case solver.StatusSAT:
 		// Verify the assignment before declaring success (paper §3.4).
@@ -475,6 +724,7 @@ func (m *Master) clientLost(c *masterClient) (bool, error) {
 	if c.busy || c.reserved {
 		return false, fmt.Errorf("core: lost client %d while it held a subproblem", c.id)
 	}
+	m.log.Warn("idle client lost", "client", c.id, "host", c.hostName)
 	delete(m.clients, c.id)
 	return false, nil
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsat/internal/comm"
+	"gridsat/internal/gen"
+	"gridsat/internal/obs"
+	"gridsat/internal/solver"
+)
+
+// promSample matches one Prometheus exposition sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?(Inf|[0-9.eE+-]+))$`)
+
+// checkPromText asserts body parses as Prometheus text format 0.0.4.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("exposition contained no samples")
+	}
+}
+
+// TestJobMetricsAndReport covers the Solve-level wiring end to end: the
+// instrumented transport fills Result.Comm, heartbeat deltas fill
+// Result.Clients, the registry carries matching series, and the report
+// built from the Result round-trips through JSON consistently.
+func TestJobMetricsAndReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quickJob(4)
+	cfg.Metrics = reg
+	f := gen.Pigeonhole(8)
+	res, err := Solve(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v", res.Status)
+	}
+
+	// Wire traffic was measured per kind and direction.
+	if res.Comm.MsgsSent == 0 || res.Comm.BytesSent == 0 {
+		t.Fatalf("no traffic recorded: %+v", res.Comm)
+	}
+	if res.Comm.PerKind["register"].MsgsSent < 4 {
+		t.Errorf("register msgs = %d, want >= one per client", res.Comm.PerKind["register"].MsgsSent)
+	}
+	if res.Comm.PerKind["split-payload"].BytesSent == 0 {
+		t.Error("split payloads moved but no bytes counted")
+	}
+
+	// Heartbeat deltas aggregated into per-client totals.
+	if len(res.Clients) == 0 {
+		t.Fatal("no per-client aggregates in the result")
+	}
+	var decisions, conflicts int64
+	for _, c := range res.Clients {
+		decisions += c.Decisions
+		conflicts += c.Conflicts
+	}
+	if decisions == 0 || conflicts == 0 {
+		t.Errorf("aggregated decisions=%d conflicts=%d, want both > 0", decisions, conflicts)
+	}
+
+	// The registry agrees with the Result.
+	snap := reg.Snapshot()
+	if v := snap.CounterValue("gridsat_master_splits_total"); v != int64(res.Splits) {
+		t.Errorf("registry splits %d != result %d", v, res.Splits)
+	}
+	if v := snap.CounterValue("gridsat_master_shared_clauses_total"); v != int64(res.SharedClauses) {
+		t.Errorf("registry shared %d != result %d", v, res.SharedClauses)
+	}
+	if v := snap.CounterValue("gridsat_solver_decisions_total"); v == 0 {
+		t.Error("always-on solver counters recorded nothing")
+	}
+	if v := snap.CounterValue("gridsat_comm_msgs_total"); v != res.Comm.MsgsSent+res.Comm.MsgsRecv {
+		t.Errorf("registry comm msgs %d != totals %d", v, res.Comm.MsgsSent+res.Comm.MsgsRecv)
+	}
+
+	// Report: build, serialize, re-read, and validate against the Result.
+	rep := BuildReport("pigeonhole-8", res)
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Status != res.Status.String() || back.Splits != res.Splits ||
+		back.SharedClauses != res.SharedClauses || back.MaxClients != res.MaxClients {
+		t.Errorf("report %+v disagrees with result", back)
+	}
+	if back.Comm.MsgsSent != res.Comm.MsgsSent || back.Comm.BytesSent != res.Comm.BytesSent {
+		t.Errorf("report comm %+v != result comm %+v", back.Comm, res.Comm)
+	}
+	if len(back.Clients) != len(res.Clients) {
+		t.Errorf("report has %d clients, result %d", len(back.Clients), len(res.Clients))
+	}
+	if back.WallSeconds <= 0 {
+		t.Error("report wall_seconds not positive")
+	}
+}
+
+// TestLiveMetricsEndpoint is the acceptance check for the HTTP layer:
+// scrape a running master's /metrics over real HTTP mid-run and require
+// Prometheus-parseable text carrying the comm, master and per-client
+// series; then check /status serves the JSON snapshot.
+func TestLiveMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	cm := comm.NewMetrics(reg)
+	tr := comm.Instrument(comm.NewInprocTransport(), cm)
+	f := gen.Pigeonhole(8)
+	m, err := NewMaster(MasterConfig{
+		Transport:       tr,
+		ListenAddr:      "master",
+		Formula:         f,
+		Timeout:         60 * time.Second,
+		ExpectedClients: 3,
+		Metrics:         reg,
+		MetricsAddr:     "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.MetricsAddr()
+	if addr == "" {
+		t.Fatal("master bound no metrics address")
+	}
+
+	done := make(chan Result, 1)
+	go func() {
+		res, _ := m.Run()
+		done <- res
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		cl, err := NewClient(ClientConfig{
+			Transport:      tr,
+			MasterAddr:     "master",
+			HostName:       fmt.Sprintf("host-%d", i),
+			FreeMemBytes:   64 << 20,
+			SliceConflicts: 200,
+			MinRunTime:     5 * time.Millisecond,
+			HeartbeatEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = cl.Run() }()
+	}
+
+	// Scrape until the run decides; keep the last body that contained the
+	// per-client series (registered shortly after startup).
+	want := []string{
+		"gridsat_comm_msgs_total",
+		"gridsat_comm_bytes_total",
+		"gridsat_master_splits_total",
+		"gridsat_master_shared_clauses_total",
+		"gridsat_master_registered_clients",
+		"gridsat_client_mem_bytes",
+	}
+	var best string
+scrape:
+	for {
+		select {
+		case res := <-done:
+			wg.Wait()
+			if res.Status != solver.StatusUNSAT {
+				t.Fatalf("run ended %v", res.Status)
+			}
+			break scrape
+		default:
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body := string(b)
+			ok := true
+			for _, w := range want {
+				if !strings.Contains(body, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = body
+			}
+			// /status must serve the consistent JSON snapshot while live.
+			if best != "" {
+				sresp, err := http.Get("http://" + addr + "/status")
+				if err == nil {
+					var snap StatusSnapshot
+					if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+						t.Errorf("/status is not JSON: %v", err)
+					}
+					sresp.Body.Close()
+					if snap.Registered == 0 {
+						t.Error("/status snapshot shows no registered clients")
+					}
+				}
+				wg.Wait()
+				<-done
+				break scrape
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if best == "" {
+		t.Fatal("never scraped a body containing all expected series")
+	}
+	checkPromText(t, best)
+	for _, w := range want {
+		if !strings.Contains(best, w) {
+			t.Errorf("scrape missing %s", w)
+		}
+	}
+}
+
+// TestSimTrafficCounters checks the DES runner totals every modeled
+// transfer, mirroring the live transport instrumentation.
+func TestSimTrafficCounters(t *testing.T) {
+	res := RunDistributed(desConfig(gen.Pigeonhole(8), 10_000))
+	if res.Outcome != OutcomeSolved || res.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v/%v", res.Outcome, res.Status)
+	}
+	if res.Msgs == 0 || res.Bytes == 0 {
+		t.Fatalf("sim recorded msgs=%d bytes=%d, want both > 0", res.Msgs, res.Bytes)
+	}
+	if res.Bytes < res.Msgs {
+		t.Errorf("bytes (%d) < msgs (%d): every message has a positive size", res.Bytes, res.Msgs)
+	}
+}

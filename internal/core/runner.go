@@ -159,6 +159,11 @@ type SimResult struct {
 	Shared     int
 	// TotalProps is the real work executed across all clients.
 	TotalProps int64
+	// Msgs/Bytes total the modeled protocol traffic (every simulated
+	// network transfer), the DES counterpart of the live runtime's
+	// instrumented-transport counters.
+	Msgs  int64
+	Bytes int64
 	// Migrations counts whole-subproblem moves to better resources (§3.4).
 	Migrations int
 	// Timeline samples the number of simultaneously busy clients over
@@ -415,11 +420,22 @@ func (r *runner) launch(h *grid.Host) {
 	})
 }
 
+// xfer models one protocol message of the given encoded size: it accrues
+// the simulated traffic totals (SimResult.Msgs/Bytes) and returns the
+// modeled network delay. Every simulated transfer goes through here so
+// the DES reports the same traffic summary the live runtime measures on
+// its instrumented transport.
+func (r *runner) xfer(from, to *grid.Host, bytes int64) float64 {
+	r.res.Msgs++
+	r.res.Bytes += bytes
+	return r.cfg.Grid.Network.Transfer(from, to, bytes)
+}
+
 // assignInitial ships the whole problem to the first registered client.
 func (r *runner) assignInitial(c *simClient) {
 	r.assigned = true
 	bytes := int64(r.cfg.Formula.NumLiterals()*4 + 64)
-	delay := r.cfg.Grid.Network.Transfer(r.master, c.host, bytes)
+	delay := r.xfer(r.master, c.host, bytes)
 	r.outstanding++
 	r.sim.After(delay, func() {
 		if r.done {
@@ -547,7 +563,7 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 	}
 	r.res.Shared += len(fresh)
 	bytes := int64(len(fresh) * 32)
-	toMaster := r.cfg.Grid.Network.Transfer(from.host, r.master, bytes)
+	toMaster := r.xfer(from.host, r.master, bytes)
 	for _, id := range r.order {
 		other := r.clients[id]
 		if other.id == from.id {
@@ -555,9 +571,9 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 		}
 		var delay float64
 		if r.cfg.P2PSharing {
-			delay = r.cfg.Grid.Network.Transfer(from.host, other.host, bytes)
+			delay = r.xfer(from.host, other.host, bytes)
 		} else {
-			delay = toMaster + r.cfg.Grid.Network.Transfer(r.master, other.host, bytes)
+			delay = toMaster + r.xfer(r.master, other.host, bytes)
 		}
 		batch := fresh
 		r.sim.After(delay, func() {
@@ -574,7 +590,7 @@ func (r *runner) requestSplit(c *simClient) {
 		return
 	}
 	c.splitAsked = true
-	delay := r.cfg.Grid.Network.Transfer(c.host, r.master, 64)
+	delay := r.xfer(c.host, r.master, 64)
 	r.sim.After(delay, func() {
 		if r.done || !c.busy {
 			c.splitAsked = false
@@ -618,7 +634,7 @@ func (r *runner) serveBacklog() {
 		r.nextSplitID++
 		splitID := r.nextSplitID
 		r.pending[splitID] = &splitPair{donor: donor.id, recipient: recipient.id}
-		delay := r.cfg.Grid.Network.Transfer(r.master, donor.host, 64)
+		delay := r.xfer(r.master, donor.host, 64)
 		r.sim.After(delay, func() {
 			if r.done {
 				return
@@ -655,7 +671,7 @@ func (r *runner) serveAssigns(c *simClient) {
 		}
 		c.recvAt = r.sim.Now() // the halved problem restarts the clock
 		bytes := subproblemBytes(sub)
-		delay := r.cfg.Grid.Network.Transfer(c.host, recipient.host, bytes)
+		delay := r.xfer(c.host, recipient.host, bytes)
 		r.sim.After(delay, func() {
 			if r.done || recipient.dead {
 				return
@@ -727,7 +743,7 @@ func (r *runner) maybeMigrate() {
 	r.serveAssigns(weakest) // release split assignments queued for the donor
 	recipient.reserved = true
 	bytes := subproblemBytes(sub)
-	delay := r.cfg.Grid.Network.Transfer(weakest.host, recipient.host, bytes)
+	delay := r.xfer(weakest.host, recipient.host, bytes)
 	r.sim.After(delay, func() {
 		weakest.migrating = false
 		if r.done || recipient.dead {
@@ -815,7 +831,7 @@ func (r *runner) serveOrphans() {
 		c := r.clients[target.ID]
 		c.reserved = true
 		bytes := subproblemBytes(sub)
-		delay := r.cfg.Grid.Network.Transfer(r.master, c.host, bytes)
+		delay := r.xfer(r.master, c.host, bytes)
 		r.sim.After(delay, func() {
 			if r.done || c.dead {
 				return

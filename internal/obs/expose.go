@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.families() {
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(fam.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.orderedSeries() {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSample(bw, fam.name, s.labels, nil, float64(m.Value()))
+			case *Gauge:
+				writeSample(bw, fam.name, s.labels, nil, float64(m.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					writeSample(bw, fam.name+"_bucket", s.labels,
+						[]Label{{Key: "le", Value: formatFloat(b)}}, float64(cum))
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				writeSample(bw, fam.name+"_bucket", s.labels,
+					[]Label{{Key: "le", Value: "+Inf"}}, float64(cum))
+				writeSample(bw, fam.name+"_sum", s.labels, nil, m.Sum())
+				writeSample(bw, fam.name+"_count", s.labels, nil, float64(m.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w *bufio.Writer, name string, labels, extra []Label, v float64) {
+	w.WriteString(name)
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) > 0 {
+		w.WriteByte('{')
+		for i, l := range all {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l.Key)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(l.Value))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Point is one counter or gauge sample in a Snapshot.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket in a Snapshot.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramPoint is one histogram series in a Snapshot.
+type HistogramPoint struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []Bucket          `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// Snapshot is a point-in-time, JSON-encodable view of a registry.
+type Snapshot struct {
+	Counters   []Point          `json:"counters"`
+	Gauges     []Point          `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, fam := range r.families() {
+		for _, s := range fam.orderedSeries() {
+			lm := labelMap(s.labels)
+			switch m := s.metric.(type) {
+			case *Counter:
+				snap.Counters = append(snap.Counters, Point{Name: fam.name, Labels: lm, Value: m.Value()})
+			case *Gauge:
+				snap.Gauges = append(snap.Gauges, Point{Name: fam.name, Labels: lm, Value: m.Value()})
+			case *Histogram:
+				// The +Inf bucket is omitted (encoding/json cannot represent
+				// infinity); Count carries the all-observations total.
+				hp := HistogramPoint{Name: fam.name, Labels: lm, Sum: m.Sum(), Count: m.Count()}
+				cum := int64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					hp.Buckets = append(hp.Buckets, Bucket{LE: b, Count: cum})
+				}
+				snap.Histograms = append(snap.Histograms, hp)
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// CounterValue sums every counter series of the given name whose labels
+// include all of want. It is a convenience for reports and tests; hot
+// paths should hold the *Counter handle instead.
+func (s Snapshot) CounterValue(name string, want ...Label) int64 {
+	var total int64
+	for _, p := range s.Counters {
+		if p.Name != name || !matches(p.Labels, want) {
+			continue
+		}
+		total += p.Value
+	}
+	return total
+}
+
+func matches(labels map[string]string, want []Label) bool {
+	for _, w := range want {
+		if labels[w.Key] != w.Value {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package solver
+
+import "gridsat/internal/obs"
+
+// Counters is the solver's cheap always-on metrics export: registry-backed
+// atomic counters updated on the search's hot path. Unlike the
+// Options.Instrument hook (per-event callback with a payload — the moral
+// equivalent of the paper's EveryWare channel, which cost up to 50% of
+// solver throughput, §4.1), these are branch-plus-atomic-add cheap:
+// propagations are batched per BCP pass, so a fully counted run stays
+// within ~2% of an uncounted one (measured in internal/bench's
+// instrumentation ablation).
+//
+// One Counters may be shared by many solvers (e.g. every client of an
+// in-process job) to aggregate cluster-wide totals.
+type Counters struct {
+	Decisions    *obs.Counter
+	Conflicts    *obs.Counter
+	Propagations *obs.Counter
+	Learned      *obs.Counter
+	Restarts     *obs.Counter
+}
+
+// NewCounters registers the solver counter families in reg (labels apply
+// to every series) and returns the handle to install as Options.Counters.
+func NewCounters(reg *obs.Registry, labels ...obs.Label) *Counters {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Counters{
+		Decisions:    reg.Counter("gridsat_solver_decisions_total", "CDCL decisions", labels...),
+		Conflicts:    reg.Counter("gridsat_solver_conflicts_total", "CDCL conflicts", labels...),
+		Propagations: reg.Counter("gridsat_solver_propagations_total", "BCP trail pops", labels...),
+		Learned:      reg.Counter("gridsat_solver_learned_total", "learned clauses recorded", labels...),
+		Restarts:     reg.Counter("gridsat_solver_restarts_total", "search restarts", labels...),
+	}
+}
+
+// StatsDelta returns cur - prev field-by-field; callers use it to turn
+// two Stats snapshots into heartbeat deltas.
+func StatsDelta(cur, prev Stats) Stats {
+	return Stats{
+		Decisions:    cur.Decisions - prev.Decisions,
+		Conflicts:    cur.Conflicts - prev.Conflicts,
+		Propagations: cur.Propagations - prev.Propagations,
+		Implications: cur.Implications - prev.Implications,
+		Learned:      cur.Learned - prev.Learned,
+		Deleted:      cur.Deleted - prev.Deleted,
+		Restarts:     cur.Restarts - prev.Restarts,
+		Imported:     cur.Imported - prev.Imported,
+		Exported:     cur.Exported - prev.Exported,
+		Simplified:   cur.Simplified - prev.Simplified,
+		Splits:       cur.Splits - prev.Splits,
+	}
+}

@@ -143,6 +143,10 @@ type Options struct {
 	// ran its experiments with instrumentation disabled, noting it can
 	// cost up to 50%; leave nil for production runs.
 	Instrument func(Event)
+	// Counters, when non-nil, receives cheap always-on metric increments
+	// (atomic adds; propagations batched per BCP pass). Safe to leave on
+	// in production — see internal/bench's instrumentation ablation.
+	Counters *Counters
 	// OnLemma, when non-nil, receives every learned clause in derivation
 	// order for RUP/DRUP proof logging (see internal/proof). zChaff's
 	// companion zVerify checked such traces; the same discipline lets an
@@ -162,6 +166,17 @@ const (
 	EvLearn
 	EvRestart
 	EvSplit
+	// EvImply fires once per BCP implication — the fine-grained
+	// telemetry that made the paper's EveryWare channel cost up to 50%
+	// of solver throughput (§4.1). Only emitted when Instrument is set;
+	// the cheap Counters path batches the same information instead.
+	EvImply
+
+	// EvKindCount is not an event kind: it is the number of kinds, for
+	// sizing per-kind tables (e.g. trace.Recorder's counters). Add new
+	// kinds ABOVE this sentinel and give them a String case, or the
+	// guard tests in internal/trace will fail.
+	EvKindCount
 )
 
 // String implements fmt.Stringer.
@@ -177,6 +192,8 @@ func (k EventKind) String() string {
 		return "restart"
 	case EvSplit:
 		return "split"
+	case EvImply:
+		return "imply"
 	}
 	return "unknown"
 }
@@ -487,10 +504,12 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
 // propagate runs BCP over the watch lists; it returns the conflicting
 // clause or nil. This is the >90%-of-runtime hot path the paper describes.
 func (s *Solver) propagate() *clause {
+	popped := int64(0)
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true; visit watchers of p's complement
 		s.qhead++
 		s.stats.Propagations++
+		popped++
 		ws := s.watches[p]
 		kept := ws[:0]
 		var confl *clause
@@ -541,12 +560,21 @@ func (s *Solver) propagate() *clause {
 				break
 			}
 			s.stats.Implications++
+			if s.opts.Instrument != nil {
+				s.opts.Instrument(Event{Kind: EvImply, Lit: first, Level: s.DecisionLevel()})
+			}
 			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = kept
 		if confl != nil {
+			if c := s.opts.Counters; c != nil {
+				c.Propagations.Add(popped)
+			}
 			return confl
 		}
+	}
+	if c := s.opts.Counters; c != nil {
+		c.Propagations.Add(popped)
 	}
 	return nil
 }
@@ -757,6 +785,9 @@ func (s *Solver) backtrackTo(level int) {
 func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
 	s.lastLearnt = learnt
 	s.stats.Learned++
+	if c := s.opts.Counters; c != nil {
+		c.Learned.Inc()
+	}
 	if s.opts.OnLemma != nil {
 		lemma := learnt.Clone()
 		lemma = append(lemma, deps...)
@@ -817,6 +848,9 @@ func (s *Solver) decide() bool {
 			s.newDecisionLevel()
 			s.uncheckedEnqueue(l, nil)
 			s.stats.Decisions++
+			if c := s.opts.Counters; c != nil {
+				c.Decisions.Inc()
+			}
 			if s.opts.Instrument != nil {
 				s.opts.Instrument(Event{Kind: EvDecision, Lit: l, Level: s.DecisionLevel()})
 			}
@@ -841,6 +875,9 @@ func (s *Solver) decide() bool {
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(l, nil)
 		s.stats.Decisions++
+		if c := s.opts.Counters; c != nil {
+			c.Decisions.Inc()
+		}
 		if s.opts.Instrument != nil {
 			s.opts.Instrument(Event{Kind: EvDecision, Lit: l, Level: s.DecisionLevel()})
 		}
@@ -885,6 +922,9 @@ func (s *Solver) Solve(lim Limits) Result {
 		if confl != nil {
 			s.stats.Conflicts++
 			s.conflictsSinceRestart++
+			if c := s.opts.Counters; c != nil {
+				c.Conflicts.Inc()
+			}
 			if s.opts.Instrument != nil {
 				s.opts.Instrument(Event{Kind: EvConflict, Level: s.DecisionLevel()})
 			}
@@ -930,6 +970,9 @@ func (s *Solver) Solve(lim Limits) Result {
 			s.conflictsSinceRestart = 0
 			s.restartCount++
 			s.stats.Restarts++
+			if c := s.opts.Counters; c != nil {
+				c.Restarts.Inc()
+			}
 			restartLimit = s.restartThreshold()
 			s.backtrackTo(0)
 			if s.opts.Instrument != nil {

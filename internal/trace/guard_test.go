@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+// The Recorder's per-kind table is sized from the solver's sentinel at
+// compile time; this assignment breaks the build if that coupling is
+// ever removed.
+var _ [solver.EvKindCount]int64 = Recorder{}.counts
+
+// TestEventKindSentinel guards the EvKindCount contract: every real kind
+// sits below the sentinel and has a name, and the sentinel itself is not
+// a nameable kind. Adding a sixth event kind after EvKindCount (instead
+// of above it) fails here instead of being silently dropped from
+// Recorder counts.
+func TestEventKindSentinel(t *testing.T) {
+	if solver.EvKindCount.String() != "unknown" {
+		t.Fatalf("EvKindCount (%d) names itself %q: it must stay a sentinel, not a kind",
+			solver.EvKindCount, solver.EvKindCount.String())
+	}
+	seen := map[string]solver.EventKind{}
+	for k := solver.EventKind(0); k < solver.EvKindCount; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Errorf("event kind %d has no String case — was it added below EvKindCount without updating String?", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if solver.EvSplit >= solver.EvKindCount {
+		t.Fatal("EvKindCount must come after every kind in the iota block")
+	}
+}
+
+// TestRecorderCountsEveryKind feeds one synthetic event of every kind and
+// checks none is dropped, via both Count and the full Counts array.
+func TestRecorderCountsEveryKind(t *testing.T) {
+	rec := NewRecorder(int(solver.EvKindCount))
+	for k := solver.EventKind(0); k < solver.EvKindCount; k++ {
+		rec.Hook()(solver.Event{Kind: k, ClauseLen: 3})
+	}
+	counts := rec.Counts()
+	for k := solver.EventKind(0); k < solver.EvKindCount; k++ {
+		if rec.Count(k) != 1 {
+			t.Errorf("Count(%v) = %d, want 1", k, rec.Count(k))
+		}
+		if counts[k] != 1 {
+			t.Errorf("Counts()[%v] = %d, want 1", k, counts[k])
+		}
+	}
+}
+
+// TestRingWraparoundOrdering fills the ring past capacity with events
+// whose ClauseLen encodes their sequence number and checks Events()
+// returns exactly the newest `capacity` events, oldest first.
+func TestRingWraparoundOrdering(t *testing.T) {
+	const capacity, total = 7, 23
+	rec := NewRecorder(capacity)
+	hook := rec.Hook()
+	for i := 0; i < total; i++ {
+		hook(solver.Event{Kind: solver.EvConflict, Level: i})
+	}
+	evs := rec.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		if want := total - capacity + i; ev.Level != want {
+			t.Fatalf("Events()[%d].Level = %d, want %d (oldest-first after wraparound)", i, ev.Level, want)
+		}
+	}
+}
+
+// TestRingPartialFillOrdering checks ordering before the ring wraps.
+func TestRingPartialFillOrdering(t *testing.T) {
+	rec := NewRecorder(10)
+	hook := rec.Hook()
+	for i := 0; i < 4; i++ {
+		hook(solver.Event{Kind: solver.EvDecision, Level: i})
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Level != i {
+			t.Fatalf("Events()[%d].Level = %d, want %d", i, ev.Level, i)
+		}
+	}
+}
+
+// TestWriteCSVFormat checks the CSV column contract row by row: the kind
+// column round-trips EventKind.String, the lit column is populated
+// exactly for decision/learn/split rows, and level/clause_len are bare
+// integers.
+func TestWriteCSVFormat(t *testing.T) {
+	rec := NewRecorder(16)
+	hook := rec.Hook()
+	events := []solver.Event{
+		{Kind: solver.EvDecision, Lit: mustLit(t, 3, false), Level: 1},
+		{Kind: solver.EvConflict, Level: 2},
+		{Kind: solver.EvLearn, Lit: mustLit(t, 5, true), Level: 1, ClauseLen: 4},
+		{Kind: solver.EvRestart},
+		{Kind: solver.EvSplit, Lit: mustLit(t, 2, false), Level: 3},
+	}
+	for _, ev := range events {
+		hook(ev)
+	}
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "kind,lit,level,clause_len" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != len(events)+1 {
+		t.Fatalf("%d data lines, want %d", len(lines)-1, len(events))
+	}
+	for i, ev := range events {
+		cols := strings.Split(lines[i+1], ",")
+		if len(cols) != 4 {
+			t.Fatalf("row %d has %d columns: %q", i, len(cols), lines[i+1])
+		}
+		if cols[0] != ev.Kind.String() {
+			t.Errorf("row %d kind %q, want %q", i, cols[0], ev.Kind)
+		}
+		wantLit := ev.Kind == solver.EvDecision || ev.Kind == solver.EvLearn || ev.Kind == solver.EvSplit
+		if wantLit && cols[1] != ev.Lit.String() {
+			t.Errorf("row %d lit %q, want %q", i, cols[1], ev.Lit)
+		}
+		if !wantLit && cols[1] != "" {
+			t.Errorf("row %d (%s) has a lit %q, want empty", i, ev.Kind, cols[1])
+		}
+		if lvl, err := strconv.Atoi(cols[2]); err != nil || lvl != ev.Level {
+			t.Errorf("row %d level %q, want %d", i, cols[2], ev.Level)
+		}
+		if cl, err := strconv.Atoi(cols[3]); err != nil || cl != ev.ClauseLen {
+			t.Errorf("row %d clause_len %q, want %d", i, cols[3], ev.ClauseLen)
+		}
+	}
+}
+
+func TestLenBucketRoundtrip(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 8: 3, 1 << 20: numLenBuckets - 1}
+	for l, want := range cases {
+		if got := lenBucket(l); got != want {
+			t.Errorf("lenBucket(%d) = %d, want %d", l, got, want)
+		}
+	}
+	for b := 0; b < numLenBuckets; b++ {
+		if got := lenBucket(bucketMidpoint(b)); got != b {
+			t.Errorf("lenBucket(bucketMidpoint(%d)) = %d", b, got)
+		}
+	}
+}
+
+func mustLit(t *testing.T, v cnf.Var, neg bool) cnf.Lit {
+	t.Helper()
+	if neg {
+		return cnf.NegLit(v)
+	}
+	return cnf.PosLit(v)
+}

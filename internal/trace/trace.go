@@ -22,10 +22,29 @@ type Recorder struct {
 	ring   []solver.Event
 	next   int
 	filled bool
-	counts [5]int64
+	// counts is sized from the solver's EvKindCount sentinel, so a new
+	// event kind is counted automatically instead of silently dropped.
+	counts [solver.EvKindCount]int64
 	// learned-clause length histogram, bucketed by powers of two.
-	lenHist [16]int64
+	lenHist [numLenBuckets]int64
 }
+
+// numLenBuckets bounds the power-of-two length histogram (last bucket
+// absorbs everything >= 2^15 literals).
+const numLenBuckets = 16
+
+// lenBucket maps a learned-clause length to its power-of-two histogram
+// bucket; bucketMidpoint is its inverse, the representative length used
+// when averaging. Keep the two in sync.
+func lenBucket(l int) int {
+	b := 0
+	for ; l > 1 && b < numLenBuckets-1; l >>= 1 {
+		b++
+	}
+	return b
+}
+
+func bucketMidpoint(b int) int { return 1 << uint(b) }
 
 // NewRecorder returns a recorder keeping the most recent `capacity` events
 // (minimum 1).
@@ -50,11 +69,7 @@ func (r *Recorder) Hook() func(solver.Event) {
 			r.counts[ev.Kind]++
 		}
 		if ev.Kind == solver.EvLearn {
-			b := 0
-			for l := ev.ClauseLen; l > 1 && b < len(r.lenHist)-1; l >>= 1 {
-				b++
-			}
-			r.lenHist[b]++
+			r.lenHist[lenBucket(ev.ClauseLen)]++
 		}
 		r.mu.Unlock()
 	}
@@ -68,6 +83,15 @@ func (r *Recorder) Count(kind solver.EventKind) int64 {
 		return 0
 	}
 	return r.counts[kind]
+}
+
+// Counts returns every per-kind total, indexed by EventKind. The array
+// length tracks solver.EvKindCount, so new kinds appear here even before
+// Summary learns to name them.
+func (r *Recorder) Counts() [solver.EvKindCount]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
 }
 
 // Events returns the retained events, oldest first.
@@ -107,7 +131,7 @@ func (r *Recorder) Summary() Summary {
 	var total, weighted float64
 	for b, n := range r.lenHist {
 		total += float64(n)
-		weighted += float64(n) * float64(int(1)<<uint(b))
+		weighted += float64(n) * float64(bucketMidpoint(b))
 	}
 	if total > 0 {
 		s.MeanLearnedLen = weighted / total
