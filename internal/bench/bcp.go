@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/solver"
+)
+
+// This file is the clause-storage ablation: the same two-watched-literal
+// BCP algorithm run over two clause representations — the pointer-per-
+// clause layout the engine originally used (one heap object per clause,
+// watchers holding clause pointers) and the contiguous clause arena that
+// replaced it (one []uint32 slab, watchers holding 32-bit refs). Both
+// mini-engines execute the identical decision script over the identical
+// formula, watcher-move for watcher-move, so any wall-clock or footprint
+// difference is the representation alone. The equivalence is asserted by
+// TestBCPEnginesAgree; the numbers land in EXPERIMENTS.md.
+
+// ptrClause is the before-representation: a heap-allocated clause object.
+type ptrClause struct {
+	deleted bool
+	lits    []cnf.Lit
+}
+
+type ptrWatcher struct {
+	c       *ptrClause
+	blocker cnf.Lit
+}
+
+// bcpState is the assignment machinery shared by both mini-engines.
+type bcpState struct {
+	assigns cnf.Assignment
+	trail   []cnf.Lit
+	qhead   int
+	props   int64
+}
+
+func newBCPState(nVars int) bcpState {
+	return bcpState{assigns: cnf.NewAssignment(nVars)}
+}
+
+func (s *bcpState) enqueue(l cnf.Lit) {
+	s.assigns.Set(l)
+	s.trail = append(s.trail, l)
+}
+
+func (s *bcpState) undoTo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		s.assigns.Unset(s.trail[i].Var())
+	}
+	s.trail = s.trail[:mark]
+	s.qhead = mark
+}
+
+func (s *bcpState) reset() { s.undoTo(0) }
+
+// ptrBCP propagates over pointer-per-clause storage.
+type ptrBCP struct {
+	bcpState
+	clauses []*ptrClause
+	watches [][]ptrWatcher
+}
+
+func newPtrBCP(f *cnf.Formula) *ptrBCP {
+	e := &ptrBCP{bcpState: newBCPState(f.NumVars), watches: make([][]ptrWatcher, 2*f.NumVars)}
+	for _, c := range f.Clauses {
+		if len(c) < 2 {
+			continue
+		}
+		pc := &ptrClause{lits: append([]cnf.Lit(nil), c...)}
+		e.clauses = append(e.clauses, pc)
+		e.watches[pc.lits[0].Not()] = append(e.watches[pc.lits[0].Not()], ptrWatcher{c: pc, blocker: pc.lits[1]})
+		e.watches[pc.lits[1].Not()] = append(e.watches[pc.lits[1].Not()], ptrWatcher{c: pc, blocker: pc.lits[0]})
+	}
+	return e
+}
+
+func (e *ptrBCP) propagate() bool {
+	for e.qhead < len(e.trail) {
+		p := e.trail[e.qhead]
+		e.qhead++
+		e.props++
+		ws := e.watches[p]
+		kept := ws[:0]
+		conflict := false
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue
+			}
+			if e.assigns.LitValue(w.blocker) == cnf.True {
+				kept = append(kept, w)
+				continue
+			}
+			lits := w.c.lits
+			falseLit := p.Not()
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && e.assigns.LitValue(first) == cnf.True {
+				kept = append(kept, ptrWatcher{c: w.c, blocker: first})
+				continue
+			}
+			moved := false
+			for k := 2; k < len(lits); k++ {
+				if e.assigns.LitValue(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					nw := lits[1].Not()
+					e.watches[nw] = append(e.watches[nw], ptrWatcher{c: w.c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, ptrWatcher{c: w.c, blocker: first})
+			if e.assigns.LitValue(first) == cnf.False {
+				for i++; i < len(ws); i++ {
+					if !ws[i].c.deleted {
+						kept = append(kept, ws[i])
+					}
+				}
+				conflict = true
+				e.qhead = len(e.trail)
+				break
+			}
+			e.enqueue(first)
+		}
+		e.watches[p] = kept
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// arenaWatcher mirrors the solver's watcher: a 32-bit ref plus blocker.
+type arenaWatcher struct {
+	ref     solver.ClauseRef
+	blocker cnf.Lit
+}
+
+// arenaBCP propagates over the contiguous clause arena.
+type arenaBCP struct {
+	bcpState
+	ca      *solver.Arena
+	watches [][]arenaWatcher
+}
+
+func newArenaBCP(f *cnf.Formula) *arenaBCP {
+	words := 0
+	for _, c := range f.Clauses {
+		words += 2 + len(c)
+	}
+	e := &arenaBCP{
+		bcpState: newBCPState(f.NumVars),
+		ca:       solver.NewArena(words),
+		watches:  make([][]arenaWatcher, 2*f.NumVars),
+	}
+	for _, c := range f.Clauses {
+		if len(c) < 2 {
+			continue
+		}
+		r := e.ca.Alloc(c, false, false, 0)
+		e.watches[e.ca.Lit(r, 0).Not()] = append(e.watches[e.ca.Lit(r, 0).Not()], arenaWatcher{ref: r, blocker: e.ca.Lit(r, 1)})
+		e.watches[e.ca.Lit(r, 1).Not()] = append(e.watches[e.ca.Lit(r, 1).Not()], arenaWatcher{ref: r, blocker: e.ca.Lit(r, 0)})
+	}
+	return e
+}
+
+func (e *arenaBCP) propagate() bool {
+	ca := e.ca
+	for e.qhead < len(e.trail) {
+		p := e.trail[e.qhead]
+		e.qhead++
+		e.props++
+		ws := e.watches[p]
+		kept := ws[:0]
+		conflict := false
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if ca.Deleted(w.ref) {
+				continue
+			}
+			if e.assigns.LitValue(w.blocker) == cnf.True {
+				kept = append(kept, w)
+				continue
+			}
+			r := w.ref
+			n := ca.Size(r)
+			falseLit := p.Not()
+			if ca.Lit(r, 0) == falseLit {
+				ca.SetLit(r, 0, ca.Lit(r, 1))
+				ca.SetLit(r, 1, falseLit)
+			}
+			first := ca.Lit(r, 0)
+			if first != w.blocker && e.assigns.LitValue(first) == cnf.True {
+				kept = append(kept, arenaWatcher{ref: r, blocker: first})
+				continue
+			}
+			moved := false
+			for k := 2; k < n; k++ {
+				lk := ca.Lit(r, k)
+				if e.assigns.LitValue(lk) != cnf.False {
+					ca.SetLit(r, k, ca.Lit(r, 1))
+					ca.SetLit(r, 1, lk)
+					nw := lk.Not()
+					e.watches[nw] = append(e.watches[nw], arenaWatcher{ref: r, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, arenaWatcher{ref: r, blocker: first})
+			if e.assigns.LitValue(first) == cnf.False {
+				for i++; i < len(ws); i++ {
+					if !ca.Deleted(ws[i].ref) {
+						kept = append(kept, ws[i])
+					}
+				}
+				conflict = true
+				e.qhead = len(e.trail)
+				break
+			}
+			e.enqueue(first)
+		}
+		e.watches[p] = kept
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// bcpDriver abstracts the two mini-engines for the shared script driver.
+type bcpDriver interface {
+	propagate() bool
+	state() *bcpState
+}
+
+func (e *ptrBCP) state() *bcpState   { return &e.bcpState }
+func (e *arenaBCP) state() *bcpState { return &e.bcpState }
+
+// bcpScript returns a deterministic decision sequence: a seeded
+// permutation of all variables with random polarities.
+func bcpScript(nVars int, seed int64) []cnf.Lit {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]cnf.Lit, nVars)
+	for i, v := range rng.Perm(nVars) {
+		out[i] = cnf.MkLit(cnf.Var(v), rng.Intn(2) == 1)
+	}
+	return out
+}
+
+// runBCPScript replays the decision script: each unassigned decision is
+// enqueued and propagated; a conflict rolls back just that decision so
+// the run keeps exercising BCP across the whole variable order.
+func runBCPScript(d bcpDriver, script []cnf.Lit) int64 {
+	st := d.state()
+	for _, dec := range script {
+		if st.assigns.Value(dec.Var()) != cnf.Undef {
+			continue
+		}
+		mark := len(st.trail)
+		st.enqueue(dec)
+		if !d.propagate() {
+			st.undoTo(mark)
+		}
+	}
+	return st.props
+}
+
+// ClauseStorageResult is one storage-ablation measurement.
+type ClauseStorageResult struct {
+	// PtrWall / ArenaWall are the fastest script replays per representation.
+	PtrWall, ArenaWall time.Duration
+	// PtrBytes / ArenaBytes are the heap growth attributable to clause
+	// storage construction (runtime.MemStats deltas across a forced GC).
+	PtrBytes, ArenaBytes int64
+	// Props is the propagation count per replay — identical across
+	// representations by construction.
+	Props int64
+}
+
+// heapDelta measures the live-heap growth caused by build.
+func heapDelta(build func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return int64(after.HeapAlloc) - int64(before.HeapAlloc)
+}
+
+// AblationClauseStorage builds a random 3-SAT instance and replays the
+// same BCP workload under both clause representations, keeping the
+// fastest of `rounds` replays per arm (scheduler-noise damping, like
+// AblationInstrumentation). It returns wall times, construction heap
+// footprints, and the (shared) propagation count.
+func AblationClauseStorage(nVars, nClauses int, seed int64, rounds int) ClauseStorageResult {
+	if rounds < 1 {
+		rounds = 1
+	}
+	f := gen.RandomKSAT(nVars, nClauses, 3, seed)
+	script := bcpScript(f.NumVars, seed+1)
+
+	var res ClauseStorageResult
+	var pe *ptrBCP
+	res.PtrBytes = heapDelta(func() { pe = newPtrBCP(f) })
+	var ae *arenaBCP
+	res.ArenaBytes = heapDelta(func() { ae = newArenaBCP(f) })
+
+	// Watch lists mutate across replays (watcher moves persist through
+	// reset), identically in both engines — so compare propagation counts
+	// round for round.
+	ptrProps := make([]int64, rounds)
+	for i := 0; i < rounds; i++ {
+		pe.state().reset()
+		pe.state().props = 0
+		start := time.Now()
+		ptrProps[i] = runBCPScript(pe, script)
+		if w := time.Since(start); i == 0 || w < res.PtrWall {
+			res.PtrWall = w
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		ae.state().reset()
+		ae.state().props = 0
+		start := time.Now()
+		props := runBCPScript(ae, script)
+		if props != ptrProps[i] {
+			panic("bench: BCP engines diverged; representations are not equivalent")
+		}
+		if w := time.Since(start); i == 0 || w < res.ArenaWall {
+			res.ArenaWall = w
+		}
+	}
+	res.Props = ptrProps[0]
+	return res
+}

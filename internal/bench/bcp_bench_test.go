@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+)
+
+// TestBCPEnginesAgree asserts the two clause representations are
+// behaviorally identical: replaying the same decision script leaves the
+// same trail (literal for literal) and counts the same propagations —
+// the precondition for the benchmark comparison to mean anything.
+func TestBCPEnginesAgree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		f := gen.RandomKSAT(200, 840, 3, seed)
+		script := bcpScript(f.NumVars, seed+100)
+		pe := newPtrBCP(f)
+		ae := newArenaBCP(f)
+		for round := 0; round < 3; round++ {
+			pe.state().reset()
+			ae.state().reset()
+			pProps := runBCPScript(pe, script)
+			aProps := runBCPScript(ae, script)
+			if pProps != aProps {
+				t.Fatalf("seed %d round %d: pointer props %d, arena props %d", seed, round, pProps, aProps)
+			}
+			pt, at := pe.state().trail, ae.state().trail
+			if len(pt) != len(at) {
+				t.Fatalf("seed %d round %d: trail lengths %d vs %d", seed, round, len(pt), len(at))
+			}
+			for i := range pt {
+				if pt[i] != at[i] {
+					t.Fatalf("seed %d round %d: trail[%d] %v vs %v", seed, round, i, pt[i], at[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAblationClauseStorage smoke-tests the exported ablation: it must
+// complete, propagate, and report positive footprints for both arms.
+func TestAblationClauseStorage(t *testing.T) {
+	res := AblationClauseStorage(500, 2100, 7, 2)
+	if res.Props == 0 {
+		t.Fatal("ablation propagated nothing")
+	}
+	if res.PtrWall <= 0 || res.ArenaWall <= 0 {
+		t.Fatalf("non-positive wall times: %v / %v", res.PtrWall, res.ArenaWall)
+	}
+	if res.ArenaBytes <= 0 {
+		t.Fatalf("arena footprint %d", res.ArenaBytes)
+	}
+}
+
+// benchFormula is shared by the two BCP benchmarks so they measure the
+// identical workload.
+var benchFormula *cnf.Formula
+
+func bcpBenchSetup() (*cnf.Formula, []cnf.Lit) {
+	if benchFormula == nil {
+		benchFormula = gen.RandomKSAT(4000, 16800, 3, 1)
+	}
+	return benchFormula, bcpScript(benchFormula.NumVars, 42)
+}
+
+// BenchmarkBCPPointer replays the decision script over pointer-per-clause
+// storage — the representation the engine used before the clause arena.
+func BenchmarkBCPPointer(b *testing.B) {
+	f, script := bcpBenchSetup()
+	e := newPtrBCP(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.state().reset()
+		runBCPScript(e, script)
+	}
+}
+
+// BenchmarkBCPArena replays the same script over the contiguous clause
+// arena. The acceptance bar for the arena refactor is this benchmark
+// running no slower than BenchmarkBCPPointer.
+func BenchmarkBCPArena(b *testing.B) {
+	f, script := bcpBenchSetup()
+	e := newArenaBCP(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.state().reset()
+		runBCPScript(e, script)
+	}
+}

@@ -173,6 +173,9 @@ type SolverDeltas struct {
 	Conflicts    int64
 	Propagations int64
 	Learned      int64
+	// ReclaimedBytes counts bytes the client's clause-arena GC returned
+	// (learned-clause shedding + compaction) since the last report.
+	ReclaimedBytes int64
 }
 
 // Add accumulates another delta into d.
@@ -181,6 +184,7 @@ func (d *SolverDeltas) Add(o SolverDeltas) {
 	d.Conflicts += o.Conflicts
 	d.Propagations += o.Propagations
 	d.Learned += o.Learned
+	d.ReclaimedBytes += o.ReclaimedBytes
 }
 
 // StatusReport is a periodic client heartbeat with resource telemetry.

@@ -349,7 +349,8 @@ func (c *Client) solveSlice() (bool, error) {
 	if res.Reason == solver.ReasonMemLimit {
 		// Out of budget right now: ask for a split and shed inactive
 		// learned clauses so progress continues while the master looks
-		// for an idle resource (paper §4.2).
+		// for an idle resource (paper §4.2). The freed bytes reach the
+		// master through the next heartbeat's ReclaimedBytes delta.
 		c.requestSplit(comm.SplitMemoryPressure)
 		c.slv.ShedMemory()
 		return false, nil
@@ -381,10 +382,11 @@ func (c *Client) sendHeartbeat(busy bool) {
 		Conflicts: st.Conflicts,
 		Busy:      busy,
 		Deltas: comm.SolverDeltas{
-			Decisions:    d.Decisions,
-			Conflicts:    d.Conflicts,
-			Propagations: d.Propagations,
-			Learned:      d.Learned,
+			Decisions:      d.Decisions,
+			Conflicts:      d.Conflicts,
+			Propagations:   d.Propagations,
+			Learned:        d.Learned,
+			ReclaimedBytes: d.ReclaimedBytes,
 		},
 	})
 }

@@ -78,6 +78,9 @@ type ClientStatus struct {
 	Conflicts    int64 `json:"conflicts"`
 	Propagations int64 `json:"propagations"`
 	Learned      int64 `json:"learned"`
+	// ReclaimedBytes totals the bytes the client's clause-arena GC has
+	// returned (memory-pressure shedding + compaction).
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
 }
 
 type masterClient struct {
@@ -102,8 +105,8 @@ type masterClient struct {
 
 // clientGauges are the per-client registry series behind /metrics.
 type clientGauges struct {
-	mem, learnts, busy                       *obs.Gauge
-	decisions, conflicts, propagations, lrnd *obs.Counter
+	mem, learnts, busy                                  *obs.Gauge
+	decisions, conflicts, propagations, lrnd, reclaimed *obs.Counter
 }
 
 func newClientGauges(reg *obs.Registry, id int) *clientGauges {
@@ -116,6 +119,7 @@ func newClientGauges(reg *obs.Registry, id int) *clientGauges {
 		conflicts:    reg.Counter("gridsat_client_conflicts_total", "client conflicts (heartbeat-aggregated)", l),
 		propagations: reg.Counter("gridsat_client_propagations_total", "client propagations (heartbeat-aggregated)", l),
 		lrnd:         reg.Counter("gridsat_client_learned_total", "client learned clauses (heartbeat-aggregated)", l),
+		reclaimed:    reg.Counter("gridsat_client_arena_reclaimed_bytes_total", "client clause-arena bytes reclaimed (heartbeat-aggregated)", l),
 	}
 }
 
@@ -425,12 +429,13 @@ func (m *Master) clientStatuses() []ClientStatus {
 			Host:         c.hostName,
 			Busy:         c.busy,
 			Reserved:     c.reserved,
-			MemBytes:     c.memBytes,
-			DBLearnts:    c.dbLearnts,
-			Decisions:    c.agg.Decisions,
-			Conflicts:    c.agg.Conflicts,
-			Propagations: c.agg.Propagations,
-			Learned:      c.agg.Learned,
+			MemBytes:       c.memBytes,
+			DBLearnts:      c.dbLearnts,
+			Decisions:      c.agg.Decisions,
+			Conflicts:      c.agg.Conflicts,
+			Propagations:   c.agg.Propagations,
+			Learned:        c.agg.Learned,
+			ReclaimedBytes: c.agg.ReclaimedBytes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -518,6 +523,7 @@ func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 		g.conflicts.Add(msg.Deltas.Conflicts)
 		g.propagations.Add(msg.Deltas.Propagations)
 		g.lrnd.Add(msg.Deltas.Learned)
+		g.reclaimed.Add(msg.Deltas.ReclaimedBytes)
 	}
 	m.log.Debug("heartbeat", "client", c.id, "mem", msg.MemBytes,
 		"learnts", msg.Learnts, "conflicts+", msg.Deltas.Conflicts)

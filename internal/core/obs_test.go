@@ -236,6 +236,90 @@ scrape:
 	}
 }
 
+// TestStatusShowsPerClientReclamation drives the master with a hand-rolled
+// client connection whose heartbeats carry ReclaimedBytes deltas (what a
+// real client reports after ShedMemory frees arena space) and checks the
+// figures surface in both views: the /status snapshot's per-client
+// reclaimed_bytes total and the per-client registry counter behind
+// /metrics. Deltas from successive heartbeats must sum.
+func TestStatusShowsPerClientReclamation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := comm.NewInprocTransport()
+	f := gen.Pigeonhole(6)
+	m, err := NewMaster(MasterConfig{
+		Transport:       tr,
+		ListenAddr:      "reclaim-master",
+		Formula:         f,
+		Timeout:         60 * time.Second,
+		ExpectedClients: 1,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go m.Run()
+
+	conn, err := tr.Dial("reclaim-master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(comm.Register{Addr: "fake-peer", HostName: "h0", FreeMemBytes: 64 << 20, SpeedHint: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, ok := ack.(comm.RegisterAck)
+	if !ok || ra.Rejected {
+		t.Fatalf("registration failed: %#v", ack)
+	}
+	// Drain the master's pushes (base problem, initial assignment) so its
+	// writer never blocks.
+	go func() {
+		for {
+			if _, err := conn.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	for _, delta := range []int64{100_000, 23_456} {
+		if err := conn.Send(comm.StatusReport{
+			ClientID: ra.ClientID,
+			MemBytes: 1 << 20,
+			Busy:     true,
+			Deltas:   comm.SolverDeltas{Conflicts: 10, ReclaimedBytes: delta},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const want = int64(100_000 + 23_456)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := m.Status()
+		var got int64
+		for _, c := range snap.Clients {
+			if c.ID == ra.ClientID {
+				got = c.ReclaimedBytes
+			}
+		}
+		if got == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/status reclaimed_bytes = %d, want %d (snapshot %+v)", got, want, snap.Clients)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	label := obs.L("client", fmt.Sprintf("%d", ra.ClientID))
+	if v := reg.Snapshot().CounterValue("gridsat_client_arena_reclaimed_bytes_total", label); v != want {
+		t.Errorf("registry per-client reclaimed counter = %d, want %d", v, want)
+	}
+}
+
 // TestSimTrafficCounters checks the DES runner totals every modeled
 // transfer, mirroring the live transport instrumentation.
 func TestSimTrafficCounters(t *testing.T) {

@@ -42,11 +42,11 @@ func (s *Solver) Checkpoint(kind CheckpointKind, learntMaxCount int) *Checkpoint
 		Level0:  s.Level0Lits(),
 	}
 	if kind == HeavyCheckpoint {
-		for _, c := range s.learnts {
-			if c.deleted {
+		for _, r := range s.learnts {
+			if s.ca.Deleted(r) {
 				continue
 			}
-			cp.Learnts = append(cp.Learnts, cnf.Clause(c.lits).Clone())
+			cp.Learnts = append(cp.Learnts, s.clauseAt(r))
 			if learntMaxCount > 0 && len(cp.Learnts) >= learntMaxCount {
 				break
 			}

@@ -150,3 +150,85 @@ func TestLoadCheckpointGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// checkCheckpointRoundTrip is the property behind FuzzCheckpointRoundTrip:
+// a checkpoint taken mid-run must survive Save/LoadCheckpoint bit-exactly
+// (same level-0 prefix, same learned-clause set, literal for literal), and
+// the restored solver must reach the oracle's verdict on the original
+// formula.
+func checkCheckpointRoundTrip(t *testing.T, seed int64, conflicts int64, learntCap int) {
+	t.Helper()
+	f := gen.RandomKSAT(12, 50, 3, seed)
+	want, _ := brute.Solve(f, 0)
+	s := New(f, DefaultOptions())
+	s.Solve(Limits{MaxConflicts: conflicts})
+	if s.Status() != StatusUnknown {
+		return // solved before the checkpoint; nothing to restore
+	}
+	cp := s.Checkpoint(HeavyCheckpoint, learntCap)
+
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized form must preserve the checkpoint exactly.
+	if got.Kind != cp.Kind || got.NumVars != cp.NumVars {
+		t.Fatalf("header changed: %+v vs %+v", got, cp)
+	}
+	if len(got.Level0) != len(cp.Level0) {
+		t.Fatalf("level-0 length %d vs %d", len(got.Level0), len(cp.Level0))
+	}
+	for i, l := range cp.Level0 {
+		if got.Level0[i] != l {
+			t.Fatalf("level-0[%d]: %v vs %v", i, got.Level0[i], l)
+		}
+	}
+	if len(got.Learnts) != len(cp.Learnts) {
+		t.Fatalf("learnt set size %d vs %d", len(got.Learnts), len(cp.Learnts))
+	}
+	for i, c := range cp.Learnts {
+		if len(got.Learnts[i]) != len(c) {
+			t.Fatalf("learnt %d length changed", i)
+		}
+		for j, l := range c {
+			if got.Learnts[i][j] != l {
+				t.Fatalf("learnt %d literal %d: %v vs %v", i, j, got.Learnts[i][j], l)
+			}
+		}
+	}
+
+	restored, err := Restore(f, got, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := restored.Solve(Limits{})
+	if (r.Status == StatusSAT) != (want == brute.SAT) {
+		t.Fatalf("seed %d: restored verdict %v, oracle %v", seed, r.Status, want)
+	}
+	if r.Status == StatusSAT {
+		if err := f.Verify(r.Model); err != nil {
+			t.Fatalf("seed %d: restored model invalid: %v", seed, err)
+		}
+	}
+}
+
+// FuzzCheckpointRoundTrip fuzzes the Save/LoadCheckpoint/Restore pipeline
+// over random instances, interruption points, and learnt caps. The seed
+// corpus doubles as the deterministic property test under plain `go test`.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(5), uint8(0))
+	f.Add(int64(1), int64(1), uint8(3))
+	f.Add(int64(2), int64(40), uint8(0))
+	f.Add(int64(3), int64(12), uint8(1))
+	f.Add(int64(17), int64(25), uint8(7))
+	f.Fuzz(func(t *testing.T, seed, conflicts int64, learntCap uint8) {
+		if conflicts < 1 {
+			conflicts = 1
+		}
+		checkCheckpointRoundTrip(t, seed&0xffff, conflicts%128, int(learntCap))
+	})
+}

@@ -19,6 +19,13 @@ type Counters struct {
 	Propagations *obs.Counter
 	Learned      *obs.Counter
 	Restarts     *obs.Counter
+	// ArenaBytes is the exact live clause-arena size, refreshed whenever
+	// the database grows (record) or shrinks (reduceDB, GC). When one
+	// Counters is shared by several solvers the gauge reflects the most
+	// recent writer; give each client its own labels for per-client views.
+	ArenaBytes *obs.Gauge
+	// Reclaimed accumulates bytes reclaimed by the arena's compacting GC.
+	Reclaimed *obs.Counter
 }
 
 // NewCounters registers the solver counter families in reg (labels apply
@@ -33,6 +40,8 @@ func NewCounters(reg *obs.Registry, labels ...obs.Label) *Counters {
 		Propagations: reg.Counter("gridsat_solver_propagations_total", "BCP trail pops", labels...),
 		Learned:      reg.Counter("gridsat_solver_learned_total", "learned clauses recorded", labels...),
 		Restarts:     reg.Counter("gridsat_solver_restarts_total", "search restarts", labels...),
+		ArenaBytes:   reg.Gauge("gridsat_solver_arena_bytes", "exact live clause-arena bytes", labels...),
+		Reclaimed:    reg.Counter("gridsat_solver_arena_reclaimed_bytes_total", "bytes reclaimed by arena GC", labels...),
 	}
 }
 
@@ -47,9 +56,10 @@ func StatsDelta(cur, prev Stats) Stats {
 		Learned:      cur.Learned - prev.Learned,
 		Deleted:      cur.Deleted - prev.Deleted,
 		Restarts:     cur.Restarts - prev.Restarts,
-		Imported:     cur.Imported - prev.Imported,
-		Exported:     cur.Exported - prev.Exported,
-		Simplified:   cur.Simplified - prev.Simplified,
-		Splits:       cur.Splits - prev.Splits,
+		Imported:       cur.Imported - prev.Imported,
+		Exported:       cur.Exported - prev.Exported,
+		Simplified:     cur.Simplified - prev.Simplified,
+		Splits:         cur.Splits - prev.Splits,
+		ReclaimedBytes: cur.ReclaimedBytes - prev.ReclaimedBytes,
 	}
 }

@@ -3,7 +3,6 @@ package solver
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"gridsat/internal/cnf"
 )
@@ -136,7 +135,7 @@ func (s *Solver) mergeOne(c cnf.Clause, local bool) bool {
 		}
 		for _, l := range c {
 			if s.assigns.LitValue(l) == cnf.Undef {
-				s.uncheckedEnqueue(l, nil)
+				s.uncheckedEnqueue(l, CRefUndef)
 				if taint {
 					s.taint(l.Var())
 				}
@@ -151,10 +150,9 @@ func (s *Solver) mergeOne(c cnf.Clause, local bool) bool {
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return s.assigns.LitValue(sorted[i]) == cnf.Undef && s.assigns.LitValue(sorted[j]) != cnf.Undef
 	})
-	cl := &clause{lits: sorted, learnt: true, act: s.actInc, local: local}
-	s.learnts = append(s.learnts, cl)
-	s.attach(cl)
-	atomic.AddInt64(&s.litsStored, int64(len(sorted)))
+	r := s.ca.Alloc(sorted, true, local, clauseAct(s.actInc))
+	s.learnts = append(s.learnts, r)
+	s.attach(r)
 	for _, l := range sorted {
 		s.bump(l)
 	}

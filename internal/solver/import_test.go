@@ -16,7 +16,7 @@ func TestImportFourCases(t *testing.T) {
 	f := cnf.NewFormula(6)
 	f.Add(1).Add(-2).Add(3, 4, 5, 6) // keep something undecided
 	s := New(f, DefaultOptions())
-	if confl := s.propagate(); confl != nil { // flush the level-0 units
+	if confl := s.propagate(); confl != CRefUndef { // flush the level-0 units
 		t.Fatal("unexpected conflict in setup")
 	}
 

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"sort"
-	"sync/atomic"
 
 	"gridsat/internal/cnf"
 )
@@ -11,6 +10,7 @@ import (
 // level-0-false literals from the rest — the paper's §3.1 pruning of
 // "inconsequential" clauses, which it also backports to the sequential
 // baseline. Must be called at decision level 0 with propagation complete.
+// Freed clause space is compacted by the arena GC once enough accumulates.
 func (s *Solver) simplify() {
 	if s.DecisionLevel() != 0 || s.qhead != len(s.trail) {
 		return
@@ -21,45 +21,49 @@ func (s *Solver) simplify() {
 	s.lastSimplifyTrail = len(s.trail)
 	s.clauses = s.simplifyList(s.clauses)
 	s.learnts = s.simplifyList(s.learnts)
+	s.maybeGC()
 }
 
-func (s *Solver) simplifyList(list []*clause) []*clause {
+func (s *Solver) simplifyList(list []ClauseRef) []ClauseRef {
+	ca := s.ca
 	kept := list[:0]
-	for _, c := range list {
-		if c.deleted {
+	for _, r := range list {
+		if ca.Deleted(r) {
 			continue
 		}
-		if s.satisfiedAtLevel0(c) {
-			s.detach(c)
+		if s.satisfiedAtLevel0(r) {
+			s.detach(r)
 			s.stats.Simplified++
 			continue
 		}
 		// Strip false literals from non-watched positions. After full
 		// level-0 propagation the two watched literals of an unsatisfied
 		// clause are never false, so watches stay valid.
+		n := ca.Size(r)
 		w := 2
-		for r := 2; r < len(c.lits); r++ {
-			if s.assigns.LitValue(c.lits[r]) == cnf.False {
-				if s.tainted[c.lits[r].Var()] {
+		for k := 2; k < n; k++ {
+			l := ca.Lit(r, k)
+			if s.assigns.LitValue(l) == cnf.False {
+				if s.tainted[l.Var()] {
 					// Strengthening by an assumption-dependent assignment
 					// restricts the clause to this guiding path.
-					c.local = true
+					ca.SetLocal(r)
 				}
-				atomic.AddInt64(&s.litsStored, -1)
 				continue
 			}
-			c.lits[w] = c.lits[r]
+			ca.SetLit(r, w, l)
 			w++
 		}
-		c.lits = c.lits[:w]
-		kept = append(kept, c)
+		ca.shrinkTo(r, w)
+		kept = append(kept, r)
 	}
 	return kept
 }
 
-// satisfiedAtLevel0 reports whether some literal of c is true at level 0.
-func (s *Solver) satisfiedAtLevel0(c *clause) bool {
-	for _, l := range c.lits {
+// satisfiedAtLevel0 reports whether some literal of r is true at level 0.
+func (s *Solver) satisfiedAtLevel0(r ClauseRef) bool {
+	for i, n := 0, s.ca.Size(r); i < n; i++ {
+		l := s.ca.Lit(r, i)
 		if s.assigns.LitValue(l) == cnf.True && s.level[l.Var()] == 0 {
 			return true
 		}
@@ -71,42 +75,55 @@ func (s *Solver) satisfiedAtLevel0(c *clause) bool {
 // short clauses plus any clause that is currently a reason ("locked").
 // Mirrors the paper's observation (§4.2) that antecedent clauses must be
 // retained while inactive learned clauses can be discarded under memory
-// pressure.
+// pressure. The arena compacts once a fifth of the slab is reclaimable.
 func (s *Solver) reduceDB() {
+	ca := s.ca
 	live := s.learnts[:0]
-	for _, c := range s.learnts {
-		if !c.deleted {
-			live = append(live, c)
+	for _, r := range s.learnts {
+		if !ca.Deleted(r) {
+			live = append(live, r)
 		}
 	}
 	s.learnts = live
 	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].act < s.learnts[j].act
+		return ca.Act(s.learnts[i]) < ca.Act(s.learnts[j])
 	})
 	target := len(s.learnts) / 2
 	removed := 0
 	kept := s.learnts[:0]
-	for _, c := range s.learnts {
-		if removed < target && len(c.lits) > 2 && !s.locked(c) {
-			s.detach(c)
+	for _, r := range s.learnts {
+		if removed < target && ca.Size(r) > 2 && !s.locked(r) {
+			s.detach(r)
 			s.stats.Deleted++
 			removed++
 			continue
 		}
-		kept = append(kept, c)
+		kept = append(kept, r)
 	}
 	s.learnts = kept
 	s.maxLearnts = s.maxLearnts + s.maxLearnts/5
+	s.maybeGC()
+	if c := s.opts.Counters; c != nil {
+		c.ArenaBytes.Set(s.ca.LiveBytes())
+	}
 }
 
-// ShedMemory aggressively halves the learned-clause database. GridSAT
-// clients call it when the memory budget is hit while waiting for a split,
-// mirroring the paper's §4.2 observation that a memory-starved solver must
-// discard inactive learned clauses to keep making (degraded) progress.
-func (s *Solver) ShedMemory() { s.reduceDB() }
+// ShedMemory aggressively halves the learned-clause database and compacts
+// the arena, returning the exact number of bytes freed (dropped clauses
+// plus reclaimed fragmentation). GridSAT clients call it when the memory
+// budget is hit while waiting for a split, mirroring the paper's §4.2
+// observation that a memory-starved solver must discard inactive learned
+// clauses to keep making (degraded) progress; the return value feeds the
+// client heartbeat so the master's /status shows per-client reclamation.
+func (s *Solver) ShedMemory() int64 {
+	before := s.ca.LiveBytes() + s.ca.WastedBytes()
+	s.reduceDB()
+	s.garbageCollect()
+	return before - s.ca.LiveBytes()
+}
 
-// locked reports whether c is the antecedent of a current assignment.
-func (s *Solver) locked(c *clause) bool {
-	v := c.lits[0].Var()
-	return s.reason[v] == c && s.assigns.LitValue(c.lits[0]) == cnf.True
+// locked reports whether r is the antecedent of a current assignment.
+func (s *Solver) locked(r ClauseRef) bool {
+	l0 := s.ca.Lit(r, 0)
+	return s.reason[l0.Var()] == r && s.assigns.LitValue(l0) == cnf.True
 }

@@ -15,6 +15,7 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -219,24 +220,13 @@ func DefaultOptions() Options {
 	}
 }
 
-// clause is the internal clause representation. lits[0] and lits[1] are the
-// watched literals.
-type clause struct {
-	lits   []cnf.Lit
-	act    float64
-	learnt bool
-	// local marks clauses valid only under this solver's guiding-path
-	// assumptions (paper §3.2: removing known assignments "might make
-	// learned clauses only valid for the current client"). Local clauses
-	// are used freely here and may be forwarded inside splits (the
-	// recipient inherits a superset of our assumptions), but are never
-	// shared globally.
-	local   bool
-	deleted bool
-}
-
+// Clauses live in a contiguous arena (see arena.go) and are addressed by
+// ClauseRef. The per-clause flags (learnt, local — paper §3.2's
+// "only valid for the current client" marking — and deleted) are header
+// bits; watchers carry a blocker literal so BCP can skip satisfied
+// clauses without touching clause memory.
 type watcher struct {
-	c *clause
+	ref ClauseRef
 	// blocker is some other literal of the clause; if it is already true
 	// the clause is satisfied and need not be inspected.
 	blocker cnf.Lit
@@ -249,14 +239,15 @@ type Solver struct {
 	opts Options
 
 	nVars   int
-	clauses []*clause // problem clauses (and imported non-learnt merges)
-	learnts []*clause
+	ca      *Arena      // all clause storage
+	clauses []ClauseRef // problem clauses (and imported non-learnt merges)
+	learnts []ClauseRef
 
 	watches [][]watcher // indexed by Lit
 
 	assigns  cnf.Assignment
 	level    []int32
-	reason   []*clause
+	reason   []ClauseRef
 	trail    []cnf.Lit
 	trailLim []int
 	qhead    int
@@ -267,7 +258,6 @@ type Solver struct {
 	actInc   float64
 
 	maxLearnts  int
-	litsStored  int64 // atomic: approximate literal count in the DB
 	lastLearnt  cnf.Clause
 	model       cnf.Assignment
 	status      Status
@@ -298,18 +288,26 @@ type Solver struct {
 // New builds a solver over f's clauses with the given options.
 // The formula is copied; the solver never mutates f.
 func New(f *cnf.Formula, opts Options) *Solver {
+	words := hdrWords * len(f.Clauses)
+	for _, c := range f.Clauses {
+		words += len(c)
+	}
 	s := &Solver{
 		opts:     opts,
 		nVars:    f.NumVars,
+		ca:       NewArena(words + words/2),
 		assigns:  cnf.NewAssignment(f.NumVars),
 		level:    make([]int32, f.NumVars),
-		reason:   make([]*clause, f.NumVars),
+		reason:   make([]ClauseRef, f.NumVars),
 		watches:  make([][]watcher, 2*f.NumVars),
 		activity: make([]float64, 2*f.NumVars),
 		actInc:   1,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		seen:     make([]bool, f.NumVars),
 		tainted:  make([]bool, f.NumVars),
+	}
+	for v := range s.reason {
+		s.reason[v] = CRefUndef
 	}
 	if opts.PhaseSaving {
 		s.savedPhase = make([]cnf.LBool, f.NumVars)
@@ -325,9 +323,9 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	}
 	// Seed VSIDS: Chaff initializes counters from occurrences in the
 	// initial clause database.
-	for _, c := range s.clauses {
-		for _, l := range c.lits {
-			s.activity[l]++
+	for _, r := range s.clauses {
+		for i, n := 0, s.ca.Size(r); i < n; i++ {
+			s.activity[s.ca.Lit(r, i)]++
 		}
 	}
 	for l := 0; l < 2*s.nVars; l++ {
@@ -353,10 +351,9 @@ func (s *Solver) addProblemClause(c cnf.Clause) {
 		s.pendingUnit(norm[0])
 		return
 	}
-	cl := &clause{lits: norm}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
-	atomic.AddInt64(&s.litsStored, int64(len(norm)))
+	r := s.ca.Alloc(norm, false, false, 0)
+	s.clauses = append(s.clauses, r)
+	s.attach(r)
 }
 
 // pendingUnit enqueues a level-0 fact; contradictions mark UNSAT.
@@ -368,18 +365,19 @@ func (s *Solver) pendingUnit(l cnf.Lit) {
 		s.status = StatusUNSAT
 		return
 	}
-	s.uncheckedEnqueue(l, nil)
+	s.uncheckedEnqueue(l, CRefUndef)
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+func (s *Solver) attach(r ClauseRef) {
+	l0, l1 := s.ca.Lit(r, 0), s.ca.Lit(r, 1)
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{ref: r, blocker: l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{ref: r, blocker: l0})
 }
 
-// detach is lazy: the clause is flagged and watchers drop it when visited.
-func (s *Solver) detach(c *clause) {
-	c.deleted = true
-	atomic.AddInt64(&s.litsStored, -int64(len(c.lits)))
+// detach is lazy: the clause is flagged and watchers drop it when visited;
+// the arena reclaims the space at the next compaction.
+func (s *Solver) detach(r ClauseRef) {
+	s.ca.Free(r)
 }
 
 // NumVars returns the variable count.
@@ -407,20 +405,21 @@ func (s *Solver) LastLearnt() cnf.Clause { return s.lastLearnt.Clone() }
 // NumLearnts returns the live learned-clause count.
 func (s *Solver) NumLearnts() int {
 	n := 0
-	for _, c := range s.learnts {
-		if !c.deleted {
+	for _, r := range s.learnts {
+		if !s.ca.Deleted(r) {
 			n++
 		}
 	}
 	return n
 }
 
-// MemoryBytes estimates the clause database footprint in bytes. GridSAT
-// clients compare it against their host memory budget to decide when to
-// request a split (paper §3.3). Safe to call concurrently with Solve.
+// MemoryBytes returns the solver's memory footprint in bytes: the exact
+// live clause-arena size (see ArenaBytes) plus the fixed per-variable
+// overhead of the trail/watch/activity structures. GridSAT clients compare
+// it against their host memory budget to decide when to request a split
+// (paper §3.3). Safe to call concurrently with Solve.
 func (s *Solver) MemoryBytes() int64 {
-	lits := atomic.LoadInt64(&s.litsStored)
-	return lits*4 + int64(s.nVars)*40
+	return s.ca.LiveBytes() + int64(s.nVars)*40
 }
 
 // Stop asynchronously interrupts a running Solve; it returns with
@@ -451,7 +450,7 @@ func (s *Solver) Assume(lits ...cnf.Lit) error {
 			return nil
 		}
 		s.taint(l.Var())
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(l, CRefUndef)
 	}
 	return nil
 }
@@ -478,7 +477,7 @@ func (s *Solver) Level0Lits() []cnf.Lit {
 }
 
 // uncheckedEnqueue records a new assignment with its antecedent clause.
-func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from ClauseRef) {
 	s.assigns.Set(l)
 	s.level[l.Var()] = int32(s.DecisionLevel())
 	s.reason[l.Var()] = from
@@ -487,13 +486,13 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
 	// clause, or by any clause containing a tainted literal, itself
 	// depends on the assumptions. Skipped entirely while no taint exists,
 	// so the sequential baseline pays nothing.
-	if from != nil && (s.numTainted > 0 || from.local) {
-		if from.local {
+	if from != CRefUndef && (s.numTainted > 0 || s.ca.Local(from)) {
+		if s.ca.Local(from) {
 			s.taint(l.Var())
 			return
 		}
-		for _, q := range from.lits {
-			if s.tainted[q.Var()] {
+		for i, n := 0, s.ca.Size(from); i < n; i++ {
+			if s.tainted[s.ca.Lit(from, i).Var()] {
 				s.taint(l.Var())
 				return
 			}
@@ -502,9 +501,13 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
 }
 
 // propagate runs BCP over the watch lists; it returns the conflicting
-// clause or nil. This is the >90%-of-runtime hot path the paper describes.
-func (s *Solver) propagate() *clause {
+// clause's reference or CRefUndef. This is the >90%-of-runtime hot path
+// the paper describes; clause headers and literals are read straight from
+// the contiguous arena slab, so a clause visit touches one cache line for
+// short clauses.
+func (s *Solver) propagate() ClauseRef {
 	popped := int64(0)
+	data := s.ca.data // no allocation happens during propagation
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true; visit watchers of p's complement
 		s.qhead++
@@ -512,33 +515,36 @@ func (s *Solver) propagate() *clause {
 		popped++
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := CRefUndef
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if w.c.deleted {
+			h := data[w.ref]
+			if h&flagDeleted != 0 {
 				continue // lazily drop watchers of deleted clauses
 			}
 			if s.assigns.LitValue(w.blocker) == cnf.True {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
+			base := int(w.ref) + hdrWords
+			n := int(h >> flagBits)
 			falseLit := p.Not()
-			// Ensure the false literal is at lits[1].
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			// Ensure the false literal is at position 1.
+			if cnf.Lit(data[base]) == falseLit {
+				data[base], data[base+1] = data[base+1], data[base]
 			}
-			first := c.lits[0]
+			first := cnf.Lit(data[base])
 			if first != w.blocker && s.assigns.LitValue(first) == cnf.True {
-				kept = append(kept, watcher{c: c, blocker: first})
+				kept = append(kept, watcher{ref: w.ref, blocker: first})
 				continue
 			}
 			// Look for a new literal to watch.
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.assigns.LitValue(c.lits[k]) != cnf.False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
+			for k := 2; k < n; k++ {
+				if s.assigns.LitValue(cnf.Lit(data[base+k])) != cnf.False {
+					data[base+1], data[base+k] = data[base+k], data[base+1]
+					nw := cnf.Lit(data[base+1]).Not()
+					s.watches[nw] = append(s.watches[nw], watcher{ref: w.ref, blocker: first})
 					moved = true
 					break
 				}
@@ -547,15 +553,15 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting on first.
-			kept = append(kept, watcher{c: c, blocker: first})
+			kept = append(kept, watcher{ref: w.ref, blocker: first})
 			if s.assigns.LitValue(first) == cnf.False {
 				// Conflict: keep remaining watchers and bail out.
 				for i++; i < len(ws); i++ {
-					if !ws[i].c.deleted {
+					if data[ws[i].ref]&flagDeleted == 0 {
 						kept = append(kept, ws[i])
 					}
 				}
-				confl = c
+				confl = w.ref
 				s.qhead = len(s.trail)
 				break
 			}
@@ -563,10 +569,10 @@ func (s *Solver) propagate() *clause {
 			if s.opts.Instrument != nil {
 				s.opts.Instrument(Event{Kind: EvImply, Lit: first, Level: s.DecisionLevel()})
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, w.ref)
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != CRefUndef {
 			if c := s.opts.Counters; c != nil {
 				c.Propagations.Add(popped)
 			}
@@ -576,7 +582,7 @@ func (s *Solver) propagate() *clause {
 	if c := s.opts.Counters; c != nil {
 		c.Propagations.Add(popped)
 	}
-	return nil
+	return CRefUndef
 }
 
 // analyze performs FirstUIP conflict analysis (paper §2.2–2.3): walk the
@@ -591,19 +597,21 @@ func (s *Solver) propagate() *clause {
 // constraint: the short clause stored locally is valid only under this
 // client's assumptions, but appending deps yields a clause implied by the
 // base formula alone, which is what gets shared globally.
-func (s *Solver) analyze(confl *clause) (learnt cnf.Clause, back int, deps []cnf.Lit, localUsed bool) {
+func (s *Solver) analyze(confl ClauseRef) (learnt cnf.Clause, back int, deps []cnf.Lit, localUsed bool) {
 	learnt = make(cnf.Clause, 1) // learnt[0] reserved for the UIP literal
 	counter := 0
 	p := cnf.NoLit
 	idx := len(s.trail) - 1
 	cur := int32(s.DecisionLevel())
 
+	ca := s.ca
 	c := confl
 	for {
-		if c.local {
+		if ca.Local(c) {
 			localUsed = true // derivation rests on an assumption-only clause
 		}
-		for _, q := range c.lits {
+		for k, n := 0, ca.Size(c); k < n; k++ {
+			q := ca.Lit(c, k)
 			if q == p {
 				continue
 			}
@@ -674,7 +682,7 @@ func (s *Solver) minimize(learnt cnf.Clause, deps *[]cnf.Lit) cnf.Clause {
 	var removed []cnf.Var
 	for i := 1; i < len(learnt); i++ {
 		q := learnt[i]
-		if s.reason[q.Var()] == nil || !s.litRedundant(q, deps) {
+		if s.reason[q.Var()] == CRefUndef || !s.litRedundant(q, deps) {
 			learnt[w] = q
 			w++
 		} else {
@@ -701,14 +709,15 @@ func (s *Solver) litRedundant(q cnf.Lit, deps *[]cnf.Lit) bool {
 		l := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		c := s.reason[l.Var()]
-		if c == nil {
+		if c == CRefUndef {
 			// Walked back to a decision: q is not redundant. Roll back.
 			for _, v := range marked {
 				s.seen[v] = false
 			}
 			return false
 		}
-		for _, r := range c.lits {
+		for k, n := 0, s.ca.Size(c); k < n; k++ {
+			r := s.ca.Lit(c, k)
 			v := r.Var()
 			if v == l.Var() || s.seen[v] {
 				continue
@@ -721,7 +730,7 @@ func (s *Solver) litRedundant(q cnf.Lit, deps *[]cnf.Lit) bool {
 				}
 				continue
 			}
-			if s.reason[v] == nil {
+			if s.reason[v] == CRefUndef {
 				for _, mv := range marked {
 					s.seen[mv] = false
 				}
@@ -759,7 +768,7 @@ func (s *Solver) backtrackTo(level int) {
 			s.savedPhase[v] = s.assigns[v]
 		}
 		s.assigns.Unset(v)
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		if s.tainted[v] {
 			s.tainted[v] = false
 			s.numTainted--
@@ -802,13 +811,12 @@ func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
 		s.stats.Exported++
 	}
 	if len(learnt) == 1 {
-		s.uncheckedEnqueue(learnt[0], nil)
+		s.uncheckedEnqueue(learnt[0], CRefUndef)
 		if local {
 			s.taint(learnt[0].Var())
 		}
 		return
 	}
-	cl := &clause{lits: learnt, learnt: true, act: s.actInc, local: local}
 	// Watch the asserting literal and the highest-level other literal so
 	// backjumping keeps the watches valid.
 	best := 1
@@ -817,11 +825,22 @@ func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
 			best = i
 		}
 	}
-	cl.lits[1], cl.lits[best] = cl.lits[best], cl.lits[1]
-	s.learnts = append(s.learnts, cl)
-	s.attach(cl)
-	atomic.AddInt64(&s.litsStored, int64(len(learnt)))
-	s.uncheckedEnqueue(learnt[0], cl)
+	learnt[1], learnt[best] = learnt[best], learnt[1]
+	r := s.ca.Alloc(learnt, true, local, clauseAct(s.actInc))
+	s.learnts = append(s.learnts, r)
+	s.attach(r)
+	if c := s.opts.Counters; c != nil {
+		c.ArenaBytes.Set(s.ca.LiveBytes())
+	}
+	s.uncheckedEnqueue(learnt[0], r)
+}
+
+// clauseAct narrows the VSIDS-era activity to the arena's float32 slot.
+func clauseAct(a float64) float32 {
+	if a > math.MaxFloat32 {
+		return math.MaxFloat32
+	}
+	return float32(a)
 }
 
 // bump increases a literal's VSIDS activity.
@@ -846,7 +865,7 @@ func (s *Solver) decide() bool {
 	if s.opts.DecisionOverride != nil {
 		if l := s.opts.DecisionOverride(s); l != cnf.NoLit {
 			s.newDecisionLevel()
-			s.uncheckedEnqueue(l, nil)
+			s.uncheckedEnqueue(l, CRefUndef)
 			s.stats.Decisions++
 			if c := s.opts.Counters; c != nil {
 				c.Decisions.Inc()
@@ -873,7 +892,7 @@ func (s *Solver) decide() bool {
 			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(l, CRefUndef)
 		s.stats.Decisions++
 		if c := s.opts.Counters; c != nil {
 			c.Decisions.Inc()
@@ -919,7 +938,7 @@ func (s *Solver) Solve(lim Limits) Result {
 		}
 
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.stats.Conflicts++
 			s.conflictsSinceRestart++
 			if c := s.opts.Counters; c != nil {
@@ -1028,10 +1047,13 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	Restarts     int64
-	Imported     int64
-	Exported     int64
-	Simplified   int64
-	Splits       int64
+	Imported   int64
+	Exported   int64
+	Simplified int64
+	Splits     int64
+	// ReclaimedBytes counts bytes the arena's compacting GC has returned
+	// to the allocator (deleted clauses + stripped literals).
+	ReclaimedBytes int64
 }
 
 // Stats returns a snapshot of the counters.

@@ -90,11 +90,11 @@ func (s *Solver) ExportLearnts(maxLen, maxCount int) []cnf.Clause {
 		return nil
 	}
 	var out []cnf.Clause
-	for _, c := range s.learnts {
-		if c.deleted || len(c.lits) > maxLen {
+	for _, r := range s.learnts {
+		if s.ca.Deleted(r) || s.ca.Size(r) > maxLen {
 			continue
 		}
-		out = append(out, cnf.Clause(c.lits).Clone())
+		out = append(out, s.clauseAt(r))
 	}
 	sortClausesByLen(out)
 	if maxCount > 0 && len(out) > maxCount {

@@ -67,7 +67,7 @@ func TestFigure2Split(t *testing.T) {
 	// a clause; clause 8 must be pruned by the next level-0 simplify pass
 	// (the donor keeps its position above level 0, so return there first).
 	donor.backtrackTo(0)
-	if confl := donor.propagate(); confl != nil {
+	if confl := donor.propagate(); confl != CRefUndef {
 		t.Fatal("unexpected conflict while settling at level 0")
 	}
 	before := len(donor.clauses)
