@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -89,6 +90,32 @@ func (c Clause) String() string {
 	}
 	b.WriteByte(')')
 	return b.String()
+}
+
+// Fingerprint returns a 64-bit order-independent fingerprint of the
+// clause: two clauses with the same literal multiset map to the same
+// value regardless of literal order. GridSAT's clause-sharing pipeline
+// uses fingerprints for bounded duplicate suppression, where a rare
+// collision only costs one best-effort share — unlike Key, which is
+// exact but allocates.
+func (c Clause) Fingerprint() uint64 {
+	var sum, xor uint64
+	for _, l := range c {
+		m := mix64(uint64(l) + 0x9e3779b97f4a7c15)
+		sum += m
+		xor ^= m
+	}
+	return mix64(sum ^ bits.RotateLeft64(xor, 32) ^ uint64(len(c))<<1)
+}
+
+// mix64 is the SplitMix64 finalizer, a cheap full-avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Key returns a canonical comparable key for a clause, used to deduplicate

@@ -177,3 +177,50 @@ func TestClauseEvalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFingerprintOrderIndependence: any permutation of the same literal
+// multiset fingerprints identically — the property the clause-sharing
+// dedup windows rely on, since senders and receivers may hold the same
+// clause with different literal orders.
+func TestFingerprintOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		c := make(Clause, 1+rng.Intn(12))
+		for i := range c {
+			c[i] = Lit(rng.Intn(4000))
+		}
+		want := c.Fingerprint()
+		p := c.Clone()
+		for swap := 0; swap < 5; swap++ {
+			i, j := rng.Intn(len(p)), rng.Intn(len(p))
+			p[i], p[j] = p[j], p[i]
+			if got := p.Fingerprint(); got != want {
+				t.Fatalf("permutation changed fingerprint: %v vs %v", p, c)
+			}
+		}
+	}
+}
+
+// TestFingerprintDistinguishes spot-checks that nearby clauses — differing
+// in one literal, in length, or in sign — fingerprint differently. (The
+// function is a hash: collisions are possible, just not between these
+// deliberately adjacent shapes.)
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := NewClause(1, -2, 3)
+	variants := []Clause{
+		NewClause(1, -2),       // shorter
+		NewClause(1, -2, 3, 4), // longer
+		NewClause(1, 2, 3),     // flipped sign
+		NewClause(1, -2, 4),    // different literal
+		NewClause(1, -2, 3, 3), // duplicated literal
+		{},                     // empty
+	}
+	seen := map[uint64]string{base.Fingerprint(): base.String()}
+	for _, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%v collides with %s", v, prev)
+		}
+		seen[fp] = v.String()
+	}
+}

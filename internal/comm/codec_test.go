@@ -1,0 +1,300 @@
+package comm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+// canonClauses puts a clause batch in codec-canonical order so tests can
+// compare decoded output against semantically-equal input.
+func canonClauses(cs []cnf.Clause) []cnf.Clause { return canonicalize(cs) }
+
+func randClauses(r *rand.Rand, n, vars, maxLen int) []cnf.Clause {
+	out := make([]cnf.Clause, n)
+	for i := range out {
+		l := 1 + r.Intn(maxLen)
+		c := make(cnf.Clause, l)
+		for j := range c {
+			c[j] = cnf.MkLit(cnf.Var(r.Intn(vars)), r.Intn(2) == 0)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestShareClausesBinaryRoundtrip checks the bit-packed clause block
+// reproduces the batch exactly up to the codec's declared canonicalization
+// (sorted literals per clause, shortest-first clause order), across
+// random batches, large variable ranges, and degenerate shapes.
+func TestShareClausesBinaryRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := [][]cnf.Clause{
+		nil,
+		{},
+		{{}},
+		{cnf.NewClause(5)},
+		{cnf.NewClause(-1, 2, -3), cnf.NewClause(3, 3, 3), cnf.NewClause(1)},
+		randClauses(r, 100, 50, 10),
+		randClauses(r, 500, 100_000, 12),
+		randClauses(r, 32, 1_000_000, 6),
+	}
+	for i, cs := range cases {
+		in := ShareClauses{From: i - 2, Clauses: cs}
+		e, err := EncodeMessage(in)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if e.frame[0] != frameShare {
+			t.Fatalf("case %d: frame codec = %#x, want frameShare", i, e.frame[0])
+		}
+		got, err := e.Decode()
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		out, ok := got.(ShareClauses)
+		if !ok {
+			t.Fatalf("case %d: decoded %T", i, got)
+		}
+		if out.From != in.From {
+			t.Errorf("case %d: From = %d, want %d", i, out.From, in.From)
+		}
+		want := canonClauses(cs)
+		if len(out.Clauses) != len(want) {
+			t.Fatalf("case %d: %d clauses, want %d", i, len(out.Clauses), len(want))
+		}
+		for j := range want {
+			if !reflect.DeepEqual(out.Clauses[j], want[j]) {
+				t.Fatalf("case %d clause %d: got %v want %v", i, j, out.Clauses[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCanonicalOrderIsShortestFirst pins the property the sharing
+// pipeline relies on: decoded batches come back shortest clause first, so
+// a receiver that imports a truncated prefix keeps the most valuable
+// clauses.
+func TestCanonicalOrderIsShortestFirst(t *testing.T) {
+	cs := []cnf.Clause{
+		cnf.NewClause(1, 2, 3, 4),
+		cnf.NewClause(7),
+		cnf.NewClause(-2, 5),
+	}
+	e, err := EncodeMessage(ShareClauses{Clauses: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(ShareClauses).Clauses
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return len(out[i]) < len(out[j]) }) {
+		t.Fatalf("decoded batch not shortest-first: %v", out)
+	}
+}
+
+// TestEncodeDoesNotMutateInput guards the canonicalization against
+// reordering the caller's clauses in place: OnLearn hands the aggregator
+// clauses whose literal order other code may still observe.
+func TestEncodeDoesNotMutateInput(t *testing.T) {
+	c := cnf.NewClause(3, -1, 2)
+	orig := c.Clone()
+	cs := []cnf.Clause{cnf.NewClause(9, 8), c}
+	origOrder := []cnf.Clause{cs[0], cs[1]}
+	if _, err := EncodeMessage(ShareClauses{Clauses: cs}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, orig) {
+		t.Errorf("encode reordered the caller's literals: %v", c)
+	}
+	for i := range cs {
+		if &cs[i][0] != &origOrder[i][0] {
+			t.Errorf("encode reordered the caller's slice")
+		}
+	}
+}
+
+// TestSplitPayloadBinaryRoundtrip checks the hot split message: the
+// assumptions (a trail prefix whose order is semantic) must survive
+// verbatim, while learned clauses may canonicalize.
+func TestSplitPayloadBinaryRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	assum := make([]cnf.Lit, 40)
+	for i := range assum {
+		assum[i] = cnf.MkLit(cnf.Var(r.Intn(5000)), i%3 == 0)
+	}
+	in := SplitPayload{
+		SplitID: 1234,
+		From:    -7,
+		Subproblem: &solver.Subproblem{
+			NumVars:     5000,
+			Assumptions: assum,
+			Learnts:     randClauses(r, 64, 5000, 8),
+		},
+	}
+	e, err := EncodeMessage(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.frame[0] != frameSplit {
+		t.Fatalf("frame codec = %#x, want frameSplit", e.frame[0])
+	}
+	got, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(SplitPayload)
+	if out.SplitID != in.SplitID || out.From != in.From {
+		t.Fatalf("header mangled: %+v", out)
+	}
+	if out.Subproblem.NumVars != in.Subproblem.NumVars {
+		t.Errorf("NumVars = %d, want %d", out.Subproblem.NumVars, in.Subproblem.NumVars)
+	}
+	if !reflect.DeepEqual(out.Subproblem.Assumptions, in.Subproblem.Assumptions) {
+		t.Error("assumption order not preserved")
+	}
+	want := canonClauses(in.Subproblem.Learnts)
+	if !reflect.DeepEqual(out.Subproblem.Learnts, want) {
+		t.Error("learnts did not round-trip")
+	}
+
+	// A nil subproblem (protocol edge) must survive too.
+	e, err = EncodeMessage(SplitPayload{SplitID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := got.(SplitPayload); sp.Subproblem != nil || sp.SplitID != 5 {
+		t.Fatalf("nil-subproblem payload mangled: %+v", sp)
+	}
+}
+
+// TestStatusReportBinaryRoundtrip exercises the flat-field codec,
+// including negative deltas.
+func TestStatusReportBinaryRoundtrip(t *testing.T) {
+	in := StatusReport{
+		ClientID:  42,
+		MemBytes:  64 << 20,
+		Learnts:   1999,
+		Conflicts: 123456789,
+		Busy:      true,
+		Deltas: SolverDeltas{
+			Decisions: 10, Conflicts: 20, Propagations: 1 << 40,
+			Learned: 5, ReclaimedBytes: -3,
+		},
+	}
+	e, err := EncodeMessage(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.frame[0] != frameStatus {
+		t.Fatalf("frame codec = %#x, want frameStatus", e.frame[0])
+	}
+	got, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+// TestGobFallbackRoundtrip checks every cold control message survives the
+// frameGob path structurally.
+func TestGobFallbackRoundtrip(t *testing.T) {
+	for _, in := range allMessages() {
+		switch in.(type) {
+		case ShareClauses, SplitPayload, StatusReport:
+			continue // binary kinds covered elsewhere
+		}
+		e, err := EncodeMessage(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Kind(), err)
+		}
+		if e.frame[0] != frameGob {
+			t.Fatalf("%s: frame codec = %#x, want frameGob", in.Kind(), e.frame[0])
+		}
+		got, err := e.Decode()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Errorf("%s: payload mangled:\n got %+v\nwant %+v", in.Kind(), got, in)
+		}
+	}
+}
+
+// TestEncodedMessagePassthrough: encoding an already-encoded message is
+// the identity, so fan-out code can be oblivious to what it queues.
+func TestEncodedMessagePassthrough(t *testing.T) {
+	e, err := EncodeMessage(ShareClauses{From: 1, Clauses: []cnf.Clause{cnf.NewClause(1, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeMessage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != e {
+		t.Fatal("re-encoding an EncodedMessage must be the identity")
+	}
+	if e.Kind() != "share-clauses" {
+		t.Fatalf("Kind() = %q", e.Kind())
+	}
+	if e.WireLen() != len(e.frame) {
+		t.Fatalf("WireLen %d != frame %d", e.WireLen(), len(e.frame))
+	}
+}
+
+// TestDecodeRejectsCorruptFrames feeds truncated and hostile frames to
+// the decoder; it must error, never panic or over-allocate.
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	good, err := EncodeMessage(ShareClauses{From: 3, Clauses: []cnf.Clause{cnf.NewClause(1, -2, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(good.frame); cut++ {
+		e := &EncodedMessage{kind: good.kind, frame: good.frame[:cut]}
+		if _, err := e.Decode(); err == nil && cut < len(good.frame)-1 {
+			// Truncating only the final padding byte may still decode;
+			// anything shorter must fail.
+			t.Errorf("truncated frame at %d/%d decoded", cut, len(good.frame))
+		}
+	}
+	hostile := [][]byte{
+		{0x42, 0x00},                                           // unknown codec ID
+		{frameShare, 0xff, 0xff, 0xff, 0x7f},                   // length prefix >> body
+		{frameShare, 0x02, 0x00, 0xff},                         // clause count then garbage
+		{frameSplit, 0x01, 0x02},                               // truncated header
+		{frameStatus, 0x01, 0x80},                              // unterminated varint
+		{frameShare, 0x06, 0x00, 0xff, 0xff, 0xff, 0xff, 0x7f}, // huge clause count
+	}
+	for i, f := range hostile {
+		e := &EncodedMessage{kind: "x", frame: f}
+		if _, err := e.Decode(); err == nil {
+			t.Errorf("hostile frame %d decoded", i)
+		}
+	}
+}
+
+// TestWireSizeMatchesFrames pins WireSize to the exact frame length for
+// both plain and pre-encoded messages.
+func TestWireSizeMatchesFrames(t *testing.T) {
+	m := ShareClauses{From: 2, Clauses: []cnf.Clause{cnf.NewClause(1, -2), cnf.NewClause(3)}}
+	e, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WireSize(m) != int64(len(e.frame)) || WireSize(e) != int64(len(e.frame)) {
+		t.Fatalf("WireSize plain=%d encoded=%d, frame=%d", WireSize(m), WireSize(e), len(e.frame))
+	}
+}

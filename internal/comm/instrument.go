@@ -1,8 +1,6 @@
 package comm
 
 import (
-	"encoding/gob"
-	"io"
 	"sort"
 	"sync"
 
@@ -17,9 +15,9 @@ import (
 //	gridsat_comm_bytes_total{dir="recv",kind="share-clauses"} 80640
 //	gridsat_comm_conns_total{role="dial"} 5
 //
-// Byte counts are measured by gob-encoding each message into a counting
-// sink with a per-connection encoder, which reproduces wire framing
-// (type descriptors are charged once per connection, like a real stream).
+// Byte counts are exact frame sizes from the wire codec: pre-encoded
+// messages report their frame length directly, and plain messages are
+// sized through WireSize, which produces the same frame Send would write.
 type Metrics struct {
 	reg   *obs.Registry
 	dials *obs.Counter
@@ -165,15 +163,10 @@ func (l *instrumentedListener) Addr() string { return l.inner.Addr() }
 type instrumentedConn struct {
 	inner Conn
 	m     *Metrics
-	send  sizer
-	recv  sizer
 }
 
 func newInstrumentedConn(c Conn, m *Metrics) *instrumentedConn {
-	ic := &instrumentedConn{inner: c, m: m}
-	ic.send.init()
-	ic.recv.init()
-	return ic
+	return &instrumentedConn{inner: c, m: m}
 }
 
 func (c *instrumentedConn) Send(m Message) error {
@@ -182,7 +175,17 @@ func (c *instrumentedConn) Send(m Message) error {
 	}
 	kc := c.m.kind(m.Kind())
 	kc.sentMsgs.Inc()
-	kc.sentBytes.Add(c.send.size(m))
+	kc.sentBytes.Add(WireSize(m))
+	return nil
+}
+
+func (c *instrumentedConn) SendEncoded(e *EncodedMessage) error {
+	if err := c.inner.SendEncoded(e); err != nil {
+		return err
+	}
+	kc := c.m.kind(e.Kind())
+	kc.sentMsgs.Inc()
+	kc.sentBytes.Add(int64(e.WireLen()))
 	return nil
 }
 
@@ -193,42 +196,8 @@ func (c *instrumentedConn) Recv() (Message, error) {
 	}
 	kc := c.m.kind(m.Kind())
 	kc.recvMsgs.Inc()
-	kc.recvBytes.Add(c.recv.size(m))
+	kc.recvBytes.Add(WireSize(m))
 	return m, nil
 }
 
 func (c *instrumentedConn) Close() error { return c.inner.Close() }
-
-// sizer measures a message's gob encoding with a persistent encoder, so
-// stream state (one-time type descriptors) is accounted the way a real
-// connection would see it.
-type sizer struct {
-	mu  sync.Mutex
-	cw  countWriter
-	enc *gob.Encoder
-}
-
-func (s *sizer) init() { s.enc = gob.NewEncoder(&s.cw) }
-
-func (s *sizer) size(m Message) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before := s.cw.n
-	if err := s.enc.Encode(&m); err != nil {
-		// A message that round-tripped a real transport must re-encode;
-		// failures here mean the sizer stream is wedged — restart it.
-		s.cw.n = before
-		s.enc = gob.NewEncoder(&s.cw)
-		return 0
-	}
-	return s.cw.n - before
-}
-
-type countWriter struct{ n int64 }
-
-func (w *countWriter) Write(p []byte) (int, error) {
-	w.n += int64(len(p))
-	return len(p), nil
-}
-
-var _ io.Writer = (*countWriter)(nil)

@@ -120,8 +120,8 @@ func TestInstrumentedTransportCounts(t *testing.T) {
 }
 
 // TestInstrumentOverTCP checks the wrapper composes with the real TCP
-// transport and that a connection-scoped sizer charges type descriptors
-// once, like the wire does.
+// transport and that byte counters report exact frame sizes — what
+// actually crossed the wire, not an estimate.
 func TestInstrumentOverTCP(t *testing.T) {
 	m := NewMetrics(obs.NewRegistry())
 	tr := Instrument(TCPTransport{}, m)
@@ -155,19 +155,12 @@ func TestInstrumentOverTCP(t *testing.T) {
 	if kt.MsgsSent != 3 || kt.BytesSent <= 0 {
 		t.Fatalf("status totals: %+v", kt)
 	}
-	// Three reports must cost less than three first-message encodings:
-	// the type descriptor is charged once per connection, not per message.
-	first := sizeOfFirst(t, StatusReport{ClientID: 0, Deltas: SolverDeltas{Conflicts: 10}})
-	if kt.BytesSent >= 3*first {
-		t.Errorf("sizer re-charges descriptors: 3 msgs cost %d, first alone costs %d", kt.BytesSent, first)
+	// Counters must report the exact frame bytes written, per message.
+	var want int64
+	for i := 0; i < 3; i++ {
+		want += WireSize(StatusReport{ClientID: i, Deltas: SolverDeltas{Conflicts: 10}})
 	}
-}
-
-func sizeOfFirst(t *testing.T, m Message) int64 {
-	t.Helper()
-	var cw countWriter
-	if err := gob.NewEncoder(&cw).Encode(&m); err != nil {
-		t.Fatal(err)
+	if kt.BytesSent != want || kt.BytesRecv != want {
+		t.Errorf("status bytes sent=%d recv=%d, want exact frame total %d", kt.BytesSent, kt.BytesRecv, want)
 	}
-	return cw.n
 }

@@ -1,9 +1,10 @@
 // Package comm is GridSAT's messaging layer, standing in for the EveryWare
 // toolkit the paper built on. It defines the typed messages of the
 // master–client protocol (including the five-message split exchange of
-// Figure 3), a gob wire codec, and two interchangeable transports: real
-// TCP (net) for deployment and an in-process channel transport for tests
-// and single-machine runs.
+// Figure 3), a framed binary wire codec — bit-packed clause blocks for the
+// hot clause-bearing kinds, gob fallback frames for cold control messages —
+// and two interchangeable transports: real TCP (net) for deployment and an
+// in-process channel transport for tests and single-machine runs.
 package comm
 
 import (

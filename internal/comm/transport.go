@@ -1,7 +1,7 @@
 package comm
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +11,10 @@ import (
 // Conn is a bidirectional, message-oriented connection.
 type Conn interface {
 	Send(Message) error
+	// SendEncoded writes a pre-serialized frame. A broadcast can encode a
+	// message once with EncodeMessage and hand the identical EncodedMessage
+	// to every peer connection, skipping per-peer serialization.
+	SendEncoded(*EncodedMessage) error
 	Recv() (Message, error)
 	Close() error
 }
@@ -32,7 +36,8 @@ type Transport interface {
 
 // ---- TCP transport ----
 
-// TCPTransport sends gob-encoded messages over TCP.
+// TCPTransport sends length-prefixed binary frames over TCP (see codec.go
+// for the frame format).
 type TCPTransport struct{}
 
 // Listen implements Transport. addr may use ":0" for an ephemeral port;
@@ -51,7 +56,7 @@ func (TCPTransport) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newGobConn(c), nil
+	return newFrameConn(c), nil
 }
 
 type tcpListener struct{ l net.Listener }
@@ -61,41 +66,51 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newGobConn(c), nil
+	return newFrameConn(c), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
-type gobConn struct {
+// frameConn moves codec frames over a byte stream. Frames are
+// self-describing (codec byte + length prefix), so Send can pick the
+// binary encoding per kind while the peer decodes without negotiation.
+type frameConn struct {
 	c      net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+	w      *bufio.Writer
+	r      *bufio.Reader
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 }
 
-func newGobConn(c net.Conn) *gobConn {
-	return &gobConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, w: bufio.NewWriter(c), r: bufio.NewReader(c)}
 }
 
-func (g *gobConn) Send(m Message) error {
-	g.sendMu.Lock()
-	defer g.sendMu.Unlock()
-	return g.enc.Encode(&m)
-}
-
-func (g *gobConn) Recv() (Message, error) {
-	g.recvMu.Lock()
-	defer g.recvMu.Unlock()
-	var m Message
-	if err := g.dec.Decode(&m); err != nil {
-		return nil, err
+func (f *frameConn) Send(m Message) error {
+	e, err := EncodeMessage(m)
+	if err != nil {
+		return err
 	}
-	return m, nil
+	return f.SendEncoded(e)
 }
 
-func (g *gobConn) Close() error { return g.c.Close() }
+func (f *frameConn) SendEncoded(e *EncodedMessage) error {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	if _, err := f.w.Write(e.frame); err != nil {
+		return err
+	}
+	return f.w.Flush()
+}
+
+func (f *frameConn) Recv() (Message, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	return readMessage(f.r)
+}
+
+func (f *frameConn) Close() error { return f.c.Close() }
 
 // ---- In-process transport ----
 
@@ -208,19 +223,35 @@ func (p *pipeConn) Send(m Message) error {
 	}
 }
 
+// SendEncoded delivers the frame itself; the receiving end decodes it in
+// Recv, so every receiver of a fanned-out EncodedMessage gets its own
+// fresh copy with no shared clause storage.
+func (p *pipeConn) SendEncoded(e *EncodedMessage) error {
+	return p.Send(e)
+}
+
 func (p *pipeConn) Recv() (Message, error) {
 	select {
 	case m := <-p.in:
-		return m, nil
+		return pipeDecode(m)
 	case <-p.done:
 		// Drain anything already queued before reporting closure.
 		select {
 		case m := <-p.in:
-			return m, nil
+			return pipeDecode(m)
 		default:
 			return nil, errors.New("comm: pipe closed")
 		}
 	}
+}
+
+// pipeDecode unwraps frames that arrived via SendEncoded. Plain messages
+// pass through by reference (the in-process fast path).
+func pipeDecode(m Message) (Message, error) {
+	if e, ok := m.(*EncodedMessage); ok {
+		return e.Decode()
+	}
+	return m, nil
 }
 
 func (p *pipeConn) Close() error {

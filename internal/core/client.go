@@ -3,11 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/comm"
+	"gridsat/internal/obs"
 	"gridsat/internal/solver"
 )
 
@@ -26,6 +26,19 @@ type ClientConfig struct {
 	// ShareMaxLen bounds exported learned clauses (paper: 10 and 3);
 	// 0 uses the default, negative disables sharing entirely.
 	ShareMaxLen int
+	// ShareFlushCount flushes the share aggregator once this many fresh
+	// clauses are pending (0 = default 16).
+	ShareFlushCount int
+	// ShareFlushInterval flushes a non-empty aggregator after this long
+	// even below ShareFlushCount (0 = default 100ms).
+	ShareFlushInterval time.Duration
+	// ShareWindow caps the duplicate-suppression fingerprint window the
+	// client uses to avoid re-exporting clauses it already saw (its own
+	// or received from peers). 0 uses a default.
+	ShareWindow int
+	// SharePendingMax bounds the aggregator's pending batch; when full,
+	// the longest pending clause is dropped first (0 = default).
+	SharePendingMax int
 	// SplitLearntMaxLen / Count bound clauses forwarded inside a split.
 	SplitLearntMaxLen   int
 	SplitLearntMaxCount int
@@ -43,6 +56,9 @@ type ClientConfig struct {
 	// client solves. Cheap enough to leave on (see internal/bench's
 	// instrumentation ablation); may be shared across clients.
 	Counters *solver.Counters
+	// Metrics, when set, receives the client's sharing-pipeline series
+	// (gridsat_client_share_dedup_total); may be shared across clients.
+	Metrics *obs.Registry
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
@@ -79,15 +95,20 @@ type Client struct {
 	master   comm.Conn
 	listener comm.Listener
 
-	mu         sync.Mutex
 	base       *cnf.Formula
 	slv        *solver.Solver
 	recvAt     time.Time // when the current subproblem arrived
 	xferTime   time.Duration
 	busy       bool
-	shareBuf   []cnf.Clause
 	splitWhy   comm.SplitReason
 	splitAsked bool
+
+	// shares batches OnLearn clauses for the master with duplicate
+	// suppression; it outlives individual subproblems, so clauses learned
+	// again after a re-assignment are not re-exported.
+	shares     *shareAggregator
+	shareDedup *obs.Counter // nil when ClientConfig.Metrics is unset
+	lastDedup  int64        // dedup hits already published to shareDedup
 
 	sliceCount int
 	// lastHB is the Stats snapshot at the previous heartbeat; the next
@@ -118,8 +139,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg:      cfg,
 		master:   mc,
 		listener: l,
+		shares:   newShareAggregator(cfg.ShareFlushCount, cfg.ShareFlushInterval, cfg.ShareWindow, cfg.SharePendingMax),
 		control:  make(chan comm.Message, 256),
 		stopped:  make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		c.shareDedup = cfg.Metrics.Counter("gridsat_client_share_dedup_total",
+			"clauses suppressed by the client's share dedup window")
 	}
 	if err := mc.Send(comm.Register{
 		Addr:         l.Addr(),
@@ -260,6 +286,9 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 		c.performMigrate(m.PeerAddr)
 	case comm.ShareClauses:
 		if c.slv != nil {
+			// Remember what arrived before importing: clauses received
+			// from peers must never be re-exported by this client.
+			c.shares.NoteReceived(m.Clauses)
 			_ = c.slv.ImportClauses(m.Clauses)
 		}
 	case comm.Shutdown:
@@ -286,11 +315,8 @@ func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 	if c.cfg.Counters != nil {
 		opts.Counters = c.cfg.Counters
 	}
-	opts.OnLearn = func(cl cnf.Clause) {
-		c.mu.Lock()
-		c.shareBuf = append(c.shareBuf, cl)
-		c.mu.Unlock()
-	}
+	// OnLearn passes a fresh copy, so the aggregator may retain it.
+	opts.OnLearn = c.shares.Learn
 	slv, err := solver.NewFromSubproblem(c.base, sub, opts)
 	if err != nil {
 		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
@@ -328,10 +354,12 @@ func (c *Client) solveSlice() (bool, error) {
 	switch res.Status {
 	case solver.StatusSAT:
 		c.busy = false
+		c.drainShares()        // don't strand learned clauses in the aggregator
 		c.sendHeartbeat(false) // flush the tail deltas before Solved
 		return false, c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
 	case solver.StatusUNSAT:
 		c.busy = false
+		c.drainShares()
 		c.sendHeartbeat(false)
 		if err := c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
 			return false, err
@@ -449,14 +477,34 @@ func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) er
 	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Subproblem: sub})
 }
 
-// flushShares forwards buffered learned clauses to the master.
+// flushShares sends a batch to the master when the aggregator's flush
+// policy (count or interval) says it is time.
 func (c *Client) flushShares() {
-	c.mu.Lock()
-	buf := c.shareBuf
-	c.shareBuf = nil
-	c.mu.Unlock()
-	if len(buf) == 0 {
+	c.sendShareBatch(c.shares.TakeBatch(time.Now()))
+}
+
+// drainShares force-flushes whatever is pending — called when the client
+// finishes a subproblem so nothing learned is lost.
+func (c *Client) drainShares() {
+	c.sendShareBatch(c.shares.Drain())
+}
+
+func (c *Client) sendShareBatch(batch []cnf.Clause) {
+	c.publishShareMetrics()
+	if len(batch) == 0 {
 		return
 	}
-	_ = c.master.Send(comm.ShareClauses{From: c.id, Clauses: buf})
+	_ = c.master.Send(comm.ShareClauses{From: c.id, Clauses: batch})
+}
+
+// publishShareMetrics moves the aggregator's dedup tally into the
+// registry counter incrementally.
+func (c *Client) publishShareMetrics() {
+	if c.shareDedup == nil {
+		return
+	}
+	if hits := c.shares.DedupHits(); hits > c.lastDedup {
+		c.shareDedup.Add(hits - c.lastDedup)
+		c.lastDedup = hits
+	}
 }

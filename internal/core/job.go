@@ -96,6 +96,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 			MinRunTime:     cfg.MinRunTime,
 			SolverOptions:  cfg.SolverOptions,
 			Counters:       counters,
+			Metrics:        reg,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: launching client %d: %w", i, err)

@@ -40,6 +40,10 @@ type MasterConfig struct {
 	// Prometheus text, /status is the JSON StatusSnapshot with
 	// per-client aggregates, and /debug/pprof is the Go profiler.
 	MetricsAddr string
+	// ShareWindow caps the master's clause duplicate-suppression window
+	// (fingerprints per epoch; total memory is bounded at twice this).
+	// Zero uses a default sized for long runs.
+	ShareWindow int
 }
 
 // Result is the outcome of a distributed run.
@@ -154,7 +158,12 @@ type Master struct {
 	nextSplitID int
 	// pendingSplits tracks in-flight subproblem transfers by token.
 	pendingSplits map[int]*splitPair
-	seenClauses   map[string]bool
+	// seenShared suppresses re-broadcast of clauses the master already
+	// fanned out, with bounded memory (two-epoch fingerprint window).
+	seenShared *clauseWindow
+	// sharedDropped counts best-effort ShareClauses messages discarded
+	// because a client's outbound queue was full. Event-loop only.
+	sharedDropped int64
 	result        Result
 	trace         []string // debug event log for tests
 	started       time.Time
@@ -171,32 +180,36 @@ type Master struct {
 // masterMetrics caches the master's registry handles so the event loop
 // never does a registry lookup.
 type masterMetrics struct {
-	msgs        map[string]*obs.Counter // by message kind
-	splits      *obs.Counter
-	shared      *obs.Counter
-	heartbeats  *obs.Counter
-	rejected    *obs.Counter
-	registered  *obs.Gauge
-	busy        *obs.Gauge
-	reserved    *obs.Gauge
-	backlog     *obs.Gauge
-	outstanding *obs.Gauge
-	splitLat    *obs.Histogram
+	msgs          map[string]*obs.Counter // by message kind
+	splits        *obs.Counter
+	shared        *obs.Counter
+	sharedDropped *obs.Counter
+	shareDedup    *obs.Counter
+	heartbeats    *obs.Counter
+	rejected      *obs.Counter
+	registered    *obs.Gauge
+	busy          *obs.Gauge
+	reserved      *obs.Gauge
+	backlog       *obs.Gauge
+	outstanding   *obs.Gauge
+	splitLat      *obs.Histogram
 }
 
 func newMasterMetrics(reg *obs.Registry) masterMetrics {
 	return masterMetrics{
-		msgs:        map[string]*obs.Counter{},
-		splits:      reg.Counter("gridsat_master_splits_total", "completed subproblem transfers"),
-		shared:      reg.Counter("gridsat_master_shared_clauses_total", "learned clauses fanned out to peers"),
-		heartbeats:  reg.Counter("gridsat_master_heartbeats_total", "StatusReport messages aggregated"),
-		rejected:    reg.Counter("gridsat_master_rejected_clients_total", "registrations refused for low memory"),
-		registered:  reg.Gauge("gridsat_master_registered_clients", "clients currently registered"),
-		busy:        reg.Gauge("gridsat_master_busy_clients", "clients currently holding subproblems"),
-		reserved:    reg.Gauge("gridsat_master_reserved_clients", "clients reserved for in-flight transfers"),
-		backlog:     reg.Gauge("gridsat_master_split_backlog", "queued unserved split requests"),
-		outstanding: reg.Gauge("gridsat_master_outstanding_subproblems", "live subproblems (busy + in flight)"),
-		splitLat:    reg.Histogram("gridsat_master_split_latency_seconds", "SplitAssign to recipient SplitDone", nil),
+		msgs:          map[string]*obs.Counter{},
+		splits:        reg.Counter("gridsat_master_splits_total", "completed subproblem transfers"),
+		shared:        reg.Counter("gridsat_master_shared_clauses_total", "learned clauses fanned out to peers"),
+		sharedDropped: reg.Counter("gridsat_master_shared_dropped_total", "best-effort ShareClauses messages dropped on full client queues"),
+		shareDedup:    reg.Counter("gridsat_master_share_dedup_total", "shared clauses suppressed as already seen"),
+		heartbeats:    reg.Counter("gridsat_master_heartbeats_total", "StatusReport messages aggregated"),
+		rejected:      reg.Counter("gridsat_master_rejected_clients_total", "registrations refused for low memory"),
+		registered:    reg.Gauge("gridsat_master_registered_clients", "clients currently registered"),
+		busy:          reg.Gauge("gridsat_master_busy_clients", "clients currently holding subproblems"),
+		reserved:      reg.Gauge("gridsat_master_reserved_clients", "clients reserved for in-flight transfers"),
+		backlog:       reg.Gauge("gridsat_master_split_backlog", "queued unserved split requests"),
+		outstanding:   reg.Gauge("gridsat_master_outstanding_subproblems", "live subproblems (busy + in flight)"),
+		splitLat:      reg.Histogram("gridsat_master_split_latency_seconds", "SplitAssign to recipient SplitDone", nil),
 	}
 }
 
@@ -259,7 +272,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		events:        make(chan masterEvent, 256),
 		clients:       map[int]*masterClient{},
 		pendingSplits: map[int]*splitPair{},
-		seenClauses:   map[string]bool{},
+		seenShared:    newClauseWindow(cfg.ShareWindow),
 		reg:           reg,
 		log:           log.Named("master"),
 		met:           newMasterMetrics(reg),
@@ -300,6 +313,9 @@ type StatusSnapshot struct {
 	Outstanding int
 	Splits      int
 	Shared      int
+	// SharedDropped counts best-effort clause-share messages the master
+	// discarded because a client's outbound queue was full.
+	SharedDropped int64
 	// WallSeconds is the elapsed run time (0 before Run starts).
 	WallSeconds float64
 	// Clients are the live per-client aggregates, sorted by ID.
@@ -348,19 +364,30 @@ func (m *Master) readLoop(id int, conn comm.Conn) {
 // can never block the master's single-threaded event loop.
 func (m *Master) writeLoop(c *masterClient) {
 	for msg := range c.out {
-		if err := c.conn.Send(msg); err != nil {
+		var err error
+		if e, ok := msg.(*comm.EncodedMessage); ok {
+			// Pre-serialized broadcast: write the shared frame verbatim
+			// instead of re-encoding per peer.
+			err = c.conn.SendEncoded(e)
+		} else {
+			err = c.conn.Send(msg)
+		}
+		if err != nil {
 			return
 		}
 	}
 }
 
-// send queues msg for c. Best-effort clause shares are dropped when the
-// queue is full; control messages wait for room.
+// send queues msg for c. Best-effort clause shares (plain or
+// pre-encoded) are dropped when the queue is full, and the drop is
+// counted; control messages wait for room.
 func (m *Master) send(c *masterClient, msg comm.Message) {
 	select {
 	case c.out <- msg:
 	default:
-		if _, droppable := msg.(comm.ShareClauses); droppable {
+		if msg.Kind() == (comm.ShareClauses{}).Kind() {
+			m.sharedDropped++
+			m.met.sharedDropped.Inc()
 			return
 		}
 		c.out <- msg
@@ -425,10 +452,10 @@ func (m *Master) clientStatuses() []ClientStatus {
 			continue // connection still mid-registration
 		}
 		out = append(out, ClientStatus{
-			ID:           c.id,
-			Host:         c.hostName,
-			Busy:         c.busy,
-			Reserved:     c.reserved,
+			ID:             c.id,
+			Host:           c.hostName,
+			Busy:           c.busy,
+			Reserved:       c.reserved,
 			MemBytes:       c.memBytes,
 			DBLearnts:      c.dbLearnts,
 			Decisions:      c.agg.Decisions,
@@ -445,11 +472,12 @@ func (m *Master) clientStatuses() []ClientStatus {
 func (m *Master) handle(ev masterEvent) (bool, error) {
 	if ev.status != nil {
 		snap := StatusSnapshot{
-			Backlog:     len(m.backlog),
-			Outstanding: m.outstanding,
-			Splits:      m.result.Splits,
-			Shared:      m.result.SharedClauses,
-			Clients:     m.clientStatuses(),
+			Backlog:       len(m.backlog),
+			Outstanding:   m.outstanding,
+			Splits:        m.result.Splits,
+			Shared:        m.result.SharedClauses,
+			SharedDropped: m.sharedDropped,
+			Clients:       m.clientStatuses(),
 		}
 		if !m.started.IsZero() {
 			snap.WallSeconds = time.Since(m.started).Seconds()
@@ -659,25 +687,33 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 }
 
 func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
-	fresh := msg.Clauses[:0]
+	// Copy on receipt: over the in-process transport the sender may still
+	// hold (and mutate) the slices it sent, so the fan-out must never
+	// alias them. Duplicate suppression is by bounded fingerprint window;
+	// a rare collision or eviction only costs one best-effort share.
+	var fresh []cnf.Clause
 	for _, cl := range msg.Clauses {
-		k := cl.Key()
-		if m.seenClauses[k] {
+		if !m.seenShared.Add(cl.Fingerprint()) {
+			m.met.shareDedup.Inc()
 			continue
 		}
-		m.seenClauses[k] = true
-		fresh = append(fresh, cl)
+		fresh = append(fresh, cl.Clone())
 	}
 	if len(fresh) == 0 {
 		return
 	}
 	m.result.SharedClauses += len(fresh)
 	m.met.shared.Add(int64(len(fresh)))
+	// Encode the batch once; every peer's writeLoop sends the same frame.
+	var out comm.Message = comm.ShareClauses{From: c.id, Clauses: fresh}
+	if e, err := comm.EncodeMessage(out); err == nil {
+		out = e
+	}
 	for _, other := range m.clients {
 		if other.id == c.id || other.addr == "" {
 			continue
 		}
-		m.send(other, comm.ShareClauses{From: c.id, Clauses: fresh})
+		m.send(other, out)
 	}
 }
 

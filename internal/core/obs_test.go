@@ -122,7 +122,11 @@ func TestJobMetricsAndReport(t *testing.T) {
 // TestLiveMetricsEndpoint is the acceptance check for the HTTP layer:
 // scrape a running master's /metrics over real HTTP mid-run and require
 // Prometheus-parseable text carrying the comm, master and per-client
-// series; then check /status serves the JSON snapshot.
+// series; then check /status serves the JSON snapshot. The master expects
+// one more client than the test launches up front, so the run is
+// guaranteed to still be alive while scraping regardless of how fast the
+// solver finishes; the held-back client is released once the scrape
+// succeeds.
 func TestLiveMetricsEndpoint(t *testing.T) {
 	reg := obs.NewRegistry()
 	cm := comm.NewMetrics(reg)
@@ -133,7 +137,7 @@ func TestLiveMetricsEndpoint(t *testing.T) {
 		ListenAddr:      "master",
 		Formula:         f,
 		Timeout:         60 * time.Second,
-		ExpectedClients: 3,
+		ExpectedClients: 4,
 		Metrics:         reg,
 		MetricsAddr:     "127.0.0.1:0",
 	})
@@ -151,7 +155,7 @@ func TestLiveMetricsEndpoint(t *testing.T) {
 		done <- res
 	}()
 	var wg sync.WaitGroup
-	for i := 0; i < 3; i++ {
+	launch := func(i int) {
 		cl, err := NewClient(ClientConfig{
 			Transport:      tr,
 			MasterAddr:     "master",
@@ -167,9 +171,12 @@ func TestLiveMetricsEndpoint(t *testing.T) {
 		wg.Add(1)
 		go func() { defer wg.Done(); _ = cl.Run() }()
 	}
+	for i := 0; i < 3; i++ {
+		launch(i)
+	}
 
-	// Scrape until the run decides; keep the last body that contained the
-	// per-client series (registered shortly after startup).
+	// Scrape until a body carries every expected series. The master is
+	// still waiting for its fourth client, so the endpoint stays up.
 	want := []string{
 		"gridsat_comm_msgs_total",
 		"gridsat_comm_bytes_total",
@@ -179,60 +186,54 @@ func TestLiveMetricsEndpoint(t *testing.T) {
 		"gridsat_client_mem_bytes",
 	}
 	var best string
-scrape:
-	for {
-		select {
-		case res := <-done:
-			wg.Wait()
-			if res.Status != solver.StatusUNSAT {
-				t.Fatalf("run ended %v", res.Status)
-			}
-			break scrape
-		default:
+	deadline := time.Now().Add(30 * time.Second)
+	for best == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("never scraped a body containing all expected series")
 		}
 		resp, err := http.Get("http://" + addr + "/metrics")
-		if err == nil {
-			b, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			body := string(b)
-			ok := true
-			for _, w := range want {
-				if !strings.Contains(body, w) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				best = body
-			}
-			// /status must serve the consistent JSON snapshot while live.
-			if best != "" {
-				sresp, err := http.Get("http://" + addr + "/status")
-				if err == nil {
-					var snap StatusSnapshot
-					if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
-						t.Errorf("/status is not JSON: %v", err)
-					}
-					sresp.Body.Close()
-					if snap.Registered == 0 {
-						t.Error("/status snapshot shows no registered clients")
-					}
-				}
-				wg.Wait()
-				<-done
-				break scrape
+		if err != nil {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body := string(b)
+		ok := true
+		for _, w := range want {
+			if !strings.Contains(body, w) {
+				ok = false
+				break
 			}
 		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	if best == "" {
-		t.Fatal("never scraped a body containing all expected series")
+		if ok {
+			best = body
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 	checkPromText(t, best)
-	for _, w := range want {
-		if !strings.Contains(best, w) {
-			t.Errorf("scrape missing %s", w)
-		}
+
+	// /status must serve the consistent JSON snapshot while live.
+	sresp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatalf("/status: %v", err)
+	}
+	var snap StatusSnapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Errorf("/status is not JSON: %v", err)
+	}
+	sresp.Body.Close()
+	if snap.Registered != 3 {
+		t.Errorf("/status snapshot shows %d registered clients, want 3", snap.Registered)
+	}
+
+	// Release the held-back client and let the run finish.
+	launch(3)
+	res := <-done
+	wg.Wait()
+	if res.Status != solver.StatusUNSAT {
+		t.Fatalf("run ended %v", res.Status)
 	}
 }
 

@@ -258,7 +258,7 @@ type runner struct {
 	backlog     []BacklogEntry
 	nextSplitID int
 	pending     map[int]*splitPair
-	seen        map[string]bool
+	seen        *clauseWindow
 
 	assigned    bool
 	outstanding int
@@ -281,7 +281,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		info:    grid.NewInfoService(cfg.Grid),
 		clients: map[int]*simClient{},
 		pending: map[int]*splitPair{},
-		seen:    map[string]bool{},
+		seen:    newClauseWindow(0),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
@@ -549,14 +549,15 @@ func (r *runner) scheduleStep(c *simClient) {
 // runtime: dedup at the master, then deliver to every other busy client
 // with the modeled network delay.
 func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
-	fresh := clauses[:0]
+	// Copy fresh clauses instead of filtering in place: the callback below
+	// retains the batch past this call, and clauses aliases the donor
+	// solver's learnt storage.
+	var fresh []cnf.Clause
 	for _, cl := range clauses {
-		k := cl.Key()
-		if r.seen[k] {
+		if !r.seen.Add(cl.Fingerprint()) {
 			continue
 		}
-		r.seen[k] = true
-		fresh = append(fresh, cl)
+		fresh = append(fresh, cl.Clone())
 	}
 	if len(fresh) == 0 {
 		return

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gridsat/internal/cnf"
+)
+
+// clauseWindow is a bounded duplicate-suppression set over clause
+// fingerprints. It keeps two epochs of at most cap entries each: inserts
+// go to the current epoch, and when it fills, the previous epoch is
+// dropped and the epochs rotate. Membership checks consult both, so a
+// fingerprint is remembered for at least cap and at most 2*cap distinct
+// inserts — bounded memory under arbitrarily long runs, unlike the
+// unbounded seen-map it replaces. A forgotten fingerprint only costs one
+// redundant best-effort share.
+type clauseWindow struct {
+	cap       int
+	cur, prev map[uint64]struct{}
+}
+
+func newClauseWindow(capacity int) *clauseWindow {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &clauseWindow{
+		cap: capacity,
+		cur: make(map[uint64]struct{}, capacity),
+	}
+}
+
+// Contains reports whether fp is remembered.
+func (w *clauseWindow) Contains(fp uint64) bool {
+	if _, ok := w.cur[fp]; ok {
+		return true
+	}
+	_, ok := w.prev[fp]
+	return ok
+}
+
+// Add inserts fp and reports whether it was fresh (not remembered).
+func (w *clauseWindow) Add(fp uint64) bool {
+	if w.Contains(fp) {
+		return false
+	}
+	if len(w.cur) >= w.cap {
+		w.prev = w.cur
+		w.cur = make(map[uint64]struct{}, w.cap)
+	}
+	w.cur[fp] = struct{}{}
+	return true
+}
+
+// Len returns the number of remembered fingerprints (≤ 2*cap).
+func (w *clauseWindow) Len() int { return len(w.cur) + len(w.prev) }
+
+// shareAggregator is a client's sender-side batching stage between the
+// solver's OnLearn callback and the master connection. It coalesces
+// learned clauses into batches flushed by count or by interval, filters
+// clauses this client already saw arrive from peers (re-exporting an
+// imported clause would echo it around the cluster), and keeps the
+// pending batch sorted shortest-first so that when the batch overflows,
+// the longest — least valuable — clauses are the ones dropped.
+//
+// Learn is called from the solver goroutine mid-slice; NoteReceived and
+// the flush methods run on the client's control loop. All state is
+// guarded by one mutex; every operation is O(len) or better, so the
+// solver never blocks long.
+type shareAggregator struct {
+	mu         sync.Mutex
+	pending    []cnf.Clause // sorted by length, shortest first
+	pendingMax int
+	flushCount int
+	flushEvery time.Duration
+	lastFlush  time.Time
+	window     *clauseWindow
+
+	dedupHits int64 // clauses suppressed as already seen
+	overflow  int64 // clauses dropped from a full pending batch
+}
+
+func newShareAggregator(flushCount int, flushEvery time.Duration, windowCap, pendingMax int) *shareAggregator {
+	if flushCount <= 0 {
+		flushCount = 16
+	}
+	if flushEvery <= 0 {
+		flushEvery = 100 * time.Millisecond
+	}
+	if pendingMax < flushCount {
+		pendingMax = 64 * flushCount
+	}
+	return &shareAggregator{
+		pendingMax: pendingMax,
+		flushCount: flushCount,
+		flushEvery: flushEvery,
+		lastFlush:  time.Now(),
+		window:     newClauseWindow(windowCap),
+	}
+}
+
+// Learn offers a freshly learned clause for sharing. The clause must be
+// safe to retain (OnLearn passes a fresh copy). Clauses already in the
+// window — learned before, or received from a peer — are suppressed.
+func (a *shareAggregator) Learn(c cnf.Clause) {
+	// Normalize up front: the wire codec's canonical-form fast path then
+	// skips its clone-and-sort on encode, moving that cost here to the
+	// producer side, off the flush/broadcast path. Tautologies are never
+	// worth shipping.
+	c, taut := c.Normalize()
+	if taut {
+		return
+	}
+	fp := c.Fingerprint()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.window.Add(fp) {
+		a.dedupHits++
+		return
+	}
+	// Insert keeping the pending batch sorted shortest-first.
+	i := sort.Search(len(a.pending), func(i int) bool { return len(a.pending[i]) > len(c) })
+	a.pending = append(a.pending, nil)
+	copy(a.pending[i+1:], a.pending[i:])
+	a.pending[i] = c
+	if len(a.pending) > a.pendingMax {
+		// Drop the longest pending clause — the tail of the sorted batch.
+		a.pending[len(a.pending)-1] = nil
+		a.pending = a.pending[:len(a.pending)-1]
+		a.overflow++
+	}
+}
+
+// NoteReceived records clauses that arrived from peers so this client
+// never re-exports them, and prunes any that are still pending.
+func (a *shareAggregator) NoteReceived(cs []cnf.Clause) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range cs {
+		a.window.Add(c.Fingerprint())
+	}
+	if len(a.pending) == 0 {
+		return
+	}
+	recv := make(map[uint64]struct{}, len(cs))
+	for _, c := range cs {
+		recv[c.Fingerprint()] = struct{}{}
+	}
+	kept := a.pending[:0]
+	for _, c := range a.pending {
+		if _, dup := recv[c.Fingerprint()]; dup {
+			a.dedupHits++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	for i := len(kept); i < len(a.pending); i++ {
+		a.pending[i] = nil
+	}
+	a.pending = kept
+}
+
+// TakeBatch returns the pending batch (shortest clause first) if the
+// flush policy says it is time: the batch reached flushCount, or
+// flushEvery has elapsed since the last flush with anything pending.
+// Otherwise it returns nil.
+func (a *shareAggregator) TakeBatch(now time.Time) []cnf.Clause {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.pending) == 0 {
+		return nil
+	}
+	if len(a.pending) < a.flushCount && now.Sub(a.lastFlush) < a.flushEvery {
+		return nil
+	}
+	return a.takeLocked(now)
+}
+
+// Drain returns whatever is pending regardless of policy — used when the
+// client finishes a subproblem so nothing learned is lost.
+func (a *shareAggregator) Drain() []cnf.Clause {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.pending) == 0 {
+		return nil
+	}
+	return a.takeLocked(time.Now())
+}
+
+func (a *shareAggregator) takeLocked(now time.Time) []cnf.Clause {
+	out := a.pending
+	a.pending = nil
+	a.lastFlush = now
+	return out
+}
+
+// DedupHits returns the number of clauses suppressed by the receive
+// window (fed to gridsat_client_share_dedup_total).
+func (a *shareAggregator) DedupHits() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dedupHits
+}
+
+// Overflow returns the number of clauses dropped from a full batch.
+func (a *shareAggregator) Overflow() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.overflow
+}
