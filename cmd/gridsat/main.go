@@ -22,6 +22,7 @@ import (
 	"gridsat/internal/obs"
 	"gridsat/internal/proof"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 func main() {
@@ -151,6 +152,9 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
 	logLevel := fs.String("log", "", "structured log level (debug|info|warn|error; empty = off)")
+	tracePath := fs.String("trace", "", "record the control-plane flight log as JSONL here")
+	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
+	dotPath := fs.String("trace-dot", "", "also render the split-lineage tree as Graphviz DOT here")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
@@ -160,21 +164,32 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	fl, closeFlight, err := flightRecorder(*tracePath)
+	if err != nil {
+		return err
+	}
 	res, err := core.Solve(f, core.JobConfig{
 		Clients:     *clients,
 		ShareMaxLen: *shareLen,
 		Timeout:     *timeout,
 		MetricsAddr: *metricsAddr,
 		Logger:      logger,
+		Flight:      fl,
 	})
 	if err != nil {
+		return err
+	}
+	if err := closeFlight(); err != nil {
+		return err
+	}
+	if err := writeTraceViews(fl, *perfettoPath, *dotPath); err != nil {
 		return err
 	}
 	report(res.Status, res.Model, f)
 	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
 		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
 		res.Comm.MsgsSent, res.Comm.BytesSent)
-	return writeReport(*reportPath, fs.Arg(0), res)
+	return writeReport(*reportPath, fs.Arg(0), res, fl)
 }
 
 // runLogger builds the stderr structured logger for -log; "" disables.
@@ -185,15 +200,81 @@ func runLogger(level string) (*obs.Logger, error) {
 	return obs.NewLogger(os.Stderr, obs.ParseLevel(level)), nil
 }
 
-// writeReport writes the -report JSON file; "" is a no-op.
-func writeReport(path, instance string, res core.Result) error {
+// flightRecorder opens the -trace flight recorder streaming JSONL to path;
+// "" disables tracing. The returned closer flushes and closes the sink.
+func flightRecorder(path string) (*trace.Flight, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	fd, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fl := trace.NewFlight(fd)
+	closer := func() error {
+		if err := fl.Flush(); err != nil {
+			fd.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: flight log (%d events) written to %s\n", fl.Len(), path)
+		return fd.Close()
+	}
+	return fl, closer, nil
+}
+
+// writeTraceViews renders the two derived views of a flight log: a
+// Perfetto/chrome-tracing timeline and a split-lineage DOT graph.
+func writeTraceViews(fl *trace.Flight, perfettoPath, dotPath string) error {
+	if fl == nil {
+		return nil
+	}
+	if perfettoPath != "" {
+		fd, err := os.Create(perfettoPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WritePerfetto(fd, fl.Events()); err != nil {
+			fd.Close()
+			return err
+		}
+		if err := fd.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: perfetto trace written to %s (open in ui.perfetto.dev)\n", perfettoPath)
+	}
+	if dotPath != "" {
+		fd, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		tree := trace.BuildLineage(fl.Events())
+		if err := tree.WriteDOT(fd); err != nil {
+			fd.Close()
+			return err
+		}
+		if err := fd.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: lineage tree (%d leaves) written to %s\n", len(tree.Leaves()), dotPath)
+	}
+	return nil
+}
+
+// writeReport writes the -report JSON file; "" is a no-op. A non-nil
+// flight recorder contributes its per-kind event summary.
+func writeReport(path, instance string, res core.Result, fl *trace.Flight) error {
 	if path == "" {
 		return nil
 	}
 	if instance == "" {
 		instance = "-"
 	}
-	if err := core.BuildReport(instance, res).WriteFile(path); err != nil {
+	rep := core.BuildReport(instance, res)
+	if fl != nil {
+		s := trace.Summarize(fl.Events())
+		rep.Flight = &s
+	}
+	if err := rep.WriteFile(path); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "gridsat: report written to %s\n", path)
@@ -209,12 +290,19 @@ func cmdMaster(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
 	logLevel := fs.String("log", "", "structured log level (debug|info|warn|error; empty = off)")
+	tracePath := fs.String("trace", "", "record the control-plane flight log as JSONL here")
+	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
+	dotPath := fs.String("trace-dot", "", "also render the split-lineage tree as Graphviz DOT here")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	logger, err := runLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	fl, closeFlight, err := flightRecorder(*tracePath)
 	if err != nil {
 		return err
 	}
@@ -230,6 +318,8 @@ func cmdMaster(args []string) error {
 		Metrics:         reg,
 		MetricsAddr:     *metricsAddr,
 		Logger:          logger,
+		Flight:          fl,
+		CommMetrics:     cm,
 	})
 	if err != nil {
 		return err
@@ -243,11 +333,17 @@ func cmdMaster(args []string) error {
 		return err
 	}
 	res.Comm = cm.Totals()
+	if err := closeFlight(); err != nil {
+		return err
+	}
+	if err := writeTraceViews(fl, *perfettoPath, *dotPath); err != nil {
+		return err
+	}
 	report(res.Status, res.Model, f)
 	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
 		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
 		res.Comm.MsgsSent, res.Comm.BytesSent)
-	return writeReport(*reportPath, fs.Arg(0), res)
+	return writeReport(*reportPath, fs.Arg(0), res, fl)
 }
 
 func cmdClient(args []string) error {
@@ -312,39 +408,85 @@ func cmdSim(args []string) error {
 	sequential := fs.Bool("sequential", false, "run the dedicated sequential baseline instead")
 	batch := fs.Bool("batch", false, "submit a Blue Horizon batch job (table2 testbed)")
 	timeline := fs.String("timeline", "", "write the active-clients-over-time curve as CSV")
+	tracePath := fs.String("trace", "", "record the control-plane flight log as JSONL here")
+	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
+	dotPath := fs.String("trace-dot", "", "also render the split-lineage tree as Graphviz DOT here")
+	replay := fs.Bool("replay", false, "re-run the simulation and verify it reproduces the flight log exactly")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	var g *grid.Grid
-	switch *testbed {
-	case "grads":
-		g = grid.TestbedGrADS(*seed)
-	case "table2":
-		g = grid.TestbedTable2(*seed)
-	default:
-		return fmt.Errorf("unknown testbed %q", *testbed)
-	}
-	cfg := core.RunnerConfig{
-		Grid:         g,
-		Formula:      f,
-		TimeoutVSec:  *timeout,
-		ShareMaxLen:  *shareLen,
-		MasterHostID: -1,
-		Seed:         *seed,
-	}
-	if *batch {
-		g.AddBlueHorizon(64)
-		cfg.Batch = &core.BatchPlan{
-			Nodes: 64, WalltimeVSec: 720, MeanQueueWaitVSec: 1980, TerminateOnEnd: true,
+	// The grid is mutated during a run, so replay verification needs a
+	// fresh, identically-seeded config per run — hence a constructor.
+	mkCfg := func() (core.RunnerConfig, error) {
+		var g *grid.Grid
+		switch *testbed {
+		case "grads":
+			g = grid.TestbedGrADS(*seed)
+		case "table2":
+			g = grid.TestbedTable2(*seed)
+		default:
+			return core.RunnerConfig{}, fmt.Errorf("unknown testbed %q", *testbed)
 		}
+		cfg := core.RunnerConfig{
+			Grid:         g,
+			Formula:      f,
+			TimeoutVSec:  *timeout,
+			ShareMaxLen:  *shareLen,
+			MasterHostID: -1,
+			Seed:         *seed,
+		}
+		if *batch {
+			g.AddBlueHorizon(64)
+			cfg.Batch = &core.BatchPlan{
+				Nodes: 64, WalltimeVSec: 720, MeanQueueWaitVSec: 1980, TerminateOnEnd: true,
+			}
+		}
+		return cfg, nil
 	}
+	if *sequential && (*tracePath != "" || *replay) {
+		return fmt.Errorf("-trace/-replay need the distributed runner (drop -sequential)")
+	}
+	fl, closeFlight, err := flightRecorder(*tracePath)
+	if err != nil {
+		return err
+	}
+	// -replay needs the events in memory even without a -trace file.
+	if *replay && fl == nil {
+		fl = trace.NewFlight(nil)
+	}
+	cfg, err := mkCfg()
+	if err != nil {
+		return err
+	}
+	cfg.Flight = fl
 	var res core.SimResult
 	if *sequential {
 		res = core.RunSequential(cfg)
 	} else {
 		res = core.RunDistributed(cfg)
+	}
+	if err := closeFlight(); err != nil {
+		return err
+	}
+	if err := writeTraceViews(fl, *perfettoPath, *dotPath); err != nil {
+		return err
+	}
+	if *replay {
+		err := trace.ReplayVerify(fl.Events(), func(f2 *trace.Flight) error {
+			cfg2, err := mkCfg()
+			if err != nil {
+				return err
+			}
+			cfg2.Flight = f2
+			core.RunDistributed(cfg2)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("replay verification FAILED: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridsat: replay verified — re-run reproduced all %d flight events\n", fl.Len())
 	}
 	report(res.Status, res.Model, f)
 	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d splits=%d shared=%d work=%d-props msgs=%d bytes=%d\n",

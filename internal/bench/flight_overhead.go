@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/core"
+	"gridsat/internal/grid"
+	"gridsat/internal/trace"
+)
+
+// FlightOverheadResult is one arm of the flight-recorder ablation.
+type FlightOverheadResult struct {
+	Label string
+	// Wall is the real time the simulated run took to execute.
+	Wall time.Duration
+	// VSec is the virtual solve time; identical across arms because the
+	// recorder must never perturb the simulation.
+	VSec float64
+	// Props is the simulated search work — also identical across arms.
+	Props int64
+	// Events is the flight-log length (0 for the untraced arm).
+	Events int
+}
+
+// AblationFlightRecorder measures what recording the control-plane flight
+// log costs. Where the paper's EveryWare instrumentation taxed the solver
+// hot path (§4.1, up to 50%), the flight recorder only hooks control-plane
+// transitions — splits, shares, churn — which are orders of magnitude
+// rarer than BCP events, so its overhead criterion is <5% wall time on a
+// full distributed DES run. Two arms run the identical config:
+//
+//	untraced — Flight == nil, the emit path is a nil-check and return
+//	traced   — in-memory Flight recording every control-plane event
+//
+// Each arm runs `rounds` times keeping the fastest wall time; both must
+// report identical virtual time and propagation counts.
+func AblationFlightRecorder(f *cnf.Formula, rounds int) []FlightOverheadResult {
+	if rounds < 1 {
+		rounds = 1
+	}
+	arms := []struct {
+		label  string
+		flight func() *trace.Flight
+	}{
+		{"untraced", func() *trace.Flight { return nil }},
+		{"traced", func() *trace.Flight { return trace.NewFlight(nil) }},
+	}
+	out := make([]FlightOverheadResult, 0, len(arms))
+	for _, arm := range arms {
+		best := FlightOverheadResult{Label: arm.label}
+		for i := 0; i < rounds; i++ {
+			fl := arm.flight()
+			cfg := core.RunnerConfig{
+				Grid:         grid.TestbedGrADS(1),
+				Formula:      f,
+				TimeoutVSec:  10_000,
+				PropsPerVSec: 1000,
+				QuantumProps: 5000,
+				ShareMaxLen:  10,
+				MasterHostID: -1,
+				Seed:         1,
+				Flight:       fl,
+			}
+			start := time.Now()
+			res := core.RunDistributed(cfg)
+			wall := time.Since(start)
+			best.VSec = res.VSec
+			best.Props = res.TotalProps
+			if fl != nil {
+				best.Events = fl.Len()
+			}
+			if i == 0 || wall < best.Wall {
+				best.Wall = wall
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// RenderFlightOverhead formats the ablation with the overhead percentage
+// relative to the first (untraced) arm.
+func RenderFlightOverhead(results []FlightOverheadResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "ablation: flight-recorder overhead (distributed DES run)")
+	if len(results) == 0 {
+		return b.String()
+	}
+	base := results[0].Wall.Seconds()
+	for _, r := range results {
+		pct := 0.0
+		if base > 0 {
+			pct = (r.Wall.Seconds() - base) / base * 100
+		}
+		fmt.Fprintf(&b, "  %-9s wall=%-12s vsec=%-8.1f props=%-10d events=%-5d overhead=%+.1f%%\n",
+			r.Label, r.Wall.Round(time.Microsecond), r.VSec, r.Props, r.Events, pct)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gridsat/internal/core"
+	"gridsat/internal/gen"
+	"gridsat/internal/grid"
+	"gridsat/internal/trace"
+)
+
+// TestAblationFlightRecorderDeterminism checks the flight recorder is
+// purely observational: both arms must do identical simulated work and
+// finish at the same virtual time.
+func TestAblationFlightRecorderDeterminism(t *testing.T) {
+	res := AblationFlightRecorder(gen.Pigeonhole(8), 1)
+	if len(res) != 2 {
+		t.Fatalf("%d arms", len(res))
+	}
+	un, tr := res[0], res[1]
+	if un.VSec != tr.VSec {
+		t.Errorf("virtual time diverged: %.3f vs %.3f — tracing changed the run", un.VSec, tr.VSec)
+	}
+	if un.Props != tr.Props {
+		t.Errorf("props diverged: %d vs %d — tracing changed the search", un.Props, tr.Props)
+	}
+	if un.Events != 0 || tr.Events == 0 {
+		t.Errorf("event counts wrong: untraced=%d traced=%d", un.Events, tr.Events)
+	}
+	out := RenderFlightOverhead(res)
+	t.Logf("\n%s", out)
+	for _, want := range []string{"untraced", "traced", "overhead="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func simArm(b *testing.B, fl func() *trace.Flight) {
+	b.ReportAllocs()
+	f := gen.Pigeonhole(8)
+	for i := 0; i < b.N; i++ {
+		cfg := core.RunnerConfig{
+			Grid:         grid.TestbedGrADS(1),
+			Formula:      f,
+			TimeoutVSec:  10_000,
+			PropsPerVSec: 1000,
+			QuantumProps: 5000,
+			ShareMaxLen:  10,
+			MasterHostID: -1,
+			Seed:         1,
+			Flight:       fl(),
+		}
+		if res := core.RunDistributed(cfg); res.Outcome != core.OutcomeSolved {
+			b.Fatal("benchmark instance did not decide")
+		}
+	}
+}
+
+// The two arms of the flight-recorder ablation as Go benchmarks;
+// EXPERIMENTS.md records measured numbers from
+//
+//	go test ./internal/bench/ -bench FlightRecorder -benchtime 10x
+func BenchmarkSimUntraced(b *testing.B) {
+	simArm(b, func() *trace.Flight { return nil })
+}
+
+func BenchmarkSimFlightRecorder(b *testing.B) {
+	simArm(b, func() *trace.Flight { return trace.NewFlight(nil) })
+}

@@ -41,6 +41,13 @@ const (
 	frameStatus byte = 0x03
 )
 
+// frameTracedFlag marks a frame carrying a causal-trace header: two
+// uvarints (Lamport timestamp, parent event ID) between the codec byte and
+// the length prefix. The flag composes with every codec ID, so hot binary
+// kinds stay binary when traced, and an untraced receiver of an untraced
+// stream sees exactly the old format.
+const frameTracedFlag byte = 0x80
+
 // maxFramePayload bounds a frame so a corrupt or hostile length prefix
 // cannot drive a huge allocation. The paper's largest split payloads are
 // hundreds of MB; 1 GiB leaves headroom.
@@ -74,6 +81,10 @@ func EncodeMessage(m Message) (*EncodedMessage, error) {
 	if e, ok := m.(*EncodedMessage); ok {
 		return e, nil
 	}
+	var ti *TraceInfo
+	if t, ok := m.(Traced); ok {
+		ti, m = &t.Info, t.Msg
+	}
 	var id byte
 	var payload []byte
 	switch v := m.(type) {
@@ -93,11 +104,38 @@ func EncodeMessage(m Message) (*EncodedMessage, error) {
 	if len(payload) > maxFramePayload {
 		return nil, fmt.Errorf("comm: frame payload %d exceeds limit", len(payload))
 	}
-	frame := make([]byte, 0, len(payload)+binary.MaxVarintLen32+1)
-	frame = append(frame, id)
+	frame := make([]byte, 0, len(payload)+3*binary.MaxVarintLen32+1)
+	if ti != nil {
+		frame = append(frame, id|frameTracedFlag)
+		frame = binary.AppendUvarint(frame, ti.Lamport)
+		frame = binary.AppendUvarint(frame, ti.Parent)
+	} else {
+		frame = append(frame, id)
+	}
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = append(frame, payload...)
 	return &EncodedMessage{kind: m.Kind(), frame: frame}, nil
+}
+
+// IsFallback reports whether this frame used the gob fallback codec — the
+// signal behind gridsat_comm_codec_fallback_frames_total.
+func (e *EncodedMessage) IsFallback() bool {
+	return len(e.frame) > 0 && e.frame[0]&^frameTracedFlag == frameGob
+}
+
+// HasBinaryCodec reports whether m encodes with a dedicated binary frame
+// codec rather than the gob fallback. Instrumented transports use it to
+// count fallback frames without re-encoding the message.
+func HasBinaryCodec(m Message) bool {
+	switch v := m.(type) {
+	case ShareClauses, SplitPayload, StatusReport:
+		return true
+	case Traced:
+		return HasBinaryCodec(v.Msg)
+	case *EncodedMessage:
+		return !v.IsFallback()
+	}
+	return false
 }
 
 // Decode reconstructs the message from the frame. Each call returns a
@@ -114,11 +152,23 @@ type frameReader interface {
 	io.ByteReader
 }
 
-// readMessage reads and decodes one frame from r.
+// readMessage reads and decodes one frame from r. Trace-flagged frames
+// come back wrapped in Traced so the receive loop can merge the clock.
 func readMessage(r frameReader) (Message, error) {
 	id, err := r.ReadByte()
 	if err != nil {
 		return nil, err
+	}
+	var ti *TraceInfo
+	if id&frameTracedFlag != 0 {
+		id &^= frameTracedFlag
+		ti = &TraceInfo{}
+		if ti.Lamport, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("comm: trace header: %w", err)
+		}
+		if ti.Parent, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("comm: trace header: %w", err)
+		}
 	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -131,7 +181,11 @@ func readMessage(r frameReader) (Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("comm: frame body: %w", err)
 	}
-	return decodePayload(id, payload)
+	m, err := decodePayload(id, payload)
+	if err != nil || ti == nil {
+		return m, err
+	}
+	return Traced{Info: *ti, Msg: m}, nil
 }
 
 func decodePayload(id byte, payload []byte) (Message, error) {

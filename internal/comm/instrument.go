@@ -22,6 +22,10 @@ type Metrics struct {
 	reg   *obs.Registry
 	dials *obs.Counter
 	accps *obs.Counter
+	// fallback counts frames that used the gob fallback codec instead of a
+	// dedicated binary encoder — a canary for binary-codec coverage
+	// regressions (a hot kind silently dropping to gob shows up here).
+	fallback *obs.Counter
 
 	mu      sync.RWMutex
 	perKind map[string]*kindCounters
@@ -39,12 +43,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		reg = obs.NewRegistry()
 	}
 	return &Metrics{
-		reg:     reg,
-		dials:   reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "dial")),
-		accps:   reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "accept")),
-		perKind: map[string]*kindCounters{},
+		reg:      reg,
+		dials:    reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "dial")),
+		accps:    reg.Counter("gridsat_comm_conns_total", "connections opened by role", obs.L("role", "accept")),
+		fallback: reg.Counter("gridsat_comm_codec_fallback_frames_total", "frames sent with the gob fallback codec instead of a binary encoder"),
+		perKind:  map[string]*kindCounters{},
 	}
 }
+
+// FallbackFrames returns how many sent frames used the gob fallback codec.
+func (m *Metrics) FallbackFrames() int64 { return m.fallback.Value() }
 
 func (m *Metrics) kind(k string) *kindCounters {
 	m.mu.RLock()
@@ -176,6 +184,9 @@ func (c *instrumentedConn) Send(m Message) error {
 	kc := c.m.kind(m.Kind())
 	kc.sentMsgs.Inc()
 	kc.sentBytes.Add(WireSize(m))
+	if !HasBinaryCodec(m) {
+		c.m.fallback.Inc()
+	}
 	return nil
 }
 
@@ -186,6 +197,9 @@ func (c *instrumentedConn) SendEncoded(e *EncodedMessage) error {
 	kc := c.m.kind(e.Kind())
 	kc.sentMsgs.Inc()
 	kc.sentBytes.Add(int64(e.WireLen()))
+	if e.IsFallback() {
+		c.m.fallback.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,220 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"gridsat/internal/obs"
+	"gridsat/internal/solver"
+)
+
+func TestTracedEnvelopeBinaryRoundtrip(t *testing.T) {
+	inner := StatusReport{ClientID: 3, Busy: true, Deltas: SolverDeltas{Conflicts: 42}}
+	in := Traced{Info: TraceInfo{Lamport: 1234, Parent: 77}, Msg: inner}
+	e, err := EncodeMessage(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.frame[0]&frameTracedFlag == 0 {
+		t.Fatalf("frame byte %#x missing traced flag", e.frame[0])
+	}
+	if e.IsFallback() {
+		t.Error("status has a binary codec; traced wrapper must not force gob")
+	}
+	got, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ti := Unwrap(got)
+	if ti != in.Info {
+		t.Fatalf("trace info %+v, want %+v", ti, in.Info)
+	}
+	out, ok := msg.(StatusReport)
+	if !ok || out.ClientID != 3 || out.Deltas.Conflicts != 42 || !out.Busy {
+		t.Fatalf("payload mangled: %+v", msg)
+	}
+}
+
+func TestTracedEnvelopeOverTCP(t *testing.T) {
+	tr := TCPTransport{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Traced and untraced frames interleave on one connection: the
+		// trace flag is per frame, not per session.
+		_ = client.Send(Traced{
+			Info: TraceInfo{Lamport: 9, Parent: 2},
+			Msg:  SplitRequest{ClientID: 1, Why: SplitTimeout},
+		})
+		_ = client.Send(SplitRequest{ClientID: 1, Why: SplitMemoryPressure})
+		_ = client.Send(Traced{
+			Info: TraceInfo{Lamport: 11},
+			Msg:  Solved{ClientID: 1, Status: solver.StatusUNSAT},
+		})
+	}()
+
+	first, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ti := Unwrap(first)
+	if ti.Lamport != 9 || ti.Parent != 2 {
+		t.Fatalf("first frame trace info %+v", ti)
+	}
+	if req, ok := msg.(SplitRequest); !ok || req.Why != SplitTimeout {
+		t.Fatalf("first payload %+v", msg)
+	}
+	second, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ti := Unwrap(second); ti != (TraceInfo{}) {
+		t.Fatalf("untraced frame grew trace info %+v", ti)
+	}
+	third, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ti = Unwrap(third)
+	if ti.Lamport != 11 || ti.Parent != 0 {
+		t.Fatalf("third frame trace info %+v", ti)
+	}
+	if sv, ok := msg.(Solved); !ok || sv.Status != solver.StatusUNSAT {
+		t.Fatalf("third payload %+v", msg)
+	}
+	wg.Wait()
+}
+
+func TestTracedKindAndWireSize(t *testing.T) {
+	w := Traced{Info: TraceInfo{Lamport: 5}, Msg: Shutdown{}}
+	if w.Kind() != "shutdown" {
+		t.Fatalf("kind = %q", w.Kind())
+	}
+	plain := WireSize(Shutdown{})
+	traced := WireSize(w)
+	// Envelope cost: two uvarints (here 1 byte each) on top of the frame.
+	if traced <= plain || traced > plain+10 {
+		t.Fatalf("traced wire size %d vs plain %d: envelope overhead wrong", traced, plain)
+	}
+}
+
+func TestClockTickAndObserve(t *testing.T) {
+	var c Clock
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("tick sequence wrong")
+	}
+	if got := c.Observe(10); got != 11 {
+		t.Fatalf("observe(10) = %d, want 11", got)
+	}
+	// Observing the past still advances by one.
+	if got := c.Observe(3); got != 12 {
+		t.Fatalf("observe(3) = %d, want 12", got)
+	}
+	if c.Now() != 12 {
+		t.Fatalf("now = %d", c.Now())
+	}
+}
+
+func TestClockConcurrentMonotonic(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if g%2 == 0 {
+					c.Tick()
+				} else {
+					c.Observe(uint64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 4 goroutines tick 1000 times each; observes add at least one each.
+	if c.Now() < 8000 {
+		t.Fatalf("clock lost updates: %d", c.Now())
+	}
+}
+
+// TestFallbackFrameCounter pins the satellite metric: gob-encoded frames
+// (messages without a dedicated binary codec) increment
+// gridsat_comm_codec_fallback_frames_total, binary frames do not.
+func TestFallbackFrameCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	tr := Instrument(NewInprocTransport(), m)
+	l, err := tr.Listen("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	client, err := tr.Dial("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+
+	// Binary-codec kinds: no fallback counted.
+	for _, msg := range []Message{
+		StatusReport{ClientID: 1},
+		ShareClauses{From: 1},
+		Traced{Info: TraceInfo{Lamport: 1}, Msg: StatusReport{ClientID: 1}},
+	} {
+		if err := client.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.FallbackFrames(); got != 0 {
+		t.Fatalf("fallback frames after binary sends = %d, want 0", got)
+	}
+
+	// Gob-only kinds fall back, traced or not.
+	for _, msg := range []Message{
+		Register{Addr: "a", HostName: "h"},
+		Traced{Info: TraceInfo{Lamport: 2}, Msg: Register{Addr: "b", HostName: "h"}},
+	} {
+		if err := client.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.FallbackFrames(); got != 2 {
+		t.Fatalf("fallback frames = %d, want 2", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("gridsat_comm_codec_fallback_frames_total"); got != 2 {
+		t.Fatalf("registry fallback counter = %d, want 2", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"gridsat/internal/comm"
 	"gridsat/internal/obs"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 // ClientConfig configures a live GridSAT client.
@@ -59,6 +60,12 @@ type ClientConfig struct {
 	// Metrics, when set, receives the client's sharing-pipeline series
 	// (gridsat_client_share_dedup_total); may be shared across clients.
 	Metrics *obs.Registry
+	// Flight, when non-nil, records this client's share/memory events and
+	// stamps its control messages with Lamport trace metadata so the
+	// master's flight events can name their causes. In-process jobs pass
+	// the master's recorder here; standalone TCP clients may carry their
+	// own (parent IDs then resolve only within each process's log).
+	Flight *trace.Flight
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
@@ -118,6 +125,34 @@ type Client struct {
 
 	control chan comm.Message
 	stopped chan struct{}
+
+	flight *trace.Flight
+	// lastEv is this client's most recent flight event, carried as the
+	// causal parent on its next stamped message.
+	lastEv uint64
+}
+
+// femit records a flight event and remembers it as the causal parent for
+// the next outbound message. No-op without a recorder.
+func (c *Client) femit(ev trace.FEvent) uint64 {
+	if c.flight == nil {
+		return 0
+	}
+	id := c.flight.Emit(ev)
+	c.lastEv = id
+	return id
+}
+
+// sendMaster sends a control message, wrapping it in a trace envelope
+// (current Lamport time + last local event) when tracing is on.
+func (c *Client) sendMaster(msg comm.Message) error {
+	if c.flight != nil {
+		return c.master.Send(comm.Traced{
+			Info: comm.TraceInfo{Lamport: c.flight.Tick(), Parent: c.lastEv},
+			Msg:  msg,
+		})
+	}
+	return c.master.Send(msg)
 }
 
 // NewClient dials the master and registers.
@@ -142,6 +177,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		shares:   newShareAggregator(cfg.ShareFlushCount, cfg.ShareFlushInterval, cfg.ShareWindow, cfg.SharePendingMax),
 		control:  make(chan comm.Message, 256),
 		stopped:  make(chan struct{}),
+		flight:   cfg.Flight,
 	}
 	if cfg.Metrics != nil {
 		c.shareDedup = cfg.Metrics.Counter("gridsat_client_share_dedup_total",
@@ -260,6 +296,7 @@ func (c *Client) Run() error {
 }
 
 func (c *Client) handleIdle(msg comm.Message) bool {
+	msg, _ = comm.Unwrap(msg)
 	switch m := msg.(type) {
 	case comm.BaseProblem:
 		c.base = m.Formula
@@ -268,7 +305,7 @@ func (c *Client) handleIdle(msg comm.Message) bool {
 	case comm.SplitAssign:
 		// The assignment raced with this client finishing its subproblem;
 		// report failure so the master releases the reserved recipient.
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: m.SplitID, OK: false,
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: m.SplitID, OK: false,
 			Err: "donor already idle"})
 	case comm.ShareClauses:
 		// Idle clients have no solver; drop (they get a fresh split later).
@@ -279,6 +316,7 @@ func (c *Client) handleIdle(msg comm.Message) bool {
 }
 
 func (c *Client) handleBusy(msg comm.Message) bool {
+	msg, ti := comm.Unwrap(msg)
 	switch m := msg.(type) {
 	case comm.SplitAssign:
 		c.performSplit(m.SplitID, m.PeerAddr)
@@ -290,6 +328,8 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 			// from peers must never be re-exported by this client.
 			c.shares.NoteReceived(m.Clauses)
 			_ = c.slv.ImportClauses(m.Clauses)
+			c.femit(trace.FEvent{Kind: trace.FEvShareMerge, Client: c.id, Peer: m.From,
+				N: int64(len(m.Clauses)), Lamport: ti.Lamport, Parent: ti.Parent})
 		}
 	case comm.Shutdown:
 		return true
@@ -300,11 +340,11 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 // startSubproblem builds a solver for the received split half.
 func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 	if c.busy {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "already busy"})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "already busy"})
 		return
 	}
 	if c.base == nil {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no base problem cached"})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no base problem cached"})
 		return
 	}
 	opts := solver.DefaultOptions()
@@ -319,7 +359,7 @@ func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 	opts.OnLearn = c.shares.Learn
 	slv, err := solver.NewFromSubproblem(c.base, sub, opts)
 	if err != nil {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
 		return
 	}
 	c.slv = slv
@@ -332,7 +372,7 @@ func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
 		// payload size. The DES runner models it from the network.
 		c.xferTime = time.Duration(len(sub.Assumptions)+16*len(sub.Learnts)) * time.Microsecond
 	}
-	_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
+	_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
 }
 
 // solveSlice advances the solver one quantum and handles terminal states
@@ -356,12 +396,12 @@ func (c *Client) solveSlice() (bool, error) {
 		c.busy = false
 		c.drainShares()        // don't strand learned clauses in the aggregator
 		c.sendHeartbeat(false) // flush the tail deltas before Solved
-		return false, c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
+		return false, c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
 	case solver.StatusUNSAT:
 		c.busy = false
 		c.drainShares()
 		c.sendHeartbeat(false)
-		if err := c.master.Send(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
+		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
 			return false, err
 		}
 		c.slv = nil
@@ -380,7 +420,8 @@ func (c *Client) solveSlice() (bool, error) {
 		// for an idle resource (paper §4.2). The freed bytes reach the
 		// master through the next heartbeat's ReclaimedBytes delta.
 		c.requestSplit(comm.SplitMemoryPressure)
-		c.slv.ShedMemory()
+		freed := c.slv.ShedMemory()
+		c.femit(trace.FEvent{Kind: trace.FEvMemShed, Client: c.id, N: freed})
 		return false, nil
 	}
 	if ask, why := dec.ShouldSplit(c.slv.MemoryBytes(), time.Since(c.recvAt).Seconds()); ask {
@@ -403,7 +444,7 @@ func (c *Client) sendHeartbeat(busy bool) {
 	st := c.slv.Stats()
 	d := solver.StatsDelta(st, c.lastHB)
 	c.lastHB = st
-	_ = c.master.Send(comm.StatusReport{
+	_ = c.sendMaster(comm.StatusReport{
 		ClientID:  c.id,
 		MemBytes:  c.slv.MemoryBytes(),
 		Learnts:   c.slv.NumLearnts(),
@@ -425,7 +466,7 @@ func (c *Client) requestSplit(why comm.SplitReason) {
 	}
 	c.splitAsked = true
 	c.splitWhy = why
-	_ = c.master.Send(comm.SplitRequest{ClientID: c.id, Why: why})
+	_ = c.sendMaster(comm.SplitRequest{ClientID: c.id, Why: why})
 }
 
 // performSplit executes Figure 3's messages (3) and (5): split the solver,
@@ -433,20 +474,20 @@ func (c *Client) requestSplit(why comm.SplitReason) {
 func (c *Client) performSplit(splitID int, peerAddr string) {
 	c.splitAsked = false
 	if c.slv == nil || !c.busy {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no active subproblem"})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no active subproblem"})
 		return
 	}
 	sub, err := c.slv.Split(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount)
 	if err != nil {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
 		return
 	}
 	if err := c.sendToPeer(splitID, peerAddr, sub); err != nil {
-		_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
 		return
 	}
 	c.recvAt = time.Now() // the halved problem restarts the timeout clock
-	_ = c.master.Send(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
+	_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
 }
 
 // performMigrate ships the whole current problem to the peer and goes idle.
@@ -465,7 +506,7 @@ func (c *Client) performMigrate(peerAddr string) {
 	c.slv.Stop()
 	c.slv = nil
 	c.busy = false
-	_ = c.master.Send(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown})
+	_ = c.sendMaster(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown})
 }
 
 func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) error {
@@ -494,7 +535,8 @@ func (c *Client) sendShareBatch(batch []cnf.Clause) {
 	if len(batch) == 0 {
 		return
 	}
-	_ = c.master.Send(comm.ShareClauses{From: c.id, Clauses: batch})
+	c.femit(trace.FEvent{Kind: trace.FEvShareFlush, Client: c.id, N: int64(len(batch))})
+	_ = c.sendMaster(comm.ShareClauses{From: c.id, Clauses: batch})
 }
 
 // publishShareMetrics moves the aggregator's dedup tally into the

@@ -9,6 +9,7 @@ import (
 	"gridsat/internal/comm"
 	"gridsat/internal/obs"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 // JobConfig describes a self-contained distributed run: a master plus a
@@ -42,6 +43,10 @@ type JobConfig struct {
 	MetricsAddr string
 	// Logger receives structured run logs; nil discards them.
 	Logger *obs.Logger
+	// Flight, when non-nil, records the run's control-plane flight log.
+	// Master and clients share the one recorder, so causal parent IDs
+	// resolve within a single log.
+	Flight *trace.Flight
 }
 
 // Solve runs a complete GridSAT job over f and blocks for the result.
@@ -68,6 +73,8 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 		Metrics:         reg,
 		MetricsAddr:     cfg.MetricsAddr,
 		Logger:          cfg.Logger,
+		Flight:          cfg.Flight,
+		CommMetrics:     cm,
 	})
 	if err != nil {
 		return Result{}, err
@@ -97,6 +104,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 			SolverOptions:  cfg.SolverOptions,
 			Counters:       counters,
 			Metrics:        reg,
+			Flight:         cfg.Flight,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: launching client %d: %w", i, err)

@@ -11,6 +11,7 @@ import (
 	"gridsat/internal/comm"
 	"gridsat/internal/obs"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 // MasterConfig configures a live GridSAT master.
@@ -44,6 +45,16 @@ type MasterConfig struct {
 	// (fingerprints per epoch; total memory is bounded at twice this).
 	// Zero uses a default sized for long runs.
 	ShareWindow int
+	// Flight, when non-nil, records the master's control-plane events
+	// (joins, splits, relays, verdict) as a causal flight log. In-process
+	// jobs share one recorder between master and clients, so the Parent
+	// IDs carried in traced messages resolve within the same log; the
+	// introspection server additionally exposes /trace, /trace.json (Chrome
+	// trace-event format) and /tree (split lineage).
+	Flight *trace.Flight
+	// CommMetrics, when set, lets /status report wire-codec counters
+	// (gob-fallback frames) alongside the pool view.
+	CommMetrics *comm.Metrics
 }
 
 // Result is the outcome of a distributed run.
@@ -99,6 +110,9 @@ type masterClient struct {
 	reserved     bool // chosen as split recipient; payload in flight
 	assignedAt   time.Time
 	pendingSplit bool // has an unserved split request
+	// splitReqEv is the flight-log ID of the client's pending split
+	// request, the causal parent of the split-issue it produces.
+	splitReqEv uint64
 
 	// Live cluster view: totals summed from heartbeat deltas plus the
 	// latest gauges, mirrored into per-client registry series.
@@ -133,6 +147,8 @@ type splitPair struct {
 	recipient  int
 	delivered  bool // the donor reported successful delivery
 	assignedAt time.Time
+	// issueEv is the split-issue flight event, parent of the accept/fail.
+	issueEv uint64
 }
 
 type masterEvent struct {
@@ -175,6 +191,23 @@ type Master struct {
 	httpSrv  *http.Server
 	httpAddr string
 	met      masterMetrics
+	flight   *trace.Flight
+	// inTI is the trace metadata of the message currently being handled
+	// (zero for untraced messages). Event-loop only.
+	inTI comm.TraceInfo
+}
+
+// femit records a flight event, merging the in-flight message's Lamport
+// stamp so this log's timestamps exceed the cause's. No-op without a
+// recorder. Event-loop only.
+func (m *Master) femit(ev trace.FEvent) uint64 {
+	if m.flight == nil {
+		return 0
+	}
+	if ev.Lamport == 0 {
+		ev.Lamport = m.inTI.Lamport
+	}
+	return m.flight.Emit(ev)
 }
 
 // masterMetrics caches the master's registry handles so the event loop
@@ -276,10 +309,37 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		reg:           reg,
 		log:           log.Named("master"),
 		met:           newMasterMetrics(reg),
+		flight:        cfg.Flight,
+	}
+	if cfg.Flight != nil {
+		// Stamp log lines with the recorder's Lamport time so they can be
+		// placed against the flight log's causal order.
+		m.log = m.log.WithLamport(cfg.Flight)
 	}
 	if cfg.MetricsAddr != "" {
+		var extra []obs.Endpoint
+		if f := m.flight; f != nil {
+			extra = append(extra,
+				obs.Endpoint{Path: "/trace", H: func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					_ = f.WriteJSONL(w)
+				}},
+				obs.Endpoint{Path: "/trace.json", H: func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					_ = trace.WritePerfetto(w, f.Events())
+				}},
+				obs.Endpoint{Path: "/tree", H: func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					_ = trace.BuildLineage(f.Events()).WriteJSON(w)
+				}},
+				obs.Endpoint{Path: "/tree.dot", H: func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "text/vnd.graphviz")
+					_ = trace.BuildLineage(f.Events()).WriteDOT(w)
+				}},
+			)
+		}
 		srv, addr, err := obs.Serve(cfg.MetricsAddr,
-			obs.Handler(reg, func() any { return m.Status() }))
+			obs.Handler(reg, func() any { return m.Status() }, extra...))
 		if err != nil {
 			l.Close()
 			return nil, fmt.Errorf("core: metrics server: %w", err)
@@ -316,6 +376,12 @@ type StatusSnapshot struct {
 	// SharedDropped counts best-effort clause-share messages the master
 	// discarded because a client's outbound queue was full.
 	SharedDropped int64
+	// CodecFallbackFrames counts frames sent with the gob fallback codec
+	// instead of a dedicated binary encoder (0 when the transport is
+	// uninstrumented) — a live canary for codec-coverage regressions.
+	CodecFallbackFrames int64
+	// FlightEvents is the flight recorder's event count (0 without one).
+	FlightEvents int
 	// WallSeconds is the elapsed run time (0 before Run starts).
 	WallSeconds float64
 	// Clients are the live per-client aggregates, sorted by ID.
@@ -398,6 +464,7 @@ func (m *Master) send(c *masterClient, msg comm.Message) {
 // every message is handled on this single goroutine.
 func (m *Master) Run() (Result, error) {
 	m.started = time.Now()
+	m.femit(trace.FEvent{Kind: trace.FEvRunStart, N: int64(m.cfg.ExpectedClients)})
 	defer m.listener.Close()
 	var timeout <-chan time.Time
 	if m.cfg.Timeout > 0 {
@@ -430,6 +497,7 @@ func (m *Master) Run() (Result, error) {
 		case <-timeout:
 			m.result.Status = solver.StatusUnknown
 			m.result.Wall = time.Since(m.started)
+			m.femit(trace.FEvent{Kind: trace.FEvVerdict, Detail: "UNKNOWN"})
 			m.finishResult()
 			m.log.Warn("run timed out", "after", m.cfg.Timeout)
 			m.shutdownAll()
@@ -482,6 +550,12 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 		if !m.started.IsZero() {
 			snap.WallSeconds = time.Since(m.started).Seconds()
 		}
+		if m.cfg.CommMetrics != nil {
+			snap.CodecFallbackFrames = m.cfg.CommMetrics.FallbackFrames()
+		}
+		if m.flight != nil {
+			snap.FlightEvents = m.flight.Len()
+		}
 		for _, c := range m.clients {
 			if c.addr != "" {
 				snap.Registered++
@@ -510,11 +584,16 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 		return false, nil
 	}
 	if ev.err != nil {
+		m.inTI = comm.TraceInfo{}
 		return m.clientLost(c)
 	}
-	m.countMsg(ev.msg.Kind())
+	// Strip the trace envelope (if any) so the dispatch below sees the
+	// payload; the metadata feeds femit's Lamport merge and Parent links.
+	unwrapped, ti := comm.Unwrap(ev.msg)
+	m.inTI = ti
+	m.countMsg(unwrapped.Kind())
 	defer m.updateGauges()
-	switch msg := ev.msg.(type) {
+	switch msg := unwrapped.(type) {
 	case comm.Register:
 		return false, m.handleRegister(c, msg)
 	case comm.SplitRequest:
@@ -536,6 +615,8 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 // latest gauges replace, the deltas accumulate.
 func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 	m.met.heartbeats.Inc()
+	m.femit(trace.FEvent{Kind: trace.FEvHeartbeat, Client: c.id,
+		N: msg.Deltas.Propagations, Parent: m.inTI.Parent})
 	c.memBytes = msg.MemBytes
 	c.dbLearnts = msg.Learnts
 	c.agg.Add(msg.Deltas)
@@ -577,6 +658,8 @@ func (m *Master) handleRegister(c *masterClient, msg comm.Register) error {
 	c.gauges.mem.Set(msg.FreeMemBytes)
 	m.log.Info("client registered", "id", c.id, "host", msg.HostName,
 		"addr", msg.Addr, "free_mem", msg.FreeMemBytes)
+	m.femit(trace.FEvent{Kind: trace.FEvClientJoin, Client: c.id,
+		Detail: msg.HostName, Parent: m.inTI.Parent})
 	m.send(c, comm.RegisterAck{ClientID: c.id})
 	m.send(c, comm.BaseProblem{Formula: m.cfg.Formula})
 	if !m.assigned && m.registeredCount() >= max(1, m.cfg.ExpectedClients) {
@@ -602,6 +685,7 @@ func (m *Master) assignInitial() {
 	c.busy = true
 	c.assignedAt = time.Now()
 	m.outstanding++
+	m.femit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id})
 	m.noteBusyCount()
 }
 
@@ -610,6 +694,8 @@ func (m *Master) handleSplitRequest(c *masterClient, msg comm.SplitRequest) {
 		return // idle clients cannot split; duplicates are ignored
 	}
 	c.pendingSplit = true
+	c.splitReqEv = m.femit(trace.FEvent{Kind: trace.FEvSplitRequest,
+		Client: c.id, Detail: msg.Why.String(), Parent: m.inTI.Parent})
 	m.backlog = append(m.backlog, BacklogEntry{
 		ClientID:    c.id,
 		AssignedAt:  float64(c.assignedAt.UnixNano()),
@@ -642,7 +728,10 @@ func (m *Master) serveBacklog() {
 		recipient.reserved = true
 		m.outstanding++ // the in-flight half counts as outstanding work
 		m.nextSplitID++
-		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id, assignedAt: time.Now()}
+		issueEv := m.femit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
+			Peer: recipient.id, SplitID: m.nextSplitID, Parent: donor.splitReqEv})
+		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id,
+			assignedAt: time.Now(), issueEv: issueEv}
 		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, PeerID: recipient.id, PeerAddr: recipient.addr})
 	}
 }
@@ -662,8 +751,12 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 			m.result.Splits++
 			m.met.splits.Inc()
 			m.met.splitLat.Observe(time.Since(pair.assignedAt).Seconds())
+			m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
+				Peer: pair.donor, SplitID: msg.SplitID, Parent: pair.issueEv})
 			m.noteBusyCount()
 		} else {
+			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
+				Peer: pair.donor, SplitID: msg.SplitID, Parent: pair.issueEv, Detail: msg.Err})
 			m.outstanding--
 		}
 		m.serveBacklog()
@@ -681,6 +774,8 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 		if r := m.clients[pair.recipient]; r != nil {
 			r.reserved = false
 		}
+		m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
+			Peer: pair.recipient, SplitID: msg.SplitID, Parent: pair.issueEv, Detail: msg.Err})
 		m.outstanding--
 		m.serveBacklog()
 	}
@@ -704,6 +799,8 @@ func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
 	}
 	m.result.SharedClauses += len(fresh)
 	m.met.shared.Add(int64(len(fresh)))
+	m.femit(trace.FEvent{Kind: trace.FEvShareRelay, Client: c.id,
+		N: int64(len(fresh)), Parent: m.inTI.Parent})
 	// Encode the batch once; every peer's writeLoop sends the same frame.
 	var out comm.Message = comm.ShareClauses{From: c.id, Clauses: fresh}
 	if e, err := comm.EncodeMessage(out); err == nil {
@@ -734,8 +831,11 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 		}
 		m.result.Status = solver.StatusSAT
 		m.result.Model = msg.Model
+		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Client: c.id,
+			Detail: "SAT", Parent: m.inTI.Parent})
 		return true, nil
 	case solver.StatusUNSAT:
+		m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Parent: m.inTI.Parent})
 		// This half of the space is exhausted. If nothing else is
 		// outstanding, the whole problem is unsatisfiable.
 		if m.checkExhausted() {
@@ -754,6 +854,7 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 func (m *Master) checkExhausted() bool {
 	if m.assigned && m.outstanding == 0 && m.result.Status == solver.StatusUnknown {
 		m.result.Status = solver.StatusUNSAT
+		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Detail: "UNSAT"})
 		return true
 	}
 	return false
@@ -767,6 +868,7 @@ func (m *Master) clientLost(c *masterClient) (bool, error) {
 		return false, fmt.Errorf("core: lost client %d while it held a subproblem", c.id)
 	}
 	m.log.Warn("idle client lost", "client", c.id, "host", c.hostName)
+	m.femit(trace.FEvent{Kind: trace.FEvClientLeave, Client: c.id, Detail: c.hostName})
 	delete(m.clients, c.id)
 	return false, nil
 }

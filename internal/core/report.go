@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"gridsat/internal/comm"
+	"gridsat/internal/trace"
 )
 
 // Report is the machine-readable end-of-run summary written by
@@ -28,6 +29,9 @@ type Report struct {
 	// Comm is the per-kind wire traffic (zero when the transport was
 	// not instrumented).
 	Comm comm.Totals `json:"comm"`
+	// Flight is the flight-recorder aggregate (event totals per kind,
+	// verdict, Lamport horizon); nil when the run was untraced.
+	Flight *trace.FlightSummary `json:"flight,omitempty"`
 }
 
 // BuildReport converts a finished run's Result into a Report.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/grid"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 // The DES runner executes GridSAT's master/client policies over the
@@ -60,6 +62,11 @@ type RunnerConfig struct {
 	// factor, the whole subproblem moves there (e.g. from a lone remote
 	// desktop to a freshly freed cluster node). 0 disables migration.
 	MigrationFactor float64
+	// Flight, when non-nil, records the run's control-plane events (splits,
+	// shares, churn, verdict) stamped with virtual time and Lamport clocks.
+	// Because the simulation is deterministic, re-running the same config
+	// reproduces the flight log exactly — the basis of the replay verifier.
+	Flight *trace.Flight
 	// P2PSharing delivers shared clauses directly between clients instead
 	// of relaying through the master. The paper routes the (large) split
 	// payloads peer-to-peer for exactly this reason; sharing topology is
@@ -236,6 +243,9 @@ type simClient struct {
 	xferTime   float64
 	assignedAt float64
 	splitAsked bool
+	// splitReqEv is the flight-log ID of this client's pending split
+	// request, the causal parent of the split-issue it produces.
+	splitReqEv uint64
 	memBudget  int64
 	// queued split assignments, served at the next quantum boundary.
 	assigns []runnerAssign
@@ -263,13 +273,31 @@ type runner struct {
 	assigned    bool
 	outstanding int
 	// orphans are checkpointed subproblems of crashed clients awaiting an
-	// idle resource.
-	orphans  []*solver.Subproblem
-	done     bool
-	res      SimResult
-	batchJob *grid.BatchJob
-	batchSys *grid.BatchSystem
-	rng      *rand.Rand
+	// idle resource; orphanEvs carries each one's client-leave flight event
+	// in the same FIFO order, so the recovery event can name its cause.
+	orphans   []*solver.Subproblem
+	orphanEvs []uint64
+	done      bool
+	res       SimResult
+	flight    *trace.Flight
+	// verdictClient is the client whose model decided a SAT run (0 for
+	// UNSAT/timeout), recorded on the verdict flight event.
+	verdictClient int
+	batchJob      *grid.BatchJob
+	batchSys      *grid.BatchSystem
+	rng           *rand.Rand
+}
+
+// emit records a flight event stamped with the current virtual time; a nil
+// recorder makes it a no-op, so untraced runs pay nothing. The simulation
+// is single-threaded, so event order (and thus the whole log) is
+// deterministic.
+func (r *runner) emit(ev trace.FEvent) uint64 {
+	if r.flight == nil {
+		return 0
+	}
+	ev.VSec = r.sim.Now()
+	return r.flight.Emit(ev)
 }
 
 // RunDistributed simulates a full GridSAT run over the configured grid.
@@ -282,6 +310,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		clients: map[int]*simClient{},
 		pending: map[int]*splitPair{},
 		seen:    newClauseWindow(0),
+		flight:  cfg.Flight,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
@@ -297,6 +326,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 			return
 		}
 		r.info.Observe(r.sim.Now())
+		r.emit(trace.FEvent{Kind: trace.FEvHeartbeat, N: int64(r.busyCount())})
 		r.sample(r.busyCount())
 		r.maybeMigrate()
 		r.sim.After(cfg.MonitorPeriodVSec, monitor)
@@ -317,6 +347,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		n++
 		r.launch(h)
 	}
+	r.emit(trace.FEvent{Kind: trace.FEvRunStart, N: int64(n)})
 
 	// Fault injection: schedule the configured client crashes.
 	for _, fp := range cfg.Failures {
@@ -388,6 +419,14 @@ func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignme
 	r.res.Outcome = outcome
 	r.res.Status = st
 	r.res.Model = model
+	detail := "UNKNOWN"
+	switch st {
+	case solver.StatusSAT:
+		detail = "SAT"
+	case solver.StatusUNSAT:
+		detail = "UNSAT"
+	}
+	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Client: r.verdictClient, Detail: detail})
 	r.sample(0) // every run ends with the client count collapsing to zero
 	// Solved before the batch allocation arrived: withdraw the job
 	// (Table 2: "the job queued from the Blue Horizon is canceled").
@@ -412,6 +451,7 @@ func (r *runner) launch(h *grid.Host) {
 		c.registered = true
 		r.clients[c.id] = c
 		r.order = append(r.order, c.id)
+		r.emit(trace.FEvent{Kind: trace.FEvClientJoin, Client: c.id, Detail: h.Name})
 		if !r.assigned {
 			r.assignInitial(c)
 		} else {
@@ -446,6 +486,7 @@ func (r *runner) assignInitial(c *simClient) {
 		c.recvAt = r.sim.Now()
 		c.assignedAt = r.sim.Now()
 		c.xferTime = delay
+		r.emit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id})
 		r.noteBusy()
 		r.scheduleStep(c)
 	})
@@ -495,6 +536,7 @@ func (r *runner) scheduleStep(c *simClient) {
 			// mid-quantum; the master verifies before declaring success
 			// (§3.4).
 			if err := r.cfg.Formula.Verify(res.Model); err == nil {
+				r.verdictClient = c.id
 				r.finish(OutcomeSolved, solver.StatusSAT, res.Model)
 			}
 			return
@@ -511,6 +553,7 @@ func (r *runner) scheduleStep(c *simClient) {
 			c.busy = false
 			c.slv = nil
 			c.splitAsked = false
+			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id})
 			r.outstanding--
 			r.sample(r.busyCount())
 			r.serveAssigns(c) // release any split assignments queued for us
@@ -528,8 +571,9 @@ func (r *runner) scheduleStep(c *simClient) {
 		// the split triggers, then keep computing.
 		r.serveAssigns(c)
 		if res.Reason == solver.ReasonMemLimit {
-			r.requestSplit(c)
-			c.slv.ShedMemory()
+			r.requestSplit(c, "mem-pressure")
+			freed := c.slv.ShedMemory()
+			r.emit(trace.FEvent{Kind: trace.FEvMemShed, Client: c.id, N: freed})
 		} else {
 			dec := SplitDecision{
 				MemBudgetBytes:      c.memBudget,
@@ -537,8 +581,12 @@ func (r *runner) scheduleStep(c *simClient) {
 				TransferTime:        c.xferTime,
 				MinRunTime:          r.cfg.SplitTimeoutVSec,
 			}
-			if ask, _ := dec.ShouldSplit(c.slv.MemoryBytes(), r.sim.Now()-c.recvAt); ask {
-				r.requestSplit(c)
+			if ask, why := dec.ShouldSplit(c.slv.MemoryBytes(), r.sim.Now()-c.recvAt); ask {
+				reason := "timeout"
+				if why == WhyMemory {
+					reason = "mem-pressure"
+				}
+				r.requestSplit(c, reason)
 			}
 		}
 		r.scheduleStep(c)
@@ -549,6 +597,7 @@ func (r *runner) scheduleStep(c *simClient) {
 // runtime: dedup at the master, then deliver to every other busy client
 // with the modeled network delay.
 func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
+	flushEv := r.emit(trace.FEvent{Kind: trace.FEvShareFlush, Client: from.id, N: int64(len(clauses))})
 	// Copy fresh clauses instead of filtering in place: the callback below
 	// retains the batch past this call, and clauses aliases the donor
 	// solver's learnt storage.
@@ -563,6 +612,8 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 		return
 	}
 	r.res.Shared += len(fresh)
+	relayEv := r.emit(trace.FEvent{Kind: trace.FEvShareRelay, Client: from.id,
+		N: int64(len(fresh)), Parent: flushEv})
 	bytes := int64(len(fresh) * 32)
 	toMaster := r.xfer(from.host, r.master, bytes)
 	for _, id := range r.order {
@@ -582,11 +633,13 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 				return
 			}
 			_ = other.slv.ImportClauses(batch)
+			r.emit(trace.FEvent{Kind: trace.FEvShareMerge, Client: other.id,
+				Peer: from.id, N: int64(len(batch)), Parent: relayEv})
 		})
 	}
 }
 
-func (r *runner) requestSplit(c *simClient) {
+func (r *runner) requestSplit(c *simClient, why string) {
 	if c.splitAsked || !c.busy {
 		return
 	}
@@ -597,6 +650,7 @@ func (r *runner) requestSplit(c *simClient) {
 			c.splitAsked = false
 			return
 		}
+		c.splitReqEv = r.emit(trace.FEvent{Kind: trace.FEvSplitRequest, Client: c.id, Detail: why})
 		r.backlog = append(r.backlog, BacklogEntry{
 			ClientID:    c.id,
 			AssignedAt:  c.assignedAt,
@@ -634,7 +688,9 @@ func (r *runner) serveBacklog() {
 		r.outstanding++
 		r.nextSplitID++
 		splitID := r.nextSplitID
-		r.pending[splitID] = &splitPair{donor: donor.id, recipient: recipient.id}
+		issueEv := r.emit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
+			Peer: recipient.id, SplitID: splitID, Parent: donor.splitReqEv})
+		r.pending[splitID] = &splitPair{donor: donor.id, recipient: recipient.id, issueEv: issueEv}
 		delay := r.xfer(r.master, donor.host, 64)
 		r.sim.After(delay, func() {
 			if r.done {
@@ -681,6 +737,8 @@ func (r *runner) serveAssigns(c *simClient) {
 			recipient.reserved = false
 			slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
 			if err != nil {
+				r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: recipient.id,
+					Peer: c.id, SplitID: a.splitID, Parent: pair.issueEv, Detail: err.Error()})
 				r.outstanding--
 				r.serveBacklog()
 				return
@@ -691,6 +749,8 @@ func (r *runner) serveAssigns(c *simClient) {
 			recipient.assignedAt = r.sim.Now()
 			recipient.xferTime = delay
 			r.res.Splits++
+			r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: recipient.id,
+				Peer: c.id, SplitID: a.splitID, Parent: pair.issueEv})
 			r.noteBusy()
 			r.scheduleStep(recipient)
 		})
@@ -766,6 +826,7 @@ func (r *runner) maybeMigrate() {
 		recipient.assignedAt = r.sim.Now()
 		recipient.xferTime = delay
 		r.res.Migrations++
+		r.emit(trace.FEvent{Kind: trace.FEvMigrate, Client: weakest.id, Peer: recipient.id})
 		r.noteBusy()
 		r.scheduleStep(recipient)
 	})
@@ -790,6 +851,7 @@ func (r *runner) failClient(id int) {
 	c.dead = true
 	c.busy = false
 	c.slv = nil
+	leaveEv := r.emit(trace.FEvent{Kind: trace.FEvClientLeave, Client: id, Detail: "crash"})
 	// Remove the client; in-flight messages to it become no-ops because
 	// its entry disappears.
 	delete(r.clients, id)
@@ -799,9 +861,19 @@ func (r *runner) failClient(id int) {
 			break
 		}
 	}
-	// Reservations and transfers involving the dead client unwind.
-	for splitID, pair := range r.pending {
+	// Reservations and transfers involving the dead client unwind. Walk
+	// the pending map in split-ID order so the emitted split-fail events
+	// (and thus the flight log) stay deterministic.
+	var pendIDs []int
+	for splitID := range r.pending {
+		pendIDs = append(pendIDs, splitID)
+	}
+	sort.Ints(pendIDs)
+	for _, splitID := range pendIDs {
+		pair := r.pending[splitID]
 		if pair.recipient == id || pair.donor == id {
+			r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
+				Peer: pair.recipient, SplitID: splitID, Parent: pair.issueEv, Detail: "client lost"})
 			delete(r.pending, splitID)
 			if rec := r.clients[pair.recipient]; rec != nil {
 				rec.reserved = false
@@ -811,6 +883,7 @@ func (r *runner) failClient(id int) {
 	}
 	if orphan != nil {
 		r.orphans = append(r.orphans, orphan)
+		r.orphanEvs = append(r.orphanEvs, leaveEv)
 		// The crashed client's outstanding piece survives as an orphan; no
 		// change to the outstanding count.
 		r.serveOrphans()
@@ -829,6 +902,11 @@ func (r *runner) serveOrphans() {
 		}
 		sub := r.orphans[0]
 		r.orphans = r.orphans[1:]
+		var leaveEv uint64
+		if len(r.orphanEvs) > 0 {
+			leaveEv = r.orphanEvs[0]
+			r.orphanEvs = r.orphanEvs[1:]
+		}
 		c := r.clients[target.ID]
 		c.reserved = true
 		bytes := subproblemBytes(sub)
@@ -847,6 +925,7 @@ func (r *runner) serveOrphans() {
 			c.recvAt = r.sim.Now()
 			c.assignedAt = r.sim.Now()
 			c.xferTime = delay
+			r.emit(trace.FEvent{Kind: trace.FEvRecover, Client: c.id, Parent: leaveEv})
 			r.noteBusy()
 			r.scheduleStep(c)
 		})
@@ -859,6 +938,8 @@ func (r *runner) releasePending(splitID int) {
 	if pair == nil {
 		return
 	}
+	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
+		Peer: pair.recipient, SplitID: splitID, Parent: pair.issueEv})
 	delete(r.pending, splitID)
 	if rec := r.clients[pair.recipient]; rec != nil {
 		rec.reserved = false

@@ -14,11 +14,16 @@ import (
 //	/status         JSON of the caller-supplied status value
 //	/debug/pprof/   the standard Go profiler endpoints
 //
-// status may be nil, in which case /status returns 404. The handler is
-// deliberately built on a private mux so importing this package never
-// mutates http.DefaultServeMux.
-func Handler(reg *Registry, status func() any) http.Handler {
+// status may be nil, in which case /status returns 404. Callers may mount
+// additional endpoints (the master adds /trace and /tree when a flight
+// recorder is attached) via extra. The handler is deliberately built on a
+// private mux so importing this package never mutates
+// http.DefaultServeMux.
+func Handler(reg *Registry, status func() any, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		mux.HandleFunc(e.Path, e.H)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -41,6 +46,12 @@ func Handler(reg *Registry, status func() any) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Endpoint is an extra route mounted by Handler.
+type Endpoint struct {
+	Path string
+	H    http.HandlerFunc
 }
 
 // Serve starts an HTTP server for h on addr (":0" picks an ephemeral

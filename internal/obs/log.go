@@ -65,7 +65,12 @@ type Logger struct {
 	lvl  *atomic.Int32
 	name string
 	now  func() time.Time
+	lt   LamportSource
 }
+
+// LamportSource supplies a logical timestamp for log lines. Both
+// comm.Clock and trace.Flight satisfy it.
+type LamportSource interface{ Now() uint64 }
 
 // NewLogger writes events at or above lvl to w.
 func NewLogger(w io.Writer, lvl Level) *Logger {
@@ -89,6 +94,16 @@ func (l *Logger) Named(name string) *Logger {
 	} else {
 		child.name = name
 	}
+	return &child
+}
+
+// WithLamport returns a child logger that stamps each line with the
+// logical time read from src, rendered as [component@N]. Wall clocks skew
+// across grid sites; the Lamport stamp is what lets a log line be placed
+// against the flight recorder's causal event order.
+func (l *Logger) WithLamport(src LamportSource) *Logger {
+	child := *l
+	child.lt = src
 	return &child
 }
 
@@ -117,9 +132,12 @@ func (l *Logger) log(lvl Level, msg string, kv []any) {
 	var b strings.Builder
 	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
 	fmt.Fprintf(&b, " %-5s ", lvl)
-	if l.name != "" {
+	if l.name != "" || l.lt != nil {
 		b.WriteByte('[')
 		b.WriteString(l.name)
+		if l.lt != nil {
+			fmt.Fprintf(&b, "@%d", l.lt.Now())
+		}
 		b.WriteString("] ")
 	}
 	b.WriteString(msg)

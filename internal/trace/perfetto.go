@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports a flight log in the Chrome trace-event JSON format, so
+// a run opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one timeline row per client, a complete-event ("X") span for every
+// subproblem-ownership interval, instant events ("i") for the punctual
+// kinds, and flow arrows ("s"/"f") along causal parent edges — the visual
+// the paper could only sketch as Figure 2.
+//
+// Timestamps are microseconds. DES logs use virtual seconds (VSec * 1e6);
+// live logs, which record no deterministic clock, fall back to Lamport
+// time (1 tick = 1 µs) — the ordering is exact even though the spacing is
+// notional.
+
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+	Scope string         `json:"s,omitempty"`
+}
+
+// perfettoPid groups every row under one "process" in the UI.
+const perfettoPid = 1
+
+// WritePerfetto writes events as a Chrome trace-event JSON document.
+func WritePerfetto(w io.Writer, events []FEvent) error {
+	ts := perfettoTimestamps(events)
+	var out []perfettoEvent
+
+	// Name the rows: tid 0 is the master/coordinator lane, tid N is client N.
+	named := map[int]bool{}
+	name := func(tid int, label string) {
+		if named[tid] {
+			return
+		}
+		named[tid] = true
+		out = append(out, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: tid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	name(0, "master")
+
+	// Ownership spans: a client's row is "solving" from the event that gave
+	// it work (assign / split-accept / recover) until the event that took
+	// the work away (sub-unsat / migrate out / leave / verdict).
+	type openSpan struct {
+		start float64
+		label string
+		ev    FEvent
+	}
+	open := map[int]*openSpan{}
+	closeSpan := func(client int, end float64) {
+		s := open[client]
+		if s == nil {
+			return
+		}
+		delete(open, client)
+		dur := end - s.start
+		if dur <= 0 {
+			dur = 1 // sub-µs spans still render
+		}
+		out = append(out, perfettoEvent{
+			Name: s.label, Ph: "X", Ts: s.start, Dur: dur,
+			Pid: perfettoPid, Tid: s.ev.Client, Cat: "subproblem",
+			Args: map[string]any{"split": s.ev.SplitID, "event": s.ev.ID},
+		})
+	}
+
+	lastTs := 0.0
+	for i, ev := range events {
+		t := ts[i]
+		lastTs = t
+		tid := ev.Client
+		if tid > 0 {
+			name(tid, fmt.Sprintf("client %d", tid))
+		}
+		switch ev.Kind {
+		case FEvAssign:
+			open[ev.Client] = &openSpan{start: t, label: "root", ev: ev}
+		case FEvSplitAccept:
+			open[ev.Client] = &openSpan{start: t, label: fmt.Sprintf("split %d", ev.SplitID), ev: ev}
+		case FEvRecover:
+			open[ev.Client] = &openSpan{start: t, label: "recovered", ev: ev}
+		case FEvSubUNSAT, FEvClientLeave:
+			closeSpan(ev.Client, t)
+		case FEvMigrate:
+			closeSpan(ev.Client, t)
+			open[ev.Peer] = &openSpan{start: t, label: "migrated-in", ev: FEvent{Client: ev.Peer, ID: ev.ID}}
+			name(ev.Peer, fmt.Sprintf("client %d", ev.Peer))
+		case FEvVerdict:
+			closeSpan(ev.Client, t)
+		}
+
+		// Every event also appears as an instant on its row (master events
+		// have no client and land on tid 0).
+		inst := perfettoEvent{
+			Name: ev.Kind, Ph: "i", Ts: t, Pid: perfettoPid, Tid: tid,
+			Cat: "flight", Scope: "t",
+			Args: map[string]any{"event": ev.ID, "lamport": ev.Lamport},
+		}
+		if ev.N != 0 {
+			inst.Args["n"] = ev.N
+		}
+		if ev.Peer != 0 {
+			inst.Args["peer"] = ev.Peer
+		}
+		if ev.Detail != "" {
+			inst.Args["detail"] = ev.Detail
+		}
+		out = append(out, inst)
+
+		// Causal flow arrow from the parent event's row to this one.
+		if ev.Parent != 0 && ev.Parent <= uint64(len(events)) {
+			p := events[ev.Parent-1]
+			out = append(out,
+				perfettoEvent{Name: "cause", Ph: "s", Ts: ts[ev.Parent-1],
+					Pid: perfettoPid, Tid: p.Client, Cat: "causal", ID: ev.ID},
+				perfettoEvent{Name: "cause", Ph: "f", Ts: t, BP: "e",
+					Pid: perfettoPid, Tid: tid, Cat: "causal", ID: ev.ID},
+			)
+		}
+	}
+	// Close anything still open at the end of the log.
+	for client := range open {
+		closeSpan(client, lastTs+1)
+	}
+
+	doc := struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+		Unit        string          `json:"displayTimeUnit"`
+	}{out, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// perfettoTimestamps maps each event to microseconds: virtual time when the
+// log has any (DES runs), Lamport ticks otherwise. Ties in virtual time are
+// broken by spreading events a nominal 0.1 µs apart so the UI keeps them
+// ordered.
+func perfettoTimestamps(events []FEvent) []float64 {
+	hasVSec := false
+	for _, ev := range events {
+		if ev.VSec > 0 {
+			hasVSec = true
+			break
+		}
+	}
+	out := make([]float64, len(events))
+	prev := -1.0
+	for i, ev := range events {
+		var t float64
+		if hasVSec {
+			t = ev.VSec * 1e6
+		} else {
+			t = float64(ev.Lamport)
+		}
+		if t <= prev {
+			t = prev + 0.1
+		}
+		out[i] = t
+		prev = t
+	}
+	return out
+}

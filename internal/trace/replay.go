@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the deterministic replay verifier. A DES run is a pure
+// function of its configuration and seed, so re-driving the same
+// configuration must reproduce the recorded flight log event for event —
+// same verdict, same per-kind counts, same Lamport horizon. A divergence
+// means nondeterminism leaked into the simulation (map iteration, wall
+// clocks, unseeded randomness), which is exactly the class of bug that
+// makes distributed solver results unreproducible.
+
+// ReplayVerify re-runs a recorded scenario and checks the fresh flight log
+// against the recorded one. The rerun closure receives an empty recorder
+// and must drive the same deterministic run that produced `recorded` (the
+// caller owns reconstructing the configuration; this package never imports
+// the runtime). Returns nil when the replay matches.
+func ReplayVerify(recorded []FEvent, rerun func(*Flight) error) error {
+	if err := Validate(recorded); err != nil {
+		return fmt.Errorf("recorded log invalid: %w", err)
+	}
+	f := NewFlight(nil)
+	if err := rerun(f); err != nil {
+		return fmt.Errorf("replay run failed: %w", err)
+	}
+	replayed := f.Events()
+	if err := Validate(replayed); err != nil {
+		return fmt.Errorf("replayed log invalid: %w", err)
+	}
+	return CompareLogs(recorded, replayed)
+}
+
+// CompareLogs checks that two flight logs describe the same run: identical
+// verdict, identical per-kind event counts, and identical final Lamport
+// time. It deliberately compares aggregates rather than raw byte equality
+// so the error on mismatch names what diverged.
+func CompareLogs(recorded, replayed []FEvent) error {
+	var diffs []string
+	if rv, pv := Verdict(recorded), Verdict(replayed); rv != pv {
+		diffs = append(diffs, fmt.Sprintf("verdict: recorded %q, replayed %q", rv, pv))
+	}
+	rc, pc := CountByKind(recorded), CountByKind(replayed)
+	kinds := map[string]int64{}
+	for k, v := range rc {
+		kinds[k] = v
+	}
+	for k, v := range pc {
+		if _, ok := kinds[k]; !ok {
+			kinds[k] = v
+		}
+	}
+	for _, k := range sortedKinds(kinds) {
+		if rc[k] != pc[k] {
+			diffs = append(diffs, fmt.Sprintf("%s: recorded %d, replayed %d", k, rc[k], pc[k]))
+		}
+	}
+	if len(recorded) == len(replayed) && len(diffs) == 0 {
+		if rl, pl := lastLamport(recorded), lastLamport(replayed); rl != pl {
+			diffs = append(diffs, fmt.Sprintf("final lamport: recorded %d, replayed %d", rl, pl))
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("trace: replay diverged from recording:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	return nil
+}
+
+func lastLamport(events []FEvent) uint64 {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].Lamport
+}
