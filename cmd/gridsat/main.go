@@ -7,12 +7,17 @@
 //	gridsat master -listen :7070 p.cnf    TCP master for a real deployment
 //	gridsat client -master host:7070      TCP client joining a deployment
 //	gridsat sim    problem.cnf            deterministic simulated-grid run
+//	gridsat top    -addr host:8080        live cluster dashboard (polls a
+//	                                      master's -metrics-addr endpoint)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"gridsat/internal/cnf"
@@ -42,6 +47,8 @@ func main() {
 		err = cmdClient(os.Args[2:])
 	case "sim":
 		err = cmdSim(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "checkproof":
 		err = cmdCheckProof(os.Args[2:])
 	case "-h", "--help", "help":
@@ -57,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gridsat <solve|run|master|client|sim|checkproof> [flags] [problem.cnf]
+	fmt.Fprintln(os.Stderr, `usage: gridsat <solve|run|master|client|sim|top|checkproof> [flags] [problem.cnf]
 run "gridsat <mode> -h" for mode flags`)
 }
 
@@ -397,6 +404,55 @@ func cmdCheckProof(args []string) error {
 	}
 	fmt.Printf("proof OK: %d lemmas certify UNSATISFIABLE\n", len(lemmas))
 	return nil
+}
+
+// cmdTop is the live cluster dashboard: it polls a running master's
+// /progress and /status endpoints (served on -metrics-addr) and repaints a
+// fixed-width terminal frame until the run reaches a verdict.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "master introspection address (its -metrics-addr)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print a single frame and exit")
+	width := fs.Int("width", core.TopWidth, "frame width in columns")
+	fs.Parse(args)
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		var p core.ProgressSnapshot
+		if err := fetchJSON(client, base+"/progress", &p); err != nil {
+			return fmt.Errorf("fetch %s/progress: %w", base, err)
+		}
+		// /status is best-effort: the frame degrades gracefully (missing
+		// backlog/split totals) if it is unavailable.
+		var s core.StatusSnapshot
+		_ = fetchJSON(client, base+"/status", &s)
+		frame := core.RenderTop(p, s, *width)
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Home the cursor and clear below: the fixed-width frame overwrites
+		// the previous one without flicker.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		if p.Verdict != "" {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchJSON GETs url and decodes the JSON body into out.
+func fetchJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func cmdSim(args []string) error {

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"gridsat/internal/core"
+)
+
+// SnapshotSchema versions the machine-readable benchmark snapshot so CI
+// consumers can reject frames they don't understand.
+const SnapshotSchema = "gridsat-bench-snapshot/1"
+
+// SnapshotRows is the default row set for a CI perf snapshot: fast
+// Table-1 rows covering an UNSAT refutation (full coverage), a SAT hit
+// (early exit), and a clause-sharing-heavy factoring row.
+var SnapshotRows = []string{"grid_10_20", "w10_75", "ezfact48_5"}
+
+// Snapshot is the machine-readable perf frame benchtab -snapshot writes.
+// Everything in it is deterministic for a fixed (scale, seed, rows), so
+// two CI runs on the same commit produce byte-identical files.
+type Snapshot struct {
+	Schema string        `json:"schema"`
+	Scale  float64       `json:"scale"`
+	Seed   int64         `json:"seed"`
+	Rows   []SnapshotRow `json:"rows"`
+}
+
+// SnapshotRow captures one Table-1 row plus the observability totals the
+// progress estimator and share-efficacy telemetry add to a DES run.
+type SnapshotRow struct {
+	Name          string  `json:"name"`
+	Expected      string  `json:"expected"`
+	Outcome       string  `json:"outcome"`
+	Status        string  `json:"status"`
+	VSec          float64 `json:"vsec"`
+	ZChaffOutcome string  `json:"zchaff_outcome"`
+	ZChaffVSec    float64 `json:"zchaff_vsec"`
+	SpeedUp       float64 `json:"speedup"`
+
+	MaxClients int   `json:"max_clients"`
+	Splits     int   `json:"splits"`
+	Shared     int   `json:"shared"`
+	TotalProps int64 `json:"total_props"`
+	Msgs       int64 `json:"msgs"`
+	Bytes      int64 `json:"bytes"`
+
+	// Progress-estimator view (exact fixed-point 2^-62 units).
+	Coverage          float64 `json:"coverage"`
+	CoverageUnits     uint64  `json:"coverage_units"`
+	ClosedSubproblems int64   `json:"closed_subproblems"`
+	MaxClosedDepth    int     `json:"max_closed_depth"`
+	ProgressPoints    int     `json:"progress_points"`
+
+	// Cluster-aggregate solver counters and the efficacy ratios derived
+	// from them.
+	Conflicts    int64              `json:"conflicts"`
+	Implications int64              `json:"implications"`
+	Efficacy     core.ShareEfficacy `json:"efficacy"`
+}
+
+// BuildSnapshot regenerates the selected Table-1 rows and packages them
+// as a Snapshot. Rows default to SnapshotRows when the options don't
+// filter.
+func BuildSnapshot(opts Options) Snapshot {
+	if len(opts.Rows) == 0 {
+		opts.Rows = SnapshotRows
+	}
+	snap := Snapshot{Schema: SnapshotSchema, Scale: opts.scale(), Seed: opts.Seed}
+	// Table1 walks the suite in suite order; re-emit in the caller's
+	// requested order so the file layout tracks the row list.
+	byName := make(map[string]SnapshotRow)
+	for _, row := range Table1(opts) {
+		byName[row.Inst.Name] = snapshotRow(row)
+	}
+	for _, name := range opts.Rows {
+		if row, ok := byName[name]; ok {
+			snap.Rows = append(snap.Rows, row)
+		}
+	}
+	return snap
+}
+
+func snapshotRow(r Row) SnapshotRow {
+	g := r.GridSAT
+	maxDepth := 0
+	for _, p := range g.Progress {
+		if p.Depth > maxDepth {
+			maxDepth = p.Depth
+		}
+	}
+	return SnapshotRow{
+		Name:          r.Inst.Name,
+		Expected:      r.Inst.Expected.String(),
+		Outcome:       g.Outcome.String(),
+		Status:        g.Status.String(),
+		VSec:          g.VSec,
+		ZChaffOutcome: r.ZChaff.Outcome.String(),
+		ZChaffVSec:    r.ZChaff.VSec,
+		SpeedUp:       r.SpeedUp,
+
+		MaxClients: g.MaxClients,
+		Splits:     g.Splits,
+		Shared:     g.Shared,
+		TotalProps: g.TotalProps,
+		Msgs:       g.Msgs,
+		Bytes:      g.Bytes,
+
+		Coverage:          g.Coverage,
+		CoverageUnits:     g.CoverageUnits,
+		ClosedSubproblems: g.ClosedSubproblems,
+		MaxClosedDepth:    maxDepth,
+		ProgressPoints:    len(g.Progress),
+
+		Conflicts:    g.Agg.Conflicts,
+		Implications: g.Agg.Implications,
+		Efficacy:     g.Efficacy(),
+	}
+}
+
+// WriteSnapshot renders the snapshot as indented JSON at path.
+func WriteSnapshot(path string, snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

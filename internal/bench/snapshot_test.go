@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotRoundtrip builds the default CI snapshot at a small scale,
+// writes it, and checks the decoded file carries the observability totals
+// the frame exists for: full coverage on the solved UNSAT row and
+// non-zero efficacy counters where sharing happened.
+func TestSnapshotRoundtrip(t *testing.T) {
+	opts := Options{Scale: 0.1, Seed: 1, Rows: []string{"grid_10_20"}}
+	snap := BuildSnapshot(opts)
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema %q", snap.Schema)
+	}
+	if len(snap.Rows) != 1 || snap.Rows[0].Name != "grid_10_20" {
+		t.Fatalf("rows %+v", snap.Rows)
+	}
+	row := snap.Rows[0]
+	if row.Outcome == "solved" {
+		if row.Coverage != 1.0 || row.CoverageUnits == 0 {
+			t.Fatalf("solved UNSAT row with coverage %v (%d units)", row.Coverage, row.CoverageUnits)
+		}
+		if row.ClosedSubproblems != int64(row.ProgressPoints) {
+			t.Fatalf("closed %d but %d progress points", row.ClosedSubproblems, row.ProgressPoints)
+		}
+	}
+	if row.Conflicts == 0 {
+		t.Fatal("snapshot lost the aggregated conflict counter")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_6.json")
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot file is not valid JSON: %v", err)
+	}
+	if back.Rows[0].CoverageUnits != row.CoverageUnits {
+		t.Fatalf("coverage units did not round-trip: %d vs %d",
+			back.Rows[0].CoverageUnits, row.CoverageUnits)
+	}
+}
+
+// TestSnapshotDeterministic: identical options produce byte-identical
+// snapshots — the property that makes BENCH_6.json diffable across CI
+// runs of the same commit.
+func TestSnapshotDeterministic(t *testing.T) {
+	opts := Options{Scale: 0.1, Seed: 7, Rows: []string{"ezfact48_5"}}
+	a, _ := json.Marshal(BuildSnapshot(opts))
+	b, _ := json.Marshal(BuildSnapshot(opts))
+	if string(a) != string(b) {
+		t.Fatal("snapshot is not deterministic for fixed scale/seed/rows")
+	}
+}
+
+// TestSnapshotDefaultRows: an unfiltered build uses the curated CI row
+// set rather than all 42 rows.
+func TestSnapshotDefaultRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three DES rows")
+	}
+	snap := BuildSnapshot(Options{Scale: 0.05, Seed: 1})
+	if len(snap.Rows) != len(SnapshotRows) {
+		t.Fatalf("default snapshot has %d rows, want %d", len(snap.Rows), len(SnapshotRows))
+	}
+	for i, name := range SnapshotRows {
+		if snap.Rows[i].Name != name {
+			t.Fatalf("row %d is %q, want %q", i, snap.Rows[i].Name, name)
+		}
+	}
+}

@@ -729,6 +729,7 @@ func encodeSplit(m SplitPayload) []byte {
 	b = append(b, 1)
 	sub := m.Subproblem
 	b = appendZigzag(b, int64(sub.NumVars))
+	b = appendZigzag(b, int64(sub.Depth))
 	// Assumptions are a trail prefix: order is meaningful, keep it verbatim.
 	b = binary.AppendUvarint(b, uint64(len(sub.Assumptions)))
 	for _, l := range sub.Assumptions {
@@ -759,6 +760,10 @@ func decodeSplit(payload []byte) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	depth, err := readZigzag(br)
+	if err != nil {
+		return nil, err
+	}
 	na, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
@@ -766,7 +771,7 @@ func decodeSplit(payload []byte) (Message, error) {
 	if na > maxClausesPerFrame {
 		return nil, fmt.Errorf("comm: assumption count %d exceeds limit", na)
 	}
-	sub := &solver.Subproblem{NumVars: int(nv)}
+	sub := &solver.Subproblem{NumVars: int(nv), Depth: int(depth)}
 	if na > 0 {
 		sub.Assumptions = make([]cnf.Lit, na)
 		for i := range sub.Assumptions {
@@ -801,11 +806,17 @@ func encodeStatus(m StatusReport) []byte {
 	} else {
 		b = append(b, 0)
 	}
+	b = appendZigzag(b, int64(m.Depth))
 	b = appendZigzag(b, m.Deltas.Decisions)
 	b = appendZigzag(b, m.Deltas.Conflicts)
 	b = appendZigzag(b, m.Deltas.Propagations)
+	b = appendZigzag(b, m.Deltas.Implications)
 	b = appendZigzag(b, m.Deltas.Learned)
 	b = appendZigzag(b, m.Deltas.ReclaimedBytes)
+	b = appendZigzag(b, m.Deltas.Imported)
+	b = appendZigzag(b, m.Deltas.ImportedImplications)
+	b = appendZigzag(b, m.Deltas.ImportedResolutions)
+	b = appendZigzag(b, m.Deltas.ImportedUseful)
 	return b
 }
 
@@ -833,9 +844,16 @@ func decodeStatus(payload []byte) (Message, error) {
 		return nil, err
 	}
 	out.Busy = busy != 0
+	depth, err := readZigzag(br)
+	if err != nil {
+		return nil, err
+	}
+	out.Depth = int(depth)
 	for _, p := range []*int64{
 		&out.Deltas.Decisions, &out.Deltas.Conflicts, &out.Deltas.Propagations,
-		&out.Deltas.Learned, &out.Deltas.ReclaimedBytes,
+		&out.Deltas.Implications, &out.Deltas.Learned, &out.Deltas.ReclaimedBytes,
+		&out.Deltas.Imported, &out.Deltas.ImportedImplications,
+		&out.Deltas.ImportedResolutions, &out.Deltas.ImportedUseful,
 	} {
 		if *p, err = readZigzag(br); err != nil {
 			return nil, err

@@ -144,6 +144,10 @@ type Solved struct {
 	ClientID int
 	Status   solver.Status
 	Model    cnf.Assignment
+	// Depth is the guiding-path depth of the subproblem this verdict
+	// closes. An UNSAT verdict at depth d refutes 2^-d of the root search
+	// space; the master folds that into its cluster progress estimate.
+	Depth int
 }
 
 // Kind implements Message.
@@ -173,10 +177,21 @@ type SolverDeltas struct {
 	Decisions    int64
 	Conflicts    int64
 	Propagations int64
+	Implications int64
 	Learned      int64
 	// ReclaimedBytes counts bytes the client's clause-arena GC returned
 	// (learned-clause shedding + compaction) since the last report.
 	ReclaimedBytes int64
+	// Import-usefulness telemetry (see solver.Stats): Imported counts
+	// peer clauses merged into the database; ImportedImplications and
+	// ImportedResolutions count the BCP implications and conflict-analysis
+	// resolutions those clauses produced; ImportedUseful counts distinct
+	// imported clauses used at least once. The master aggregates these into
+	// the cluster's share-efficacy view.
+	Imported             int64
+	ImportedImplications int64
+	ImportedResolutions  int64
+	ImportedUseful       int64
 }
 
 // Add accumulates another delta into d.
@@ -184,8 +199,13 @@ func (d *SolverDeltas) Add(o SolverDeltas) {
 	d.Decisions += o.Decisions
 	d.Conflicts += o.Conflicts
 	d.Propagations += o.Propagations
+	d.Implications += o.Implications
 	d.Learned += o.Learned
 	d.ReclaimedBytes += o.ReclaimedBytes
+	d.Imported += o.Imported
+	d.ImportedImplications += o.ImportedImplications
+	d.ImportedResolutions += o.ImportedResolutions
+	d.ImportedUseful += o.ImportedUseful
 }
 
 // StatusReport is a periodic client heartbeat with resource telemetry.
@@ -198,7 +218,10 @@ type StatusReport struct {
 	Learnts   int
 	Conflicts int64
 	Busy      bool
-	Deltas    SolverDeltas
+	// Depth is the guiding-path depth of the subproblem the client is
+	// currently working (0 when idle or on the root problem).
+	Depth  int
+	Deltas SolverDeltas
 }
 
 // Kind implements Message.

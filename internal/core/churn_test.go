@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
+	"gridsat/internal/solver"
+)
+
+// newChurnMaster builds a non-running master whose handlers the test
+// drives directly — the event loop is single-threaded, so calling them
+// from the test goroutine exercises exactly the production accounting.
+func newChurnMaster(t *testing.T) *Master {
+	t.Helper()
+	f := cnf.NewFormula(2)
+	f.Add(1, 2)
+	m, err := NewMaster(MasterConfig{
+		Transport:  comm.NewInprocTransport(),
+		ListenAddr: "churn-master",
+		Formula:    f,
+		Timeout:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func churnDeltas(conflicts, implications, imported, useful int64) comm.SolverDeltas {
+	return comm.SolverDeltas{
+		Conflicts:            conflicts,
+		Implications:         implications,
+		Imported:             imported,
+		ImportedUseful:       useful,
+		Decisions:            conflicts * 2,
+		Propagations:         implications * 3,
+		ImportedImplications: useful * 5,
+		ImportedResolutions:  useful,
+	}
+}
+
+// TestHeartbeatAggregationSurvivesChurn is the churn-accounting contract:
+// heartbeat deltas are folded into the cluster totals at receipt, so
+// clients joining, leaving, and being replaced can neither lose history
+// (the departed client's work stays counted) nor double-count it (a
+// rejoining client starts a fresh per-client aggregate, and its deltas
+// are added exactly once).
+func TestHeartbeatAggregationSurvivesChurn(t *testing.T) {
+	m := newChurnMaster(t)
+
+	join := func(id int) *masterClient {
+		c := &masterClient{id: id, addr: "addr", out: make(chan comm.Message, 8)}
+		m.clients[id] = c
+		return c
+	}
+
+	// Client 1 and 2 join and report work.
+	c1, c2 := join(1), join(2)
+	m.handleStatusReport(c1, comm.StatusReport{ClientID: 1, Busy: true, Depth: 2,
+		Deltas: churnDeltas(100, 1000, 40, 10)})
+	m.handleStatusReport(c2, comm.StatusReport{ClientID: 2, Busy: true, Depth: 3,
+		Deltas: churnDeltas(50, 600, 20, 5)})
+
+	snap := m.progressSnapshot()
+	if snap.Conflicts != 150 || snap.Implications != 1600 {
+		t.Fatalf("pre-churn totals: conflicts=%d implications=%d", snap.Conflicts, snap.Implications)
+	}
+	if snap.Efficacy.Imported != 60 || snap.Efficacy.ImportedUseful != 15 {
+		t.Fatalf("pre-churn efficacy: %+v", snap.Efficacy)
+	}
+
+	// Client 1 goes idle and is lost. Its lifetime contribution must
+	// survive the departure.
+	c1.busy = false
+	if _, err := m.clientLost(c1); err != nil {
+		t.Fatal(err)
+	}
+	if m.clients[1] != nil {
+		t.Fatal("lost client still registered")
+	}
+	snap = m.progressSnapshot()
+	if snap.Conflicts != 150 {
+		t.Fatalf("conflicts after leave = %d, want 150 (departed work lost)", snap.Conflicts)
+	}
+	if snap.Registered != 1 {
+		t.Fatalf("registered after leave = %d, want 1", snap.Registered)
+	}
+
+	// A replacement joins (new ID, as live rejoins get) and reports its
+	// own work from a clean slate: added once, not merged into anything.
+	c3 := join(3)
+	m.handleStatusReport(c3, comm.StatusReport{ClientID: 3, Busy: true, Depth: 1,
+		Deltas: churnDeltas(25, 200, 10, 4)})
+	snap = m.progressSnapshot()
+	if snap.Conflicts != 175 || snap.Implications != 1800 {
+		t.Fatalf("post-recover totals: conflicts=%d implications=%d (double-count or loss)",
+			snap.Conflicts, snap.Implications)
+	}
+	if snap.Efficacy.Imported != 70 || snap.Efficacy.ImportedUseful != 19 {
+		t.Fatalf("post-recover efficacy: %+v", snap.Efficacy)
+	}
+
+	// The replacement's per-client view starts fresh — no inherited ratios.
+	for _, row := range snap.Clients {
+		if row.ID == 3 && row.ImportUseRatio != 0.4 {
+			t.Fatalf("client 3 import-use ratio = %v, want 0.4 from its own deltas", row.ImportUseRatio)
+		}
+	}
+
+	// Two more heartbeats from the same survivor accumulate, not replace.
+	m.handleStatusReport(c2, comm.StatusReport{ClientID: 2, Busy: true, Depth: 3,
+		Deltas: churnDeltas(5, 40, 0, 0)})
+	m.handleStatusReport(c2, comm.StatusReport{ClientID: 2, Busy: true, Depth: 3,
+		Deltas: churnDeltas(5, 40, 0, 0)})
+	snap = m.progressSnapshot()
+	if snap.Conflicts != 185 || snap.Implications != 1880 {
+		t.Fatalf("survivor deltas misfolded: conflicts=%d implications=%d", snap.Conflicts, snap.Implications)
+	}
+	if c2.agg.Conflicts != 60 {
+		t.Fatalf("per-client aggregate = %d, want 60", c2.agg.Conflicts)
+	}
+}
+
+// TestProgressSnapshotCoverageFromSolved checks the master's coverage
+// accounting through handleSolved: refuting depth-1 halves adds exactly
+// half the space each, the verdict flips at full coverage, and depth
+// reported by the client is what the estimator uses.
+func TestProgressSnapshotCoverageFromSolved(t *testing.T) {
+	m := newChurnMaster(t)
+	m.started = time.Now()
+	m.assigned = true
+	m.outstanding = 2
+
+	c1 := &masterClient{id: 1, addr: "a", busy: true, out: make(chan comm.Message, 8)}
+	c2 := &masterClient{id: 2, addr: "b", busy: true, out: make(chan comm.Message, 8)}
+	m.clients[1], m.clients[2] = c1, c2
+
+	done, err := m.handleSolved(c1, comm.Solved{ClientID: 1, Status: solver.StatusUNSAT, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("run declared done with half the space outstanding")
+	}
+	snap := m.progressSnapshot()
+	if snap.Units != coverageFull/2 {
+		t.Fatalf("units after one depth-1 closure = %d, want %d", snap.Units, coverageFull/2)
+	}
+	if snap.Verdict != "" {
+		t.Fatalf("verdict %q before exhaustion", snap.Verdict)
+	}
+
+	done, err = m.handleSolved(c2, comm.Solved{ClientID: 2, Status: solver.StatusUNSAT, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("exhausted space did not end the run")
+	}
+	snap = m.progressSnapshot()
+	if snap.Units != coverageFull || snap.Coverage != 1.0 {
+		t.Fatalf("final coverage %v (%d units), want exactly 1.0", snap.Coverage, snap.Units)
+	}
+	if snap.Verdict != "UNSAT" {
+		t.Fatalf("verdict %q, want UNSAT", snap.Verdict)
+	}
+	if snap.ETASeconds != 0 {
+		t.Fatalf("ETA at exhaustion = %v, want 0", snap.ETASeconds)
+	}
+}

@@ -396,12 +396,14 @@ func (c *Client) solveSlice() (bool, error) {
 		c.busy = false
 		c.drainShares()        // don't strand learned clauses in the aggregator
 		c.sendHeartbeat(false) // flush the tail deltas before Solved
-		return false, c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Model: res.Model})
+		return false, c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status,
+			Model: res.Model, Depth: c.slv.PathDepth()})
 	case solver.StatusUNSAT:
 		c.busy = false
 		c.drainShares()
 		c.sendHeartbeat(false)
-		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status}); err != nil {
+		depth := c.slv.PathDepth()
+		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Depth: depth}); err != nil {
 			return false, err
 		}
 		c.slv = nil
@@ -450,14 +452,27 @@ func (c *Client) sendHeartbeat(busy bool) {
 		Learnts:   c.slv.NumLearnts(),
 		Conflicts: st.Conflicts,
 		Busy:      busy,
-		Deltas: comm.SolverDeltas{
-			Decisions:      d.Decisions,
-			Conflicts:      d.Conflicts,
-			Propagations:   d.Propagations,
-			Learned:        d.Learned,
-			ReclaimedBytes: d.ReclaimedBytes,
-		},
+		Depth:     c.slv.PathDepth(),
+		Deltas:    heartbeatDeltas(d),
 	})
+}
+
+// heartbeatDeltas maps a solver Stats delta onto the wire struct; one
+// place, so new telemetry fields cannot drift between runtime and DES.
+func heartbeatDeltas(d solver.Stats) comm.SolverDeltas {
+	return comm.SolverDeltas{
+		Decisions:      d.Decisions,
+		Conflicts:      d.Conflicts,
+		Propagations:   d.Propagations,
+		Implications:   d.Implications,
+		Learned:        d.Learned,
+		ReclaimedBytes: d.ReclaimedBytes,
+
+		Imported:             d.Imported,
+		ImportedImplications: d.ImportedImplications,
+		ImportedResolutions:  d.ImportedResolutions,
+		ImportedUseful:       d.ImportedUseful,
+	}
 }
 
 func (c *Client) requestSplit(why comm.SplitReason) {
@@ -499,6 +514,7 @@ func (c *Client) performMigrate(peerAddr string) {
 		NumVars:     c.base.NumVars,
 		Assumptions: c.slv.Level0Lits(),
 		Learnts:     c.slv.ExportLearnts(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount),
+		Depth:       c.slv.PathDepth(),
 	}
 	if err := c.sendToPeer(0, peerAddr, sub); err != nil {
 		return // keep solving; migration failed

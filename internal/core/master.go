@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -88,14 +89,22 @@ type ClientStatus struct {
 	// MemBytes and DBLearnts are the latest reported gauges.
 	MemBytes  int64 `json:"mem_bytes"`
 	DBLearnts int   `json:"db_learnts"`
+	// Depth is the guiding-path depth of the client's current subproblem.
+	Depth int `json:"depth"`
 	// Counter totals summed from StatusReport deltas.
 	Decisions    int64 `json:"decisions"`
 	Conflicts    int64 `json:"conflicts"`
 	Propagations int64 `json:"propagations"`
+	Implications int64 `json:"implications"`
 	Learned      int64 `json:"learned"`
 	// ReclaimedBytes totals the bytes the client's clause-arena GC has
 	// returned (memory-pressure shedding + compaction).
 	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// Import-usefulness totals (see comm.SolverDeltas).
+	Imported             int64 `json:"imported"`
+	ImportedUseful       int64 `json:"imported_useful"`
+	ImportedImplications int64 `json:"imported_implications"`
+	ImportedResolutions  int64 `json:"imported_resolutions"`
 }
 
 type masterClient struct {
@@ -119,25 +128,37 @@ type masterClient struct {
 	agg       comm.SolverDeltas
 	dbLearnts int
 	gauges    *clientGauges
+	// depth is the guiding-path depth of the client's current subproblem
+	// (latest heartbeat gauge).
+	depth int
+	// confRate is the EWMA conflict throughput from heartbeat deltas;
+	// lastHBSec anchors the next interval.
+	confRate  float64
+	haveRate  bool
+	lastHBSec float64
 }
 
 // clientGauges are the per-client registry series behind /metrics.
 type clientGauges struct {
-	mem, learnts, busy                                  *obs.Gauge
+	mem, learnts, busy, depth                           *obs.Gauge
 	decisions, conflicts, propagations, lrnd, reclaimed *obs.Counter
+	imported, importedUseful                            *obs.Counter
 }
 
 func newClientGauges(reg *obs.Registry, id int) *clientGauges {
 	l := obs.L("client", fmt.Sprintf("%d", id))
 	return &clientGauges{
-		mem:          reg.Gauge("gridsat_client_mem_bytes", "latest reported client memory use", l),
-		learnts:      reg.Gauge("gridsat_client_learnts", "latest reported learned-clause DB size", l),
-		busy:         reg.Gauge("gridsat_client_busy", "1 while the client holds a subproblem", l),
-		decisions:    reg.Counter("gridsat_client_decisions_total", "client decisions (heartbeat-aggregated)", l),
-		conflicts:    reg.Counter("gridsat_client_conflicts_total", "client conflicts (heartbeat-aggregated)", l),
-		propagations: reg.Counter("gridsat_client_propagations_total", "client propagations (heartbeat-aggregated)", l),
-		lrnd:         reg.Counter("gridsat_client_learned_total", "client learned clauses (heartbeat-aggregated)", l),
-		reclaimed:    reg.Counter("gridsat_client_arena_reclaimed_bytes_total", "client clause-arena bytes reclaimed (heartbeat-aggregated)", l),
+		mem:            reg.Gauge("gridsat_client_mem_bytes", "latest reported client memory use", l),
+		learnts:        reg.Gauge("gridsat_client_learnts", "latest reported learned-clause DB size", l),
+		busy:           reg.Gauge("gridsat_client_busy", "1 while the client holds a subproblem", l),
+		depth:          reg.Gauge("gridsat_client_path_depth", "guiding-path depth of the current subproblem", l),
+		decisions:      reg.Counter("gridsat_client_decisions_total", "client decisions (heartbeat-aggregated)", l),
+		conflicts:      reg.Counter("gridsat_client_conflicts_total", "client conflicts (heartbeat-aggregated)", l),
+		propagations:   reg.Counter("gridsat_client_propagations_total", "client propagations (heartbeat-aggregated)", l),
+		lrnd:           reg.Counter("gridsat_client_learned_total", "client learned clauses (heartbeat-aggregated)", l),
+		reclaimed:      reg.Counter("gridsat_client_arena_reclaimed_bytes_total", "client clause-arena bytes reclaimed (heartbeat-aggregated)", l),
+		imported:       reg.Counter("gridsat_client_imported_total", "peer clauses merged (heartbeat-aggregated)", l),
+		importedUseful: reg.Counter("gridsat_client_imported_useful_total", "distinct imported clauses used at least once (heartbeat-aggregated)", l),
 	}
 }
 
@@ -159,6 +180,8 @@ type masterEvent struct {
 	// status, when non-nil, requests a StatusSnapshot instead of carrying
 	// a protocol message.
 	status chan<- StatusSnapshot
+	// progress, when non-nil, requests a ProgressSnapshot the same way.
+	progress chan<- ProgressSnapshot
 }
 
 // Master coordinates a live GridSAT run. Create with NewMaster, then call
@@ -185,6 +208,12 @@ type Master struct {
 	started       time.Time
 	assigned      bool // the initial problem has been handed out
 	outstanding   int  // subproblems alive (busy clients + in-flight transfers)
+	// prog is the cluster coverage estimator, fed by every UNSAT verdict's
+	// guiding-path depth. clusterAgg sums every heartbeat delta ever
+	// received, independent of the clients map, so totals survive client
+	// churn (a departed client's contribution is never lost).
+	prog       ProgressTracker
+	clusterAgg comm.SolverDeltas
 
 	reg      *obs.Registry
 	log      *obs.Logger
@@ -317,7 +346,14 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		m.log = m.log.WithLamport(cfg.Flight)
 	}
 	if cfg.MetricsAddr != "" {
-		var extra []obs.Endpoint
+		extra := []obs.Endpoint{
+			{Path: "/progress", H: func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(m.Progress())
+			}},
+		}
 		if f := m.flight; f != nil {
 			extra = append(extra,
 				obs.Endpoint{Path: "/trace", H: func(w http.ResponseWriter, _ *http.Request) {
@@ -403,6 +439,72 @@ func (m *Master) Status() StatusSnapshot {
 	case <-time.After(2 * time.Second):
 	}
 	return StatusSnapshot{}
+}
+
+// Progress asynchronously requests the cluster progress estimate from a
+// running master, served through the event loop like Status.
+func (m *Master) Progress() ProgressSnapshot {
+	reply := make(chan ProgressSnapshot, 1)
+	select {
+	case m.events <- masterEvent{progress: reply}:
+		select {
+		case s := <-reply:
+			return s
+		case <-time.After(2 * time.Second):
+		}
+	case <-time.After(2 * time.Second):
+	}
+	return ProgressSnapshot{}
+}
+
+// progressSnapshot builds the /progress view. Event-loop only.
+func (m *Master) progressSnapshot() ProgressSnapshot {
+	snap := ProgressSnapshot{
+		Coverage:          m.prog.Fraction(),
+		Units:             m.prog.Units(),
+		ClosedSubproblems: m.prog.Closed(),
+		MaxClosedDepth:    m.prog.MaxDepth(),
+		RatePerSec:        m.prog.Rate(),
+		ETASeconds:        m.prog.ETASeconds(),
+		Outstanding:       m.outstanding,
+		Conflicts:         m.clusterAgg.Conflicts,
+		Implications:      m.clusterAgg.Implications,
+		Efficacy: efficacyFrom(m.clusterAgg.Imported, m.clusterAgg.ImportedUseful,
+			m.clusterAgg.ImportedImplications, m.clusterAgg.ImportedResolutions,
+			m.clusterAgg.Implications),
+	}
+	if !m.started.IsZero() {
+		snap.WallSeconds = time.Since(m.started).Seconds()
+	}
+	switch m.result.Status {
+	case solver.StatusSAT:
+		snap.Verdict = "SAT"
+	case solver.StatusUNSAT:
+		snap.Verdict = "UNSAT"
+	}
+	for _, c := range m.clients {
+		if c.addr == "" {
+			continue
+		}
+		snap.Registered++
+		if c.busy {
+			snap.Busy++
+		}
+		row := ClientProgress{
+			ID:              c.id,
+			Busy:            c.busy,
+			Depth:           c.depth,
+			ConflictsPerSec: c.confRate,
+			MemBytes:        c.memBytes,
+		}
+		if c.agg.Imported > 0 {
+			row.ImportUseRatio = float64(c.agg.ImportedUseful) / float64(c.agg.Imported)
+		}
+		snap.Clients = append(snap.Clients, row)
+	}
+	sort.Slice(snap.Clients, func(i, j int) bool { return snap.Clients[i].ID < snap.Clients[j].ID })
+	markStragglers(snap.Clients)
+	return snap
 }
 
 func (m *Master) acceptLoop() {
@@ -526,11 +628,18 @@ func (m *Master) clientStatuses() []ClientStatus {
 			Reserved:       c.reserved,
 			MemBytes:       c.memBytes,
 			DBLearnts:      c.dbLearnts,
+			Depth:          c.depth,
 			Decisions:      c.agg.Decisions,
 			Conflicts:      c.agg.Conflicts,
 			Propagations:   c.agg.Propagations,
+			Implications:   c.agg.Implications,
 			Learned:        c.agg.Learned,
 			ReclaimedBytes: c.agg.ReclaimedBytes,
+
+			Imported:             c.agg.Imported,
+			ImportedUseful:       c.agg.ImportedUseful,
+			ImportedImplications: c.agg.ImportedImplications,
+			ImportedResolutions:  c.agg.ImportedResolutions,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -538,6 +647,10 @@ func (m *Master) clientStatuses() []ClientStatus {
 }
 
 func (m *Master) handle(ev masterEvent) (bool, error) {
+	if ev.progress != nil {
+		ev.progress <- m.progressSnapshot()
+		return false, nil
+	}
 	if ev.status != nil {
 		snap := StatusSnapshot{
 			Backlog:       len(m.backlog),
@@ -612,14 +725,36 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 }
 
 // handleStatusReport folds a heartbeat into the live cluster view: the
-// latest gauges replace, the deltas accumulate.
+// latest gauges replace, the deltas accumulate — into the per-client
+// aggregate AND the cluster-lifetime totals, so departed clients' work is
+// never subtracted from the cluster view.
 func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 	m.met.heartbeats.Inc()
 	m.femit(trace.FEvent{Kind: trace.FEvHeartbeat, Client: c.id,
 		N: msg.Deltas.Propagations, Parent: m.inTI.Parent})
+	if n := msg.Deltas.ImportedUseful; n > 0 {
+		m.femit(trace.FEvent{Kind: trace.FEvImportUse, Client: c.id, N: n,
+			Parent: m.inTI.Parent})
+	}
 	c.memBytes = msg.MemBytes
 	c.dbLearnts = msg.Learnts
+	c.depth = msg.Depth
 	c.agg.Add(msg.Deltas)
+	m.clusterAgg.Add(msg.Deltas)
+	// Conflict-rate EWMA for utilization and straggler detection; anchored
+	// to the run clock, so pre-Run heartbeats (none in practice) are skipped.
+	if !m.started.IsZero() {
+		now := time.Since(m.started).Seconds()
+		if dt := now - c.lastHBSec; dt > 0 {
+			inst := float64(msg.Deltas.Conflicts) / dt
+			if c.haveRate {
+				c.confRate = progressEWMAAlpha*inst + (1-progressEWMAAlpha)*c.confRate
+			} else {
+				c.confRate, c.haveRate = inst, true
+			}
+			c.lastHBSec = now
+		}
+	}
 	if g := c.gauges; g != nil {
 		g.mem.Set(msg.MemBytes)
 		g.learnts.Set(int64(msg.Learnts))
@@ -628,11 +763,14 @@ func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 		} else {
 			g.busy.Set(0)
 		}
+		g.depth.Set(int64(msg.Depth))
 		g.decisions.Add(msg.Deltas.Decisions)
 		g.conflicts.Add(msg.Deltas.Conflicts)
 		g.propagations.Add(msg.Deltas.Propagations)
 		g.lrnd.Add(msg.Deltas.Learned)
 		g.reclaimed.Add(msg.Deltas.ReclaimedBytes)
+		g.imported.Add(msg.Deltas.Imported)
+		g.importedUseful.Add(msg.Deltas.ImportedUseful)
 	}
 	m.log.Debug("heartbeat", "client", c.id, "mem", msg.MemBytes,
 		"learnts", msg.Learnts, "conflicts+", msg.Deltas.Conflicts)
@@ -835,7 +973,12 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 			Detail: "SAT", Parent: m.inTI.Parent})
 		return true, nil
 	case solver.StatusUNSAT:
-		m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Parent: m.inTI.Parent})
+		ev := m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Parent: m.inTI.Parent})
+		// Fold the refuted prefix into the cluster coverage estimate: a
+		// depth-d subproblem retires 2^-d of the root search space.
+		units := m.prog.CloseSubproblem(msg.Depth, time.Since(m.started).Seconds())
+		m.femit(trace.FEvent{Kind: trace.FEvProgress, Client: c.id,
+			N: int64(units), Detail: fmt.Sprintf("depth=%d", msg.Depth), Parent: ev})
 		// This half of the space is exhausted. If nothing else is
 		// outstanding, the whole problem is unsatisfiable.
 		if m.checkExhausted() {

@@ -1,0 +1,262 @@
+package core
+
+import "sort"
+
+// This file is the cluster progress estimator. GridSAT's guiding-path
+// splits cut the search space in half at every fork (paper Figure 2), so
+// the tree of subproblems carries an exact accounting: a subproblem whose
+// guiding path has depth d covers 2^-d of the root search space, and a
+// refuted (UNSAT) subproblem retires exactly that fraction forever. Summing
+// the retired fractions yields a monotone, never-overshooting progress
+// estimate that reaches exactly 1 when the whole space is refuted — the
+// paper only reports end-to-end wall time; this makes the interior of a
+// multi-day run observable.
+//
+// The sum is computed in fixed point, not floating point: contributions are
+// integer multiples of 2^-coverageBits, so adding the two depth-(d+1)
+// halves of a depth-d subproblem reproduces the parent's weight bit for
+// bit, with no rounding drift on deep, unbalanced split trees.
+
+const (
+	// coverageBits fixes the denominator of the fixed-point coverage sum:
+	// one unit is 2^-62 of the search space, and coverageFull (2^62) fits
+	// comfortably in int64 for flight-recorder payloads.
+	coverageBits = 62
+	coverageFull = uint64(1) << coverageBits
+)
+
+// coverageUnits converts a guiding-path depth into fixed-point coverage
+// units (2^(62-d)). Depths beyond 62 — a split tree deeper than 2^62
+// subproblems, unreachable in practice — saturate to one unit so progress
+// still advances; the tracker's capped addition keeps the total ≤ 1.
+func coverageUnits(depth int) uint64 {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= coverageBits {
+		return 1
+	}
+	return coverageFull >> uint(depth)
+}
+
+// ProgressTracker accumulates refuted guiding-path prefixes into the
+// cluster coverage estimate and maintains an EWMA of the coverage rate for
+// ETA prediction. It is deterministic: identical (depth, atSec) sequences
+// produce identical state, so the DES runner's progress curves reproduce
+// exactly. Not safe for concurrent use; the master touches it only from
+// its event loop.
+type ProgressTracker struct {
+	units    uint64
+	closed   int64
+	maxDepth int
+	// rate is the EWMA of coverage fraction per second, updated at each
+	// closure from the fraction gained since the previous one.
+	rate     float64
+	haveRate bool
+	lastSec  float64
+}
+
+// progressEWMAAlpha weights the newest inter-closure rate sample; 0.25
+// smooths over roughly the last four closures.
+const progressEWMAAlpha = 0.25
+
+// CloseSubproblem records the refutation of a subproblem at the given
+// guiding-path depth and timestamp (seconds; virtual or wall — the caller
+// picks one clock and sticks to it). Returns the new coverage total in
+// fixed-point units. The addition is capped at coverageFull, so the
+// estimate can never overshoot 1 even with saturated deep contributions.
+func (p *ProgressTracker) CloseSubproblem(depth int, atSec float64) uint64 {
+	add := coverageUnits(depth)
+	if add > coverageFull-p.units {
+		p.units = coverageFull
+	} else {
+		p.units += add
+	}
+	p.closed++
+	if depth > p.maxDepth {
+		p.maxDepth = depth
+	}
+	if dt := atSec - p.lastSec; dt > 0 {
+		inst := float64(add) / float64(coverageFull) / dt
+		if p.haveRate {
+			p.rate = progressEWMAAlpha*inst + (1-progressEWMAAlpha)*p.rate
+		} else {
+			p.rate, p.haveRate = inst, true
+		}
+		p.lastSec = atSec
+	}
+	return p.units
+}
+
+// Units returns the coverage total in fixed-point units (2^-62 each).
+func (p *ProgressTracker) Units() uint64 { return p.units }
+
+// Fraction returns the refuted fraction of the root search space in [0, 1].
+func (p *ProgressTracker) Fraction() float64 {
+	return float64(p.units) / float64(coverageFull)
+}
+
+// Closed returns the number of refuted subproblems folded in so far.
+func (p *ProgressTracker) Closed() int64 { return p.closed }
+
+// MaxDepth returns the deepest refuted guiding path seen.
+func (p *ProgressTracker) MaxDepth() int { return p.maxDepth }
+
+// Rate returns the EWMA coverage rate in fraction per second (0 until two
+// closures establish an interval).
+func (p *ProgressTracker) Rate() float64 {
+	if !p.haveRate {
+		return 0
+	}
+	return p.rate
+}
+
+// ETASeconds projects the remaining time to full coverage at the current
+// EWMA rate: 0 when the space is exhausted, -1 while no rate is known.
+func (p *ProgressTracker) ETASeconds() float64 {
+	if p.units >= coverageFull {
+		return 0
+	}
+	r := p.Rate()
+	if r <= 0 {
+		return -1
+	}
+	return (1 - p.Fraction()) / r
+}
+
+// ProgressPoint is one sample of the cluster coverage estimate — the unit
+// of the DES runner's deterministic progress series.
+type ProgressPoint struct {
+	VSec float64 `json:"vsec"`
+	// Units is the fixed-point coverage total (2^-62 each) after the
+	// closure; Coverage is the same value as a fraction.
+	Units    uint64  `json:"units"`
+	Coverage float64 `json:"coverage"`
+	// Depth is the guiding-path depth of the subproblem just closed.
+	Depth int `json:"depth"`
+}
+
+// ShareEfficacy summarizes whether clause sharing is paying for itself:
+// how many imported clauses the cluster merged, and how much BCP and
+// conflict-analysis work they actually did (HordeSat/Mallob's lesson that
+// share volume alone is a misleading signal).
+type ShareEfficacy struct {
+	// Imported counts peer clauses merged into client databases.
+	Imported int64 `json:"imported"`
+	// ImportedUseful counts distinct imported clauses that participated in
+	// at least one implication or conflict resolution.
+	ImportedUseful int64 `json:"imported_useful"`
+	// ImportedImplications / ImportedResolutions count the BCP implications
+	// and conflict-analysis resolutions produced by imported clauses.
+	ImportedImplications int64 `json:"imported_implications"`
+	ImportedResolutions  int64 `json:"imported_resolutions"`
+	// UsefulRatio is ImportedUseful / Imported (0 when nothing imported).
+	UsefulRatio float64 `json:"useful_ratio"`
+	// ImplicationShare is the fraction of all BCP implications produced by
+	// imported clauses.
+	ImplicationShare float64 `json:"implication_share"`
+}
+
+// efficacyFrom derives the ratio view from aggregated cluster deltas.
+func efficacyFrom(imported, useful, impl, resol, allImpl int64) ShareEfficacy {
+	e := ShareEfficacy{
+		Imported:             imported,
+		ImportedUseful:       useful,
+		ImportedImplications: impl,
+		ImportedResolutions:  resol,
+	}
+	if imported > 0 {
+		e.UsefulRatio = float64(useful) / float64(imported)
+	}
+	if allImpl > 0 {
+		e.ImplicationShare = float64(impl) / float64(allImpl)
+	}
+	return e
+}
+
+// ClientProgress is one client's row in a ProgressSnapshot: where it is in
+// the split tree and how fast it is burning through its subspace.
+type ClientProgress struct {
+	ID   int  `json:"id"`
+	Busy bool `json:"busy"`
+	// Depth is the guiding-path depth of the client's current subproblem.
+	Depth int `json:"depth"`
+	// ConflictsPerSec is the EWMA conflict throughput from heartbeats.
+	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+	// Utilization is this client's throughput relative to the cluster's
+	// fastest client (1 = pacing the cluster, 0 = idle or stalled).
+	Utilization float64 `json:"utilization"`
+	// ImportUseRatio is the client's lifetime ImportedUseful / Imported.
+	ImportUseRatio float64 `json:"import_use_ratio"`
+	MemBytes       int64   `json:"mem_bytes"`
+	// Straggler marks a busy client whose conflict rate has fallen far
+	// below the busy-pool median — a candidate for migration (§3.4).
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// stragglerFraction: a busy client below this fraction of the busy-pool
+// median conflict rate is flagged (with at least three busy clients, so a
+// two-client run never flags the slower half).
+const stragglerFraction = 0.25
+
+// markStragglers fills Utilization and Straggler across a snapshot's
+// client rows, in place. Pure and deterministic for testability.
+func markStragglers(clients []ClientProgress) {
+	var maxRate float64
+	var busyRates []float64
+	for _, c := range clients {
+		if c.ConflictsPerSec > maxRate {
+			maxRate = c.ConflictsPerSec
+		}
+		if c.Busy {
+			busyRates = append(busyRates, c.ConflictsPerSec)
+		}
+	}
+	for i := range clients {
+		if maxRate > 0 {
+			clients[i].Utilization = clients[i].ConflictsPerSec / maxRate
+		}
+	}
+	if len(busyRates) < 3 {
+		return
+	}
+	sort.Float64s(busyRates)
+	median := busyRates[len(busyRates)/2]
+	if median <= 0 {
+		return
+	}
+	for i := range clients {
+		if clients[i].Busy && clients[i].ConflictsPerSec < stragglerFraction*median {
+			clients[i].Straggler = true
+		}
+	}
+}
+
+// ProgressSnapshot is the /progress JSON payload: the cluster coverage
+// estimate, its rate and ETA, share-efficacy totals, and per-client rows.
+type ProgressSnapshot struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	// Coverage is the refuted fraction of the root search space; Units is
+	// the same total in exact fixed-point units of 2^-62.
+	Coverage float64 `json:"coverage"`
+	Units    uint64  `json:"units"`
+	// ClosedSubproblems counts refuted subproblems; MaxClosedDepth is the
+	// deepest refuted guiding path.
+	ClosedSubproblems int64 `json:"closed_subproblems"`
+	MaxClosedDepth    int   `json:"max_closed_depth"`
+	// RatePerSec is the EWMA coverage rate; ETASeconds projects time to
+	// full coverage at that rate (-1 while unknown, 0 when exhausted).
+	RatePerSec float64 `json:"rate_per_sec"`
+	ETASeconds float64 `json:"eta_seconds"`
+	// Verdict is "" while running, else SAT/UNSAT/UNKNOWN.
+	Verdict     string `json:"verdict,omitempty"`
+	Registered  int    `json:"registered"`
+	Busy        int    `json:"busy"`
+	Outstanding int    `json:"outstanding"`
+	// Conflicts and Implications are cluster-lifetime totals summed from
+	// heartbeat deltas (churn-proof: they survive client departures).
+	Conflicts    int64         `json:"conflicts"`
+	Implications int64         `json:"implications"`
+	Efficacy     ShareEfficacy `json:"efficacy"`
+	Clients      []ClientProgress `json:"clients"`
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsat/internal/comm"
+	"gridsat/internal/gen"
+	"gridsat/internal/obs"
+	"gridsat/internal/solver"
+)
+
+// TestLiveProgressEndpointAndTop drives a live master and checks the
+// /progress endpoint serves a decodable snapshot mid-run, and that the
+// dashboard renderer accepts the live payloads — the `gridsat top` data
+// path end to end. Pigeonhole(9) keeps the cluster busy for long enough
+// that polling reliably observes it working.
+func TestLiveProgressEndpointAndTop(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := comm.NewInprocTransport()
+	m, err := NewMaster(MasterConfig{
+		Transport:       tr,
+		ListenAddr:      "progress-master",
+		Formula:         gen.Pigeonhole(9),
+		Timeout:         120 * time.Second,
+		ExpectedClients: 3,
+		Metrics:         reg,
+		MetricsAddr:     "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.MetricsAddr()
+	if addr == "" {
+		t.Fatal("master bound no metrics address")
+	}
+	done := make(chan Result, 1)
+	go func() {
+		res, _ := m.Run()
+		done <- res
+	}()
+	var wg sync.WaitGroup
+	launch := func(i int) {
+		cl, err := NewClient(ClientConfig{
+			Transport:      tr,
+			MasterAddr:     "progress-master",
+			HostName:       fmt.Sprintf("host-%d", i),
+			FreeMemBytes:   64 << 20,
+			SliceConflicts: 200,
+			MinRunTime:     5 * time.Millisecond,
+			HeartbeatEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = cl.Run() }()
+	}
+	for i := 0; i < 3; i++ {
+		launch(i)
+	}
+
+	// Poll /progress until the cluster is visibly working: all three
+	// clients registered and conflicts flowing through heartbeat deltas.
+	var snap ProgressSnapshot
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/progress")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if err == nil && snap.Registered == 3 && snap.Busy >= 1 && snap.Conflicts > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw a working cluster on /progress; last: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if snap.Coverage < 0 || snap.Coverage > 1 {
+		t.Fatalf("coverage %v out of range", snap.Coverage)
+	}
+	if len(snap.Clients) != 3 {
+		t.Fatalf("client rows = %d, want 3", len(snap.Clients))
+	}
+	busyRows := 0
+	for _, c := range snap.Clients {
+		if c.Busy {
+			busyRows++
+		}
+		if c.Depth < 0 {
+			t.Fatalf("client %d has negative depth", c.ID)
+		}
+	}
+	if busyRows != snap.Busy {
+		t.Fatalf("busy rows %d disagree with snapshot busy %d", busyRows, snap.Busy)
+	}
+
+	// /status joins the same frame; render it like `gridsat top` does.
+	var status StatusSnapshot
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := RenderTop(snap, status, TopWidth)
+	if !strings.Contains(frame, "GridSAT running") {
+		t.Errorf("live frame missing headline:\n%s", frame)
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(frame, "\n"), "\n") {
+		if len(line) != TopWidth {
+			t.Fatalf("live frame line %d is %d columns", i+1, len(line))
+		}
+	}
+
+	res := <-done
+	wg.Wait()
+	if res.Status != solver.StatusUNSAT {
+		t.Fatalf("run ended %v", res.Status)
+	}
+}

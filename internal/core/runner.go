@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
 	"gridsat/internal/grid"
 	"gridsat/internal/solver"
 	"gridsat/internal/trace"
@@ -182,6 +184,26 @@ type SimResult struct {
 	// BatchStartVSec/BatchCanceled report the Table-2 batch interaction.
 	BatchStartVSec float64
 	BatchCanceled  bool
+	// Progress is the deterministic coverage series: one point per refuted
+	// subproblem, in closure order. For an UNSAT run without lost work it
+	// is monotonically non-decreasing and ends at exactly 1.0 (2^62 units).
+	Progress []ProgressPoint
+	// Coverage/CoverageUnits/ClosedSubproblems are the final totals of the
+	// same estimate (units are exact fixed-point 2^-62 fractions).
+	Coverage          float64
+	CoverageUnits     uint64
+	ClosedSubproblems int64
+	// Agg sums solver counters across every client solver the run created,
+	// the DES counterpart of the master's churn-proof cluster totals; its
+	// import-usefulness fields feed the share-efficacy view.
+	Agg comm.SolverDeltas
+}
+
+// Efficacy derives the share-efficacy ratios from the run's aggregated
+// solver counters.
+func (r SimResult) Efficacy() ShareEfficacy {
+	return efficacyFrom(r.Agg.Imported, r.Agg.ImportedUseful,
+		r.Agg.ImportedImplications, r.Agg.ImportedResolutions, r.Agg.Implications)
 }
 
 // RunSequential simulates the paper's zChaff baseline: the engine on the
@@ -272,6 +294,9 @@ type runner struct {
 
 	assigned    bool
 	outstanding int
+	// prog mirrors the live master's cluster coverage estimator; because
+	// the simulation is deterministic, the progress series is too.
+	prog ProgressTracker
 	// orphans are checkpointed subproblems of crashed clients awaiting an
 	// idle resource; orphanEvs carries each one's client-leave flight event
 	// in the same FIFO order, so the recovery event can name its cause.
@@ -411,11 +436,46 @@ func minInt(a, b int) int {
 	return b
 }
 
+// absorbStats folds a solver's lifetime counters into the run's cluster
+// aggregate. Called exactly once per solver instance, at retirement
+// (sub-UNSAT, migration, crash) or at finish for still-live solvers.
+func (r *runner) absorbStats(c *simClient) {
+	if c.slv == nil {
+		return
+	}
+	r.res.Agg.Add(heartbeatDeltas(c.slv.Stats()))
+}
+
+// closeSub folds a refuted subproblem into the coverage estimate, emitting
+// the progress flight event and appending the deterministic series point.
+func (r *runner) closeSub(clientID, depth int) {
+	units := r.prog.CloseSubproblem(depth, r.sim.Now())
+	r.emit(trace.FEvent{Kind: trace.FEvProgress, Client: clientID,
+		N: int64(units), Detail: fmt.Sprintf("depth=%d", depth)})
+	r.res.Progress = append(r.res.Progress, ProgressPoint{
+		VSec:     r.sim.Now(),
+		Units:    units,
+		Coverage: float64(units) / float64(coverageFull),
+		Depth:    depth,
+	})
+}
+
 func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignment) {
 	if r.done {
 		return
 	}
 	r.done = true
+	// Freeze the cluster aggregate: absorb every still-live solver in
+	// deterministic order (retired solvers were absorbed at retirement).
+	for _, id := range r.order {
+		if c := r.clients[id]; c != nil {
+			r.absorbStats(c)
+			c.slv = nil
+		}
+	}
+	r.res.CoverageUnits = r.prog.Units()
+	r.res.Coverage = r.prog.Fraction()
+	r.res.ClosedSubproblems = r.prog.Closed()
 	r.res.Outcome = outcome
 	r.res.Status = st
 	r.res.Model = model
@@ -550,10 +610,13 @@ func (r *runner) scheduleStep(c *simClient) {
 		}
 		switch res.Status {
 		case solver.StatusUNSAT:
+			depth := c.slv.PathDepth()
+			r.absorbStats(c)
 			c.busy = false
 			c.slv = nil
 			c.splitAsked = false
 			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id})
+			r.closeSub(c.id, depth)
 			r.outstanding--
 			r.sample(r.busyCount())
 			r.serveAssigns(c) // release any split assignments queued for us
@@ -796,7 +859,9 @@ func (r *runner) maybeMigrate() {
 	}
 	// The whole problem moves: level-0 assignments plus learned clauses.
 	cp := weakest.slv.Checkpoint(solver.HeavyCheckpoint, 10000)
-	sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0, Learnts: cp.Learnts}
+	sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0,
+		Learnts: cp.Learnts, Depth: cp.Depth}
+	r.absorbStats(weakest)
 	weakest.migrating = true
 	weakest.busy = false
 	weakest.slv = nil
@@ -846,8 +911,9 @@ func (r *runner) failClient(id int) {
 	var orphan *solver.Subproblem
 	if c.busy && c.slv != nil {
 		cp := c.slv.Checkpoint(solver.LightCheckpoint, 0)
-		orphan = &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0}
+		orphan = &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0, Depth: cp.Depth}
 	}
+	r.absorbStats(c)
 	c.dead = true
 	c.busy = false
 	c.slv = nil

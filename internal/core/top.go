@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders the `gridsat top` dashboard: a fixed-width terminal
+// frame summarizing a running cluster from the master's /progress and
+// /status payloads. Rendering is a pure function of the two snapshots, so
+// one frame is exactly reproducible from canned inputs — the golden test
+// locks the layout, and the subcommand just polls and reprints.
+
+// TopWidth is the default dashboard frame width in columns.
+const TopWidth = 80
+
+// RenderTop renders one dashboard frame from a progress snapshot and a
+// status snapshot. Every line is padded or truncated to exactly width
+// runes (minimum 40), so a refreshing terminal fully overwrites the
+// previous frame without clearing artifacts.
+func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
+	if width < 40 {
+		width = 40
+	}
+	var b strings.Builder
+
+	verdict := p.Verdict
+	if verdict == "" {
+		verdict = "running"
+	}
+	head := fmt.Sprintf("GridSAT %s  wall %s", verdict, fmtSeconds(p.WallSeconds))
+	barRoom := width - len(head) - 12 // "  [" + bar + "] " + percent
+	if barRoom > 8 {
+		head += fmt.Sprintf("  [%s] %5.1f%%", progressBar(p.Coverage, barRoom), p.Coverage*100)
+	}
+	writeLine(&b, head, width)
+
+	writeLine(&b, fmt.Sprintf(
+		"closed %s subproblems  max depth %d  rate %s/s  ETA %s",
+		fmtCount(p.ClosedSubproblems), p.MaxClosedDepth,
+		fmtPercent(p.RatePerSec), fmtETA(p.ETASeconds)), width)
+
+	writeLine(&b, fmt.Sprintf(
+		"clients %d registered, %d busy  outstanding %d  backlog %d  splits %d  shared %s",
+		p.Registered, p.Busy, p.Outstanding, s.Backlog, s.Splits,
+		fmtCount(int64(s.Shared))), width)
+
+	e := p.Efficacy
+	writeLine(&b, fmt.Sprintf(
+		"conflicts %s  implications %s  imported %s  useful %.1f%%  impl-share %.1f%%",
+		fmtCount(p.Conflicts), fmtCount(p.Implications), fmtCount(e.Imported),
+		e.UsefulRatio*100, e.ImplicationShare*100), width)
+
+	writeLine(&b, "", width)
+	writeLine(&b, fmt.Sprintf("%4s  %-5s  %5s  %9s  %5s  %7s  %8s  %8s",
+		"ID", "STATE", "DEPTH", "CONF/S", "UTIL", "IMP-USE", "MEM", "LEARNTS"), width)
+
+	// The /progress client rows carry rates and depths; join the /status
+	// rows by ID for the learned-clause gauge.
+	learnts := map[int]int{}
+	for _, c := range s.Clients {
+		learnts[c.ID] = c.DBLearnts
+	}
+	for _, c := range p.Clients {
+		state := "idle"
+		switch {
+		case c.Straggler:
+			state = "SLOW"
+		case c.Busy:
+			state = "busy"
+		}
+		writeLine(&b, fmt.Sprintf("%4d  %-5s  %5d  %9.1f  %4.0f%%  %6.1f%%  %8s  %8d",
+			c.ID, state, c.Depth, c.ConflictsPerSec, c.Utilization*100,
+			c.ImportUseRatio*100, fmtBytes(c.MemBytes), learnts[c.ID]), width)
+	}
+	return b.String()
+}
+
+// writeLine appends s padded/truncated to exactly width columns plus '\n'.
+func writeLine(b *strings.Builder, s string, width int) {
+	if len(s) > width {
+		s = s[:width]
+	}
+	b.WriteString(s)
+	for i := len(s); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte('\n')
+}
+
+// progressBar renders a [0,1] fraction as a bar of exactly n cells.
+func progressBar(frac float64, n int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac * float64(n))
+	return strings.Repeat("=", filled) + strings.Repeat("-", n-filled)
+}
+
+// fmtCount renders a counter with SI suffixes (1234 -> "1.2k").
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// fmtBytes renders a byte count with IEC suffixes.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// fmtSeconds renders elapsed seconds compactly (90.5 -> "1m30s").
+func fmtSeconds(s float64) string {
+	if s < 0 {
+		s = 0
+	}
+	sec := int64(s)
+	switch {
+	case sec >= 3600:
+		return fmt.Sprintf("%dh%02dm", sec/3600, sec%3600/60)
+	case sec >= 60:
+		return fmt.Sprintf("%dm%02ds", sec/60, sec%60)
+	}
+	return fmt.Sprintf("%.1fs", s)
+}
+
+// fmtPercent renders a [0,1] rate as a percentage with sensible precision
+// for very slow coverage rates.
+func fmtPercent(frac float64) string {
+	pct := frac * 100
+	if pct != 0 && pct < 0.01 {
+		return fmt.Sprintf("%.1e%%", pct)
+	}
+	return fmt.Sprintf("%.2f%%", pct)
+}
+
+// fmtETA renders the /progress eta_seconds convention: -1 unknown,
+// 0 exhausted.
+func fmtETA(s float64) string {
+	switch {
+	case s < 0:
+		return "--"
+	case s == 0:
+		return "done"
+	}
+	return fmtSeconds(s)
+}

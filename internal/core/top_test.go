@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// topTestSnapshots builds the canned /progress + /status payload pair the
+// golden frame is rendered from.
+func topTestSnapshots() (ProgressSnapshot, StatusSnapshot) {
+	p := ProgressSnapshot{
+		WallSeconds: 95.2, Coverage: 0.421875,
+		ClosedSubproblems: 57, MaxClosedDepth: 12,
+		RatePerSec: 0.0034, ETASeconds: 170.0,
+		Registered: 4, Busy: 3, Outstanding: 4,
+		Conflicts: 1234567, Implications: 45678901,
+		Efficacy: ShareEfficacy{Imported: 2345, ImportedUseful: 966,
+			ImportedImplications: 3609876, ImportedResolutions: 45678,
+			UsefulRatio: 0.412, ImplicationShare: 0.079},
+		Clients: []ClientProgress{
+			{ID: 1, Busy: true, Depth: 5, ConflictsPerSec: 1234.5, Utilization: 1.0, ImportUseRatio: 0.412, MemBytes: 12 << 20},
+			{ID: 2, Busy: true, Depth: 9, ConflictsPerSec: 123.4, Utilization: 0.0999, ImportUseRatio: 0.10, MemBytes: 9 << 20, Straggler: true},
+			{ID: 3, Busy: true, Depth: 7, ConflictsPerSec: 987.6, Utilization: 0.8, ImportUseRatio: 0.25, MemBytes: 31 << 20},
+			{ID: 4, Busy: false, Depth: 0, ConflictsPerSec: 0, Utilization: 0, ImportUseRatio: 0, MemBytes: 1 << 20},
+		},
+	}
+	s := StatusSnapshot{
+		Backlog: 2, Splits: 14, Shared: 1234,
+		Clients: []ClientStatus{
+			{ID: 1, DBLearnts: 4567}, {ID: 2, DBLearnts: 123},
+			{ID: 3, DBLearnts: 2048}, {ID: 4, DBLearnts: 0},
+		},
+	}
+	return p, s
+}
+
+// topGolden is the expected 80-column frame for topTestSnapshots. The
+// renderer is pure, so any layout change must update this fixture
+// deliberately.
+const topGolden = "" +
+	"GridSAT running  wall 1m35s  [=================------------------------]  42.2% \n" +
+	"closed 57 subproblems  max depth 12  rate 0.34%/s  ETA 2m50s                    \n" +
+	"clients 4 registered, 3 busy  outstanding 4  backlog 2  splits 14  shared 1.2k  \n" +
+	"conflicts 1.2M  implications 45.7M  imported 2.3k  useful 41.2%  impl-share 7.9%\n" +
+	"                                                                                \n" +
+	"  ID  STATE  DEPTH     CONF/S   UTIL  IMP-USE       MEM   LEARNTS               \n" +
+	"   1  busy       5     1234.5   100%    41.2%   12.0MiB      4567               \n" +
+	"   2  SLOW       9      123.4    10%    10.0%    9.0MiB       123               \n" +
+	"   3  busy       7      987.6    80%    25.0%   31.0MiB      2048               \n" +
+	"   4  idle       0        0.0     0%     0.0%    1.0MiB         0               \n"
+
+func TestRenderTopGolden(t *testing.T) {
+	p, s := topTestSnapshots()
+	got := RenderTop(p, s, 80)
+	if got != topGolden {
+		t.Errorf("frame drifted from golden.\ngot:\n%s\nwant:\n%s", got, topGolden)
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(topGolden, "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first diff at line %d:\ngot:  %q\nwant: %q", i+1, gl[i], wl[i])
+				break
+			}
+		}
+	}
+}
+
+// TestRenderTopFixedWidth checks the overwrite invariant: every line of a
+// frame is exactly the requested width, whatever the payload.
+func TestRenderTopFixedWidth(t *testing.T) {
+	p, s := topTestSnapshots()
+	for _, w := range []int{40, 60, 80, 120} {
+		frame := RenderTop(p, s, w)
+		for i, line := range strings.Split(strings.TrimSuffix(frame, "\n"), "\n") {
+			if len(line) != w {
+				t.Fatalf("width %d, line %d is %d columns: %q", w, i+1, len(line), line)
+			}
+		}
+	}
+	// Absurdly narrow requests clamp to the 40-column floor.
+	frame := RenderTop(p, s, 1)
+	for _, line := range strings.Split(strings.TrimSuffix(frame, "\n"), "\n") {
+		if len(line) != 40 {
+			t.Fatalf("clamped frame line is %d columns", len(line))
+		}
+	}
+}
+
+// TestRenderTopEmpty renders the zero snapshots — the frame a dashboard
+// shows the instant it connects, before any heartbeat arrives.
+func TestRenderTopEmpty(t *testing.T) {
+	frame := RenderTop(ProgressSnapshot{ETASeconds: -1}, StatusSnapshot{}, 80)
+	if !strings.Contains(frame, "GridSAT running") {
+		t.Error("empty frame lost the headline")
+	}
+	if !strings.Contains(frame, "ETA --") {
+		t.Error("unknown ETA not rendered as --")
+	}
+}
+
+// TestRenderTopVerdict shows the final frame carries the verdict and a
+// saturated bar.
+func TestRenderTopVerdict(t *testing.T) {
+	p, s := topTestSnapshots()
+	p.Verdict = "UNSAT"
+	p.Coverage = 1.0
+	p.ETASeconds = 0
+	frame := RenderTop(p, s, 80)
+	if !strings.Contains(frame, "GridSAT UNSAT") {
+		t.Error("verdict missing from headline")
+	}
+	if !strings.Contains(frame, "ETA done") {
+		t.Error("exhausted ETA not rendered as done")
+	}
+	if !strings.Contains(frame, "100.0%") {
+		t.Error("full coverage not shown")
+	}
+	if strings.Contains(frame, "-]") {
+		t.Error("bar not saturated at full coverage")
+	}
+}
+
+func TestTopFormatters(t *testing.T) {
+	if got := fmtCount(999); got != "999" {
+		t.Errorf("fmtCount(999) = %q", got)
+	}
+	if got := fmtCount(1_500_000_000); got != "1.5G" {
+		t.Errorf("fmtCount(1.5e9) = %q", got)
+	}
+	if got := fmtBytes(512); got != "512B" {
+		t.Errorf("fmtBytes(512) = %q", got)
+	}
+	if got := fmtBytes(3 << 30); got != "3.0GiB" {
+		t.Errorf("fmtBytes(3GiB) = %q", got)
+	}
+	if got := fmtSeconds(3725); got != "1h02m" {
+		t.Errorf("fmtSeconds(3725) = %q", got)
+	}
+	if got := fmtPercent(0.0000004); got != "4.0e-05%" {
+		t.Errorf("fmtPercent tiny = %q", got)
+	}
+	if got := progressBar(0.5, 10); got != "=====-----" {
+		t.Errorf("progressBar half = %q", got)
+	}
+}

@@ -38,8 +38,16 @@ const (
 	flagLocal   = 1 << 1 // valid only under this solver's guiding-path assumptions
 	flagDeleted = 1 << 2 // lazily detached; space reclaimed by the next GC
 	flagReloced = 1 << 3 // GC-internal: clause moved, activity word holds the forward ref
-	flagBits    = 4
-	hdrWords    = 2 // header word + activity word
+	// flagImported marks a clause merged from a peer (shared clause or
+	// split-forwarded learnt) rather than derived locally — the origin bit
+	// behind the import-usefulness telemetry.
+	flagImported = 1 << 4
+	// flagImportUsed marks an imported clause that has participated in at
+	// least one BCP implication or conflict resolution, so first use is
+	// counted exactly once per clause.
+	flagImportUsed = 1 << 5
+	flagBits       = 6
+	hdrWords       = 2 // header word + activity word
 
 	// maxClauseSize is the largest literal count the header can encode.
 	maxClauseSize = 1<<(32-flagBits) - 1
@@ -114,6 +122,21 @@ func (a *Arena) Local(r ClauseRef) bool { return a.data[r]&flagLocal != 0 }
 
 // SetLocal marks the clause assumption-dependent.
 func (a *Arena) SetLocal(r ClauseRef) { a.data[r] |= flagLocal }
+
+// Imported reports whether the clause was merged from a peer (shared
+// clause or split-forwarded learnt) rather than derived locally.
+func (a *Arena) Imported(r ClauseRef) bool { return a.data[r]&flagImported != 0 }
+
+// SetImported tags the clause as peer-origin; set once at merge time.
+func (a *Arena) SetImported(r ClauseRef) { a.data[r] |= flagImported }
+
+// ImportUsed reports whether an imported clause has already been counted
+// as used (first BCP implication or conflict resolution).
+func (a *Arena) ImportUsed(r ClauseRef) bool { return a.data[r]&flagImportUsed != 0 }
+
+// markImportUsed sets the used bit; the caller checks ImportUsed first so
+// first use is counted exactly once.
+func (a *Arena) markImportUsed(r ClauseRef) { a.data[r] |= flagImportUsed }
 
 // Deleted reports whether the clause has been freed (watchers drop it
 // lazily; the space is reclaimed by the next GC).

@@ -31,6 +31,9 @@ type Checkpoint struct {
 	Level0 []cnf.Lit
 	// Learnts is populated for heavy checkpoints only.
 	Learnts []cnf.Clause
+	// Depth is the solver's guiding-path depth at checkpoint time, so a
+	// restored subproblem keeps its 2^-d weight in the progress estimate.
+	Depth int
 }
 
 // Checkpoint captures the solver's current progress. For a heavy
@@ -40,6 +43,7 @@ func (s *Solver) Checkpoint(kind CheckpointKind, learntMaxCount int) *Checkpoint
 		Kind:    kind,
 		NumVars: s.nVars,
 		Level0:  s.Level0Lits(),
+		Depth:   s.pathDepth,
 	}
 	if kind == HeavyCheckpoint {
 		for _, r := range s.learnts {
@@ -77,6 +81,7 @@ func Restore(base *cnf.Formula, cp *Checkpoint, opts Options) (*Solver, error) {
 		return nil, errors.New("solver: checkpoint variable count mismatch")
 	}
 	s := New(base, opts)
+	s.pathDepth = cp.Depth
 	if s.status != StatusUnknown {
 		return s, nil
 	}

@@ -61,5 +61,9 @@ func StatsDelta(cur, prev Stats) Stats {
 		Simplified:     cur.Simplified - prev.Simplified,
 		Splits:         cur.Splits - prev.Splits,
 		ReclaimedBytes: cur.ReclaimedBytes - prev.ReclaimedBytes,
+
+		ImportedImplications: cur.ImportedImplications - prev.ImportedImplications,
+		ImportedResolutions:  cur.ImportedResolutions - prev.ImportedResolutions,
+		ImportedUseful:       cur.ImportedUseful - prev.ImportedUseful,
 	}
 }

@@ -151,6 +151,10 @@ func (s *Solver) mergeOne(c cnf.Clause, local bool) bool {
 		return s.assigns.LitValue(sorted[i]) == cnf.Undef && s.assigns.LitValue(sorted[j]) != cnf.Undef
 	})
 	r := s.ca.Alloc(sorted, true, local, clauseAct(s.actInc))
+	// Tag the peer origin so BCP and conflict analysis can attribute work
+	// to imported clauses (the import-usefulness telemetry). The bit lives
+	// in the header, so it survives arena GC relocation.
+	s.ca.SetImported(r)
 	s.learnts = append(s.learnts, r)
 	s.attach(r)
 	for _, l := range sorted {

@@ -172,6 +172,11 @@ const (
 	// of solver throughput (§4.1). Only emitted when Instrument is set;
 	// the cheap Counters path batches the same information instead.
 	EvImply
+	// EvImportUse fires the first time an imported (peer-origin) clause
+	// participates in the search — its first BCP implication or conflict
+	// resolution. At most one event per imported clause, so the stream
+	// stays control-plane sized even on share-heavy runs.
+	EvImportUse
 
 	// EvKindCount is not an event kind: it is the number of kinds, for
 	// sizing per-kind tables (e.g. trace.Recorder's counters). Add new
@@ -195,6 +200,8 @@ func (k EventKind) String() string {
 		return "split"
 	case EvImply:
 		return "imply"
+	case EvImportUse:
+		return "import-use"
 	}
 	return "unknown"
 }
@@ -281,6 +288,12 @@ type Solver struct {
 	// guiding-path assumptions rather than the base formula alone.
 	tainted    []bool
 	numTainted int
+	// pathDepth is this solver's guiding-path depth: the number of split
+	// decisions separating its subspace from the root problem. A refuted
+	// subproblem at depth d closes 2^-d of the original search space, the
+	// unit of the cluster progress estimate. 0 for the root problem;
+	// installed by NewFromSubproblem and bumped by Split.
+	pathDepth int
 	// savedPhase remembers each variable's last polarity for PhaseSaving.
 	savedPhase []cnf.LBool
 }
@@ -566,6 +579,20 @@ func (s *Solver) propagate() ClauseRef {
 				break
 			}
 			s.stats.Implications++
+			if h&flagImported != 0 {
+				// Import-usefulness: the reason clause came from a peer. The
+				// header word h is already loaded, so this is one bit-test on
+				// the hot path; first use flips the header bit so the event
+				// fires at most once per clause.
+				s.stats.ImportedImplications++
+				if h&flagImportUsed == 0 {
+					data[w.ref] = h | flagImportUsed
+					s.stats.ImportedUseful++
+					if s.opts.Instrument != nil {
+						s.opts.Instrument(Event{Kind: EvImportUse, Lit: first, Level: s.DecisionLevel(), ClauseLen: n})
+					}
+				}
+			}
 			if s.opts.Instrument != nil {
 				s.opts.Instrument(Event{Kind: EvImply, Lit: first, Level: s.DecisionLevel()})
 			}
@@ -609,6 +636,18 @@ func (s *Solver) analyze(confl ClauseRef) (learnt cnf.Clause, back int, deps []c
 	for {
 		if ca.Local(c) {
 			localUsed = true // derivation rests on an assumption-only clause
+		}
+		if ca.Imported(c) {
+			// Import-usefulness: a peer-origin clause takes part in this
+			// conflict derivation.
+			s.stats.ImportedResolutions++
+			if !ca.ImportUsed(c) {
+				ca.markImportUsed(c)
+				s.stats.ImportedUseful++
+				if s.opts.Instrument != nil {
+					s.opts.Instrument(Event{Kind: EvImportUse, Level: int(cur), ClauseLen: ca.Size(c)})
+				}
+			}
 		}
 		for k, n := 0, ca.Size(c); k < n; k++ {
 			q := ca.Lit(c, k)
@@ -1054,7 +1093,22 @@ type Stats struct {
 	// ReclaimedBytes counts bytes the arena's compacting GC has returned
 	// to the allocator (deleted clauses + stripped literals).
 	ReclaimedBytes int64
+	// Import-usefulness telemetry: how much work peer-origin clauses
+	// actually do once merged. ImportedImplications counts BCP implications
+	// whose reason clause is imported; ImportedResolutions counts
+	// resolutions on imported clauses during conflict analysis;
+	// ImportedUseful counts distinct imported clauses used at least once
+	// (first-use, at most once per clause). Together with Imported these
+	// yield the cluster's import-usefulness ratio.
+	ImportedImplications int64
+	ImportedResolutions  int64
+	ImportedUseful       int64
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// PathDepth returns the solver's guiding-path depth: the number of split
+// decisions between its subspace and the root problem. Refuting this
+// subproblem closes 2^-PathDepth of the original search space.
+func (s *Solver) PathDepth() int { return s.pathDepth }

@@ -21,6 +21,12 @@ type Subproblem struct {
 	// Learnts are donor learned clauses forwarded to seed the recipient's
 	// database (filtered by length, like shared clauses).
 	Learnts []cnf.Clause
+	// Depth is the guiding-path depth of this subproblem: the number of
+	// split decisions between it and the root problem. Both halves of a
+	// depth-d split sit at depth d+1, so refuting a subproblem at depth d
+	// accounts for exactly 2^-d of the root search space — the unit of the
+	// cluster progress estimate.
+	Depth int
 }
 
 // ErrNothingToSplit is returned by Split when the solver has no decision
@@ -52,6 +58,11 @@ func (s *Solver) Split(learntMaxLen, learntMaxCount int) (*Subproblem, error) {
 	sub.Assumptions = append(sub.Assumptions, level0...)
 	sub.Assumptions = append(sub.Assumptions, firstDecision.Not())
 	sub.Learnts = s.ExportLearnts(learntMaxLen, learntMaxCount)
+	// Both halves of the split descend one level in the guiding-path tree:
+	// the recipient takes the complement branch, and the donor's promoted
+	// first decision is a new path commitment of its own.
+	sub.Depth = s.pathDepth + 1
+	s.pathDepth++
 
 	// Donor: promote decision level 1 into level 0 and shift every higher
 	// level down by one, exactly as Figure 2 shows — the donor keeps its
@@ -121,6 +132,7 @@ func NewFromSubproblem(base *cnf.Formula, sub *Subproblem, opts Options) (*Solve
 		return nil, errors.New("solver: subproblem variable count mismatch")
 	}
 	s := New(base, opts)
+	s.pathDepth = sub.Depth
 	if s.status != StatusUnknown {
 		return s, nil
 	}

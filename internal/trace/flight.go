@@ -39,6 +39,8 @@ const (
 	FEvMigrate      = "migrate"        // whole subproblem moved Client -> Peer
 	FEvRecover      = "recover"        // orphaned subproblem restarted on Client
 	FEvSubUNSAT     = "sub-unsat"      // Client exhausted its subproblem
+	FEvProgress     = "progress"       // coverage advanced; N = fixed-point units (2^-62)
+	FEvImportUse    = "import-use"     // Client first used an imported clause; N = uses this window
 	FEvVerdict      = "verdict"        // run decided (Detail = SAT/UNSAT/UNKNOWN)
 )
 
@@ -49,7 +51,8 @@ var KnownKinds = map[string]bool{
 	FEvSplitAccept: true, FEvSplitFail: true, FEvShareFlush: true,
 	FEvShareRelay: true, FEvShareMerge: true, FEvHeartbeat: true,
 	FEvMemShed: true, FEvMigrate: true, FEvRecover: true,
-	FEvSubUNSAT: true, FEvVerdict: true,
+	FEvSubUNSAT: true, FEvProgress: true, FEvImportUse: true,
+	FEvVerdict: true,
 }
 
 // FEvent is one flight-recorder event — one JSONL line. IDs are assigned

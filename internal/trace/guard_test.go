@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
 	"gridsat/internal/solver"
 )
 
@@ -37,6 +38,60 @@ func TestEventKindSentinel(t *testing.T) {
 	}
 	if solver.EvSplit >= solver.EvKindCount {
 		t.Fatal("EvKindCount must come after every kind in the iota block")
+	}
+	// EvImportUse was added for the share-efficacy telemetry; it must sit
+	// below the sentinel (so Recorder tables include it) and keep its name.
+	if solver.EvImportUse >= solver.EvKindCount {
+		t.Fatal("EvImportUse added after the EvKindCount sentinel")
+	}
+	if solver.EvImportUse.String() != "import-use" {
+		t.Fatalf("EvImportUse names itself %q", solver.EvImportUse)
+	}
+}
+
+// TestImportUseEventEmitted drives the whole import-usefulness path: a
+// donor solver's learned clauses are imported by a fresh recipient, and
+// solving must fire EvImportUse through the instrument hook exactly once
+// per distinct imported clause that did work — the same dedup the
+// ImportedUseful counter applies.
+func TestImportUseEventEmitted(t *testing.T) {
+	f := gen.Pigeonhole(6)
+	donor := solver.New(f, solver.DefaultOptions())
+	if st := donor.Solve(solver.Limits{}); st.Status != solver.StatusUNSAT {
+		t.Fatalf("donor result %v", st.Status)
+	}
+	shared := donor.ExportLearnts(10, 1000)
+	if len(shared) == 0 {
+		t.Fatal("donor exported no clauses")
+	}
+
+	rec := NewRecorder(int(solver.EvKindCount))
+	opts := solver.DefaultOptions()
+	opts.Instrument = rec.Hook()
+	recipient := solver.New(f, opts)
+	if err := recipient.ImportClauses(shared); err != nil {
+		t.Fatal(err)
+	}
+	if st := recipient.Solve(solver.Limits{}); st.Status != solver.StatusUNSAT {
+		t.Fatalf("recipient result %v", st.Status)
+	}
+
+	stats := recipient.Stats()
+	if stats.Imported == 0 {
+		t.Fatal("no clauses recorded as imported")
+	}
+	if stats.ImportedUseful == 0 {
+		t.Fatal("imported clauses never recorded as useful on a conflict-heavy instance")
+	}
+	if stats.ImportedUseful > stats.Imported {
+		t.Fatalf("useful (%d) exceeds imported (%d)", stats.ImportedUseful, stats.Imported)
+	}
+	if got := rec.Count(solver.EvImportUse); got != stats.ImportedUseful {
+		t.Fatalf("EvImportUse events = %d, ImportedUseful = %d (must agree: one event per first use)",
+			got, stats.ImportedUseful)
+	}
+	if stats.ImportedImplications == 0 && stats.ImportedResolutions == 0 {
+		t.Fatal("useful imports but no imported implications or resolutions counted")
 	}
 }
 
