@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate table 1 or 2")
-		rows     = flag.String("rows", "", "comma-separated row filter")
-		scale    = flag.Float64("scale", 1.0, "budget scale factor (1.0 = paper-faithful)")
-		seed     = flag.Int64("seed", 1, "grid contention seed")
-		ablation = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology")
-		bhOnly   = flag.Bool("bhonly", false, "rerun par32-1-c on Blue Horizon alone")
-		snapshot = flag.String("snapshot", "", "write a machine-readable perf snapshot (JSON) to this path")
-		quiet    = flag.Bool("q", false, "suppress per-row progress")
+		table       = flag.Int("table", 0, "regenerate table 1 or 2")
+		rows        = flag.String("rows", "", "comma-separated row filter")
+		scale       = flag.Float64("scale", 1.0, "budget scale factor (1.0 = paper-faithful)")
+		seed        = flag.Int64("seed", 1, "grid contention seed")
+		ablation    = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology | split")
+		ablationOut = flag.String("ablation-out", "", "also write the ablation's machine-readable JSON here (split only)")
+		bhOnly      = flag.Bool("bhonly", false, "rerun par32-1-c on Blue Horizon alone")
+		snapshot    = flag.String("snapshot", "", "write a machine-readable perf snapshot (JSON) to this path")
+		quiet       = flag.Bool("q", false, "suppress per-row progress")
 	)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 	}
 	if *ablation != "" {
 		did = true
-		runAblation(*ablation, opts)
+		runAblation(*ablation, *ablationOut, opts)
 	}
 	if *bhOnly {
 		did = true
@@ -97,7 +98,7 @@ func main() {
 	}
 }
 
-func runAblation(kind string, opts bench.Options) {
+func runAblation(kind, outPath string, opts bench.Options) {
 	inst, ok := gen.ByName("homer12") // a large both-solved row
 	if !ok {
 		fmt.Fprintln(os.Stderr, "benchtab: ablation instance missing")
@@ -123,6 +124,17 @@ func runAblation(kind string, opts bench.Options) {
 	case "topology":
 		fmt.Print(bench.RenderAblation("clause-sharing topology (master relay vs P2P)",
 			bench.AblationSharingTopology(f, opts)))
+	case "split":
+		results := bench.AblationSplitStrategy(f, opts)
+		fmt.Println("ablation: split strategy (first-decision vs dilemma fan-out)")
+		fmt.Print(bench.RenderStrategyAblation(results))
+		if outPath != "" {
+			if err := bench.WriteStrategyAblation(outPath, results); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: strategy ablation JSON written to %s\n", outPath)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown ablation %q\n", kind)
 		os.Exit(2)

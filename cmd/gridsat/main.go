@@ -155,6 +155,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	clients := fs.Int("clients", 4, "number of in-process clients")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
@@ -176,12 +177,13 @@ func cmdRun(args []string) error {
 		return err
 	}
 	res, err := core.Solve(f, core.JobConfig{
-		Clients:     *clients,
-		ShareMaxLen: *shareLen,
-		Timeout:     *timeout,
-		MetricsAddr: *metricsAddr,
-		Logger:      logger,
-		Flight:      fl,
+		Clients:       *clients,
+		ShareMaxLen:   *shareLen,
+		SplitStrategy: *splitStrategy,
+		Timeout:       *timeout,
+		MetricsAddr:   *metricsAddr,
+		Logger:        logger,
+		Flight:        fl,
 	})
 	if err != nil {
 		return err
@@ -294,6 +296,7 @@ func cmdMaster(args []string) error {
 	minMem := fs.Int64("min-mem", 128<<20, "minimum client free memory (bytes)")
 	timeout := fs.Duration("timeout", 0, "overall budget (0 = none)")
 	expected := fs.Int("expect-clients", 0, "wait for this many registrations before starting")
+	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /status and pprof here during the run")
 	reportPath := fs.String("report", "", "write a machine-readable JSON run report here")
 	logLevel := fs.String("log", "", "structured log level (debug|info|warn|error; empty = off)")
@@ -322,6 +325,7 @@ func cmdMaster(args []string) error {
 		MinMemBytes:     *minMem,
 		Timeout:         *timeout,
 		ExpectedClients: *expected,
+		SplitStrategy:   *splitStrategy,
 		Metrics:         reg,
 		MetricsAddr:     *metricsAddr,
 		Logger:          logger,
@@ -360,16 +364,18 @@ func cmdClient(args []string) error {
 	mem := fs.Int64("mem", 512<<20, "free memory to report and budget from")
 	speed := fs.Float64("speed", 1.0, "relative CPU speed hint")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	fs.Parse(args)
 	host, _ := os.Hostname()
 	cl, err := core.NewClient(core.ClientConfig{
-		Transport:    comm.TCPTransport{},
-		MasterAddr:   *master,
-		ListenAddr:   *listen,
-		HostName:     host,
-		FreeMemBytes: *mem,
-		SpeedHint:    *speed,
-		ShareMaxLen:  *shareLen,
+		Transport:     comm.TCPTransport{},
+		MasterAddr:    *master,
+		ListenAddr:    *listen,
+		HostName:      host,
+		FreeMemBytes:  *mem,
+		SpeedHint:     *speed,
+		ShareMaxLen:   *shareLen,
+		SplitStrategy: *splitStrategy,
 	})
 	if err != nil {
 		return err
@@ -460,6 +466,7 @@ func cmdSim(args []string) error {
 	testbed := fs.String("testbed", "grads", "grads (34 hosts) or table2 (27 hosts)")
 	timeout := fs.Float64("timeout-vsec", 6000, "virtual-second budget")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
+	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	seed := fs.Int64("seed", 1, "contention/jitter seed")
 	sequential := fs.Bool("sequential", false, "run the dedicated sequential baseline instead")
 	batch := fs.Bool("batch", false, "submit a Blue Horizon batch job (table2 testbed)")
@@ -471,6 +478,11 @@ func cmdSim(args []string) error {
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
+		return err
+	}
+	// The DES degrades unknown strategies to first-decision; reject them
+	// loudly at the flag boundary instead.
+	if _, err := solver.ParseStrategy(*splitStrategy); err != nil {
 		return err
 	}
 	// The grid is mutated during a run, so replay verification needs a
@@ -486,12 +498,13 @@ func cmdSim(args []string) error {
 			return core.RunnerConfig{}, fmt.Errorf("unknown testbed %q", *testbed)
 		}
 		cfg := core.RunnerConfig{
-			Grid:         g,
-			Formula:      f,
-			TimeoutVSec:  *timeout,
-			ShareMaxLen:  *shareLen,
-			MasterHostID: -1,
-			Seed:         *seed,
+			Grid:          g,
+			Formula:       f,
+			TimeoutVSec:   *timeout,
+			ShareMaxLen:   *shareLen,
+			SplitStrategy: *splitStrategy,
+			MasterHostID:  -1,
+			Seed:          *seed,
 		}
 		if *batch {
 			g.AddBlueHorizon(64)

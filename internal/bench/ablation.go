@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/core"
 	"gridsat/internal/grid"
 	"gridsat/internal/solver"
+	"gridsat/internal/trace"
 )
 
 // AblationResult is one configuration's outcome in an ablation sweep.
@@ -124,6 +127,73 @@ func AblationMinimization(f *cnf.Formula, opts Options) []AblationResult {
 		})
 	}
 	return out
+}
+
+// StrategyResult is one split strategy's row in the strategy ablation:
+// the DES outcome plus the lineage-tree quality aggregates reconstructed
+// from the run's flight log.
+type StrategyResult struct {
+	Strategy string               `json:"strategy"`
+	Result   core.SimResult       `json:"-"`
+	Outcome  string               `json:"outcome"`
+	VSec     float64              `json:"vsec"`
+	Splits   int                  `json:"splits"`
+	Lineage  trace.LineageMetrics `json:"lineage"`
+}
+
+// AblationSplitStrategy compares the split engines end to end on the DES:
+// the paper's first-decision transform against k=2 dilemma splitting and
+// its vetoed variant, each run with a flight recorder so the split tree's
+// balance and kill-depth profile can be compared, not just wall-clock.
+func AblationSplitStrategy(f *cnf.Formula, opts Options) []StrategyResult {
+	var out []StrategyResult
+	for _, strategy := range []string{"first-decision", "dilemma", "dilemma-veto"} {
+		fl := trace.NewFlight(nil)
+		cfg := ablationConfig(f, opts)
+		cfg.SplitStrategy = strategy
+		cfg.Flight = fl
+		res := core.RunDistributed(cfg)
+		out = append(out, StrategyResult{
+			Strategy: strategy,
+			Result:   res,
+			Outcome:  res.Outcome.String(),
+			VSec:     res.VSec,
+			Splits:   res.Splits,
+			Lineage:  trace.BuildLineage(fl.Events()).Metrics(),
+		})
+	}
+	return out
+}
+
+// RenderStrategyAblation formats the strategy sweep with its lineage
+// quality columns (the EXPERIMENTS.md per-strategy table).
+func RenderStrategyAblation(results []StrategyResult) string {
+	var b strings.Builder
+	b.WriteString("| strategy | outcome | vsec | splits | leaves | max fanout | balance | kill depth (mean/max) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s | %s | %.1f | %d | %d | %d | %.2f | %.1f / %d |\n",
+			r.Strategy, r.Outcome, r.VSec, r.Splits,
+			r.Lineage.Leaves, r.Lineage.MaxFanout, r.Lineage.BalanceMean,
+			r.Lineage.KillDepthMean, r.Lineage.KillDepthMax)
+	}
+	return b.String()
+}
+
+// WriteStrategyAblation writes the sweep as a JSON artifact (the CI smoke
+// step uploads it so lineage regressions are diffable across runs).
+func WriteStrategyAblation(path string, results []StrategyResult) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fd)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
 }
 
 // AblationSharingTopology compares master-mediated clause sharing (this

@@ -65,7 +65,7 @@ func CaptureShareTraffic(f *cnf.Formula, shareMaxLen, batchSize int, maxConflict
 	opts.ShareMaxLen = shareMaxLen
 	var batches []comm.ShareClauses
 	var cur []cnf.Clause
-	opts.OnLearn = func(c cnf.Clause) {
+	opts.OnLearn = func(c cnf.Clause, _ int) {
 		// Mirror the client-side aggregator: clauses are normalized at
 		// learn time, so captured batches have the canonical shape the
 		// codec sees in production.

@@ -720,22 +720,27 @@ func decodeShare(payload []byte) (Message, error) {
 	return ShareClauses{From: int(from), Clauses: cs}, nil
 }
 
+// encodeSplit packs a subproblem batch: zigzag SplitID and From, a
+// uvarint subproblem count, then each subproblem's header, assumption
+// list, and clause block back to back. Clause blocks self-delimit
+// (readClauseBlock returns the leftover bytes), so no per-subproblem
+// length prefix is needed.
 func encodeSplit(m SplitPayload) []byte {
 	b := appendZigzag(nil, int64(m.SplitID))
 	b = appendZigzag(b, int64(m.From))
-	if m.Subproblem == nil {
-		return append(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(m.Subs)))
+	for _, sub := range m.Subs {
+		b = appendZigzag(b, int64(sub.NumVars))
+		b = appendZigzag(b, int64(sub.Depth))
+		// Assumptions are a trail prefix: order is meaningful, keep it
+		// verbatim.
+		b = binary.AppendUvarint(b, uint64(len(sub.Assumptions)))
+		for _, l := range sub.Assumptions {
+			b = binary.AppendUvarint(b, uint64(l))
+		}
+		b = appendClauseBlock(b, sub.Learnts)
 	}
-	b = append(b, 1)
-	sub := m.Subproblem
-	b = appendZigzag(b, int64(sub.NumVars))
-	b = appendZigzag(b, int64(sub.Depth))
-	// Assumptions are a trail prefix: order is meaningful, keep it verbatim.
-	b = binary.AppendUvarint(b, uint64(len(sub.Assumptions)))
-	for _, l := range sub.Assumptions {
-		b = binary.AppendUvarint(b, uint64(l))
-	}
-	return appendClauseBlock(b, sub.Learnts)
+	return b
 }
 
 func decodeSplit(payload []byte) (Message, error) {
@@ -748,28 +753,44 @@ func decodeSplit(payload []byte) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	flag, err := br.ReadByte()
+	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if count > maxClausesPerFrame {
+		return nil, fmt.Errorf("comm: subproblem count %d exceeds limit", count)
 	}
 	out := SplitPayload{SplitID: int(splitID), From: int(from)}
-	if flag == 0 {
-		return out, nil
+	rest := payload[len(payload)-br.Len():]
+	for i := uint64(0); i < count; i++ {
+		var sub *solver.Subproblem
+		sub, rest, err = decodeSubproblem(rest)
+		if err != nil {
+			return nil, err
+		}
+		out.Subs = append(out.Subs, sub)
 	}
+	return out, nil
+}
+
+// decodeSubproblem reads one subproblem off buf, returning the leftover
+// bytes so batch members decode back to back.
+func decodeSubproblem(buf []byte) (*solver.Subproblem, []byte, error) {
+	br := bytes.NewReader(buf)
 	nv, err := readZigzag(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	depth, err := readZigzag(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	na, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if na > maxClausesPerFrame {
-		return nil, fmt.Errorf("comm: assumption count %d exceeds limit", na)
+		return nil, nil, fmt.Errorf("comm: assumption count %d exceeds limit", na)
 	}
 	sub := &solver.Subproblem{NumVars: int(nv), Depth: int(depth)}
 	if na > 0 {
@@ -777,23 +798,22 @@ func decodeSplit(payload []byte) (Message, error) {
 		for i := range sub.Assumptions {
 			u, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if u > uint64(^uint32(0)) {
-				return nil, fmt.Errorf("comm: literal %d out of range", u)
+				return nil, nil, fmt.Errorf("comm: literal %d out of range", u)
 			}
 			sub.Assumptions[i] = cnf.Lit(u)
 		}
 	}
-	cs, _, err := readClauseBlock(payload[len(payload)-br.Len():])
+	cs, rest, err := readClauseBlock(buf[len(buf)-br.Len():])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(cs) > 0 {
 		sub.Learnts = cs
 	}
-	out.Subproblem = sub
-	return out, nil
+	return sub, rest, nil
 }
 
 func encodeStatus(m StatusReport) []byte {

@@ -132,11 +132,12 @@ func TestSplitPayloadBinaryRoundtrip(t *testing.T) {
 	in := SplitPayload{
 		SplitID: 1234,
 		From:    -7,
-		Subproblem: &solver.Subproblem{
+		Subs: []*solver.Subproblem{{
 			NumVars:     5000,
+			Depth:       11,
 			Assumptions: assum,
 			Learnts:     randClauses(r, 64, 5000, 8),
-		},
+		}},
 	}
 	e, err := EncodeMessage(in)
 	if err != nil {
@@ -153,18 +154,22 @@ func TestSplitPayloadBinaryRoundtrip(t *testing.T) {
 	if out.SplitID != in.SplitID || out.From != in.From {
 		t.Fatalf("header mangled: %+v", out)
 	}
-	if out.Subproblem.NumVars != in.Subproblem.NumVars {
-		t.Errorf("NumVars = %d, want %d", out.Subproblem.NumVars, in.Subproblem.NumVars)
+	if len(out.Subs) != 1 {
+		t.Fatalf("decoded %d subproblems, want 1", len(out.Subs))
 	}
-	if !reflect.DeepEqual(out.Subproblem.Assumptions, in.Subproblem.Assumptions) {
+	if out.Subs[0].NumVars != in.Subs[0].NumVars || out.Subs[0].Depth != in.Subs[0].Depth {
+		t.Errorf("NumVars/Depth = %d/%d, want %d/%d",
+			out.Subs[0].NumVars, out.Subs[0].Depth, in.Subs[0].NumVars, in.Subs[0].Depth)
+	}
+	if !reflect.DeepEqual(out.Subs[0].Assumptions, in.Subs[0].Assumptions) {
 		t.Error("assumption order not preserved")
 	}
-	want := canonClauses(in.Subproblem.Learnts)
-	if !reflect.DeepEqual(out.Subproblem.Learnts, want) {
+	want := canonClauses(in.Subs[0].Learnts)
+	if !reflect.DeepEqual(out.Subs[0].Learnts, want) {
 		t.Error("learnts did not round-trip")
 	}
 
-	// A nil subproblem (protocol edge) must survive too.
+	// An empty batch (protocol edge) must survive too.
 	e, err = EncodeMessage(SplitPayload{SplitID: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -173,8 +178,52 @@ func TestSplitPayloadBinaryRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp := got.(SplitPayload); sp.Subproblem != nil || sp.SplitID != 5 {
-		t.Fatalf("nil-subproblem payload mangled: %+v", sp)
+	if sp := got.(SplitPayload); len(sp.Subs) != 0 || sp.SplitID != 5 {
+		t.Fatalf("empty-batch payload mangled: %+v", sp)
+	}
+}
+
+// TestSplitPayloadMultiSubRoundtrip drives the batch form the dilemma
+// strategy ships: several cofactors with distinct assumptions and depths
+// in one frame, order preserved.
+func TestSplitPayloadMultiSubRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	in := SplitPayload{SplitID: 88, From: 3}
+	for i := 0; i < 7; i++ {
+		assum := make([]cnf.Lit, 3+i)
+		for j := range assum {
+			assum[j] = cnf.MkLit(cnf.Var(r.Intn(900)), (i+j)%2 == 0)
+		}
+		in.Subs = append(in.Subs, &solver.Subproblem{
+			NumVars:     900,
+			Depth:       4 + i,
+			Assumptions: assum,
+			Learnts:     randClauses(r, 1+i%3, 900, 6),
+		})
+	}
+	e, err := EncodeMessage(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(SplitPayload)
+	if out.SplitID != in.SplitID || out.From != in.From || len(out.Subs) != len(in.Subs) {
+		t.Fatalf("header/batch mangled: %+v", out)
+	}
+	for i, sub := range out.Subs {
+		if sub.NumVars != in.Subs[i].NumVars || sub.Depth != in.Subs[i].Depth {
+			t.Errorf("sub %d NumVars/Depth = %d/%d, want %d/%d",
+				i, sub.NumVars, sub.Depth, in.Subs[i].NumVars, in.Subs[i].Depth)
+		}
+		if !reflect.DeepEqual(sub.Assumptions, in.Subs[i].Assumptions) {
+			t.Errorf("sub %d assumptions mangled", i)
+		}
+		if !reflect.DeepEqual(sub.Learnts, canonClauses(in.Subs[i].Learnts)) {
+			t.Errorf("sub %d learnts did not round-trip", i)
+		}
 	}
 }
 

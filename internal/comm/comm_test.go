@@ -18,13 +18,14 @@ func allMessages() []Message {
 		RegisterAck{Rejected: true, Reason: "below minimum memory"},
 		BaseProblem{Formula: f},
 		SplitRequest{ClientID: 2, Why: SplitMemoryPressure},
-		SplitAssign{PeerID: 4, PeerAddr: "b:2"},
-		SplitPayload{From: 2, Subproblem: &solver.Subproblem{
+		SplitAssign{SplitID: 9, Peers: []SplitPeer{{ID: 4, Addr: "b:2"}, {ID: 5, Addr: "b:3"}}},
+		SplitPayload{From: 2, Subs: []*solver.Subproblem{{
 			NumVars:     3,
+			Depth:       1,
 			Assumptions: []cnf.Lit{cnf.PosLit(0)},
 			Learnts:     []cnf.Clause{cnf.NewClause(2, 3)},
-		}},
-		SplitDone{ClientID: 2, OK: true},
+		}}},
+		SplitDone{ClientID: 2, OK: true, Used: 1},
 		SplitDone{ClientID: 4, OK: false, Err: "boom"},
 		ShareClauses{From: 1, Clauses: []cnf.Clause{cnf.NewClause(-1, 2)}},
 		Solved{ClientID: 1, Status: solver.StatusSAT, Model: cnf.Assignment{cnf.True, cnf.False, cnf.True}},
@@ -126,7 +127,7 @@ func TestTCPPayloadFidelity(t *testing.T) {
 	}
 
 	sub := &solver.Subproblem{NumVars: 4, Assumptions: []cnf.Lit{cnf.NegLit(3)}}
-	if err := client.Send(SplitPayload{From: 9, Subproblem: sub}); err != nil {
+	if err := client.Send(SplitPayload{From: 9, Subs: []*solver.Subproblem{sub}}); err != nil {
 		t.Fatal(err)
 	}
 	m, err = server.Recv()
@@ -134,7 +135,7 @@ func TestTCPPayloadFidelity(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := m.(SplitPayload)
-	if sp.From != 9 || len(sp.Subproblem.Assumptions) != 1 || sp.Subproblem.Assumptions[0] != cnf.NegLit(3) {
+	if sp.From != 9 || len(sp.Subs) != 1 || len(sp.Subs[0].Assumptions) != 1 || sp.Subs[0].Assumptions[0] != cnf.NegLit(3) {
 		t.Fatalf("subproblem mangled: %+v", sp)
 	}
 }

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+// FuzzSplitPayloadRoundTrip drives the multi-subproblem split codec with
+// generated batches: arbitrary sub counts (including empty), assumption
+// lists whose order is semantic, depths, and learnt blocks must all
+// round-trip through the binary frame.
+func FuzzSplitPayloadRoundTrip(f *testing.F) {
+	f.Add(int64(1), 0, 10, 0)
+	f.Add(int64(2), 1, 100, 3)
+	f.Add(int64(3), 3, 5000, 8)
+	f.Add(int64(4), 7, 40, 1)
+	f.Add(int64(5), 15, 900, 5)
+	f.Fuzz(func(t *testing.T, seed int64, nSubs, nVars, maxLen int) {
+		if nSubs < 0 || nSubs > 64 || nVars < 1 || nVars > 1<<20 || maxLen < 0 || maxLen > 32 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		in := SplitPayload{SplitID: int(r.Int31()), From: r.Intn(100) - 50}
+		for i := 0; i < nSubs; i++ {
+			sub := &solver.Subproblem{NumVars: nVars, Depth: r.Intn(64)}
+			for j := r.Intn(20); j > 0; j-- {
+				sub.Assumptions = append(sub.Assumptions,
+					cnf.MkLit(cnf.Var(r.Intn(nVars)), r.Intn(2) == 0))
+			}
+			if maxLen > 0 {
+				sub.Learnts = randClauses(r, r.Intn(8), nVars, maxLen)
+			}
+			in.Subs = append(in.Subs, sub)
+		}
+		e, err := EncodeMessage(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Decode()
+		if err != nil {
+			t.Fatalf("decode of a well-formed frame failed: %v", err)
+		}
+		out, ok := got.(SplitPayload)
+		if !ok {
+			t.Fatalf("decoded %T", got)
+		}
+		if out.SplitID != in.SplitID || out.From != in.From {
+			t.Fatalf("header mangled: got %d/%d, want %d/%d",
+				out.SplitID, out.From, in.SplitID, in.From)
+		}
+		if len(out.Subs) != len(in.Subs) {
+			t.Fatalf("decoded %d subs, want %d", len(out.Subs), len(in.Subs))
+		}
+		for i, sub := range out.Subs {
+			want := in.Subs[i]
+			if sub.NumVars != want.NumVars || sub.Depth != want.Depth {
+				t.Fatalf("sub %d NumVars/Depth %d/%d, want %d/%d",
+					i, sub.NumVars, sub.Depth, want.NumVars, want.Depth)
+			}
+			if len(sub.Assumptions) != len(want.Assumptions) ||
+				(len(want.Assumptions) > 0 && !reflect.DeepEqual(sub.Assumptions, want.Assumptions)) {
+				t.Fatalf("sub %d assumptions mangled: %v, want %v", i, sub.Assumptions, want.Assumptions)
+			}
+			wantLearnts := canonClauses(want.Learnts)
+			if len(sub.Learnts) != len(wantLearnts) ||
+				(len(wantLearnts) > 0 && !reflect.DeepEqual(sub.Learnts, wantLearnts)) {
+				t.Fatalf("sub %d learnts mangled", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame decoder: it must
+// reject or decode, never panic.
+func FuzzDecodeFrame(f *testing.F) {
+	good, _ := EncodeMessage(SplitPayload{SplitID: 3, Subs: []*solver.Subproblem{{
+		NumVars:     10,
+		Depth:       2,
+		Assumptions: []cnf.Lit{cnf.PosLit(1)},
+		Learnts:     []cnf.Clause{cnf.NewClause(2, -3)},
+	}}})
+	f.Add(good.Frame())
+	f.Add([]byte{frameSplit})
+	f.Add([]byte{frameSplit, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		e := EncodedMessage{frame: frame}
+		_, _ = e.Decode() // must not panic
+	})
+}

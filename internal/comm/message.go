@@ -85,34 +85,45 @@ func (r SplitReason) String() string {
 	return "timeout"
 }
 
+// SplitPeer identifies one recipient of a split batch: its client ID and
+// the address the donor dials for the direct peer-to-peer transfer.
+type SplitPeer struct {
+	ID   int
+	Addr string
+}
+
 // SplitAssign is Figure 3's message (2): the master tells the donor which
-// idle peer will take half its problem, including the peer's address for
-// direct client-to-client transfer.
+// idle peers will take parts of its problem, including each peer's address
+// for direct client-to-client transfer. A first-decision split carries one
+// peer; a 2^k dilemma split carries up to 2^k-1.
 type SplitAssign struct {
 	// SplitID uniquely identifies this assignment; it flows through the
-	// payload and both SplitDone notifications so the master can correlate
+	// payloads and every SplitDone notification so the master can correlate
 	// them even when recipients are released and re-reserved quickly.
-	SplitID  int
-	PeerID   int
-	PeerAddr string
+	SplitID int
+	Peers   []SplitPeer
 }
 
 // Kind implements Message.
 func (SplitAssign) Kind() string { return "split-assign" }
 
 // SplitPayload is Figure 3's message (3) — the large peer-to-peer message
-// (10 KB to 100s of MB in the paper) carrying the subproblem.
+// (10 KB to 100s of MB in the paper) carrying subproblems. The donor sends
+// each recipient a single-subproblem payload; a payload with several
+// subproblems is a batch remainder shipped back to the master for
+// backlogging (a dilemma split can produce more cofactors than there are
+// idle clients to take them).
 type SplitPayload struct {
-	SplitID    int // 0 for the master's initial whole-problem assignment
-	From       int
-	Subproblem *solver.Subproblem
+	SplitID int // 0 for the master's initial whole-problem assignment
+	From    int
+	Subs    []*solver.Subproblem
 }
 
 // Kind implements Message.
 func (SplitPayload) Kind() string { return "split-payload" }
 
-// SplitDone covers Figure 3's messages (4) and (5): each side notifies the
-// master whether the transfer succeeded.
+// SplitDone covers Figure 3's messages (4) and (5): each recipient and the
+// donor notify the master whether their leg of the transfer succeeded.
 type SplitDone struct {
 	ClientID int
 	// SplitID echoes the assignment being acknowledged so the master can
@@ -122,6 +133,13 @@ type SplitDone struct {
 	SplitID int
 	OK      bool
 	Err     string
+	// Donor-only fields. Used is how many of the assigned peers actually
+	// received a subproblem — a strategy may produce a smaller batch than
+	// the master reserved recipients for, and the master releases the
+	// unused ones. Leftover carries cofactors beyond the assigned peers
+	// for the master to backlog and hand to clients as they go idle.
+	Used     int
+	Leftover []*solver.Subproblem
 }
 
 // Kind implements Message.

@@ -50,6 +50,11 @@ type ClientConfig struct {
 	// HeartbeatEvery sends a StatusReport to the master after this many
 	// solver slices (0 = every 8 slices).
 	HeartbeatEvery int
+	// SplitStrategy names the split engine used when the master asks this
+	// client to shed work: "first-decision" (default, the paper's Figure-2
+	// transform), "dilemma" (2^k-way cofactor split), or "dilemma-veto"
+	// (dilemma with the bad-variable veto filter). See solver.ParseStrategy.
+	SplitStrategy string
 	// SolverOptions tunes the engine; zero value uses solver defaults.
 	SolverOptions *solver.Options
 	// Counters, when set, receives the always-on solver metrics
@@ -103,6 +108,7 @@ type Client struct {
 	listener comm.Listener
 
 	base       *cnf.Formula
+	strategy   solver.SplitStrategy
 	slv        *solver.Solver
 	recvAt     time.Time // when the current subproblem arrived
 	xferTime   time.Duration
@@ -161,6 +167,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("core: client needs a transport")
 	}
+	strategy, err := solver.ParseStrategy(cfg.SplitStrategy)
+	if err != nil {
+		return nil, err
+	}
 	l, err := cfg.Transport.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, err
@@ -172,6 +182,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg:      cfg,
+		strategy: strategy,
 		master:   mc,
 		listener: l,
 		shares:   newShareAggregator(cfg.ShareFlushCount, cfg.ShareFlushInterval, cfg.ShareWindow, cfg.SharePendingMax),
@@ -301,7 +312,7 @@ func (c *Client) handleIdle(msg comm.Message) bool {
 	case comm.BaseProblem:
 		c.base = m.Formula
 	case comm.SplitPayload:
-		c.startSubproblem(m.SplitID, m.Subproblem)
+		c.startSubproblem(m.SplitID, m.Subs)
 	case comm.SplitAssign:
 		// The assignment raced with this client finishing its subproblem;
 		// report failure so the master releases the reserved recipient.
@@ -319,7 +330,7 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 	msg, ti := comm.Unwrap(msg)
 	switch m := msg.(type) {
 	case comm.SplitAssign:
-		c.performSplit(m.SplitID, m.PeerAddr)
+		c.performSplit(m.SplitID, m.Peers)
 	case comm.Migrate:
 		c.performMigrate(m.PeerAddr)
 	case comm.ShareClauses:
@@ -337,8 +348,16 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 	return false
 }
 
-// startSubproblem builds a solver for the received split half.
-func (c *Client) startSubproblem(splitID int, sub *solver.Subproblem) {
+// startSubproblem builds a solver for the received subproblem. A recipient
+// always gets exactly one: multi-subproblem payloads exist only on the
+// donor-to-master leftover path.
+func (c *Client) startSubproblem(splitID int, subs []*solver.Subproblem) {
+	if len(subs) != 1 {
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false,
+			Err: fmt.Sprintf("expected one subproblem, got %d", len(subs))})
+		return
+	}
+	sub := subs[0]
 	if c.busy {
 		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "already busy"})
 		return
@@ -484,25 +503,36 @@ func (c *Client) requestSplit(why comm.SplitReason) {
 	_ = c.sendMaster(comm.SplitRequest{ClientID: c.id, Why: why})
 }
 
-// performSplit executes Figure 3's messages (3) and (5): split the solver,
-// ship the other half to the assigned peer, and notify the master.
-func (c *Client) performSplit(splitID int, peerAddr string) {
+// performSplit executes Figure 3's messages (3) and (5), generalized to a
+// strategy batch: run the configured split strategy, ship one cofactor to
+// each assigned peer in order, and report to the master how many peers were
+// actually served plus any leftover cofactors for the master to backlog.
+func (c *Client) performSplit(splitID int, peers []comm.SplitPeer) {
 	c.splitAsked = false
 	if c.slv == nil || !c.busy {
 		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no active subproblem"})
 		return
 	}
-	sub, err := c.slv.Split(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount)
+	batch, err := c.strategy.Split(c.slv, c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount)
 	if err != nil {
 		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
 		return
 	}
-	if err := c.sendToPeer(splitID, peerAddr, sub); err != nil {
-		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
-		return
+	// The strategy has already committed the donor to its own cofactor, so
+	// from here every subproblem in the batch must reach somebody: peers are
+	// served in assignment order, and on the first delivery failure the rest
+	// of the batch rides back to the master as leftover instead of being
+	// lost. The master releases the unserved peers (the suffix after Used).
+	used := 0
+	for used < len(peers) && used < len(batch) {
+		if err := c.sendToPeer(splitID, peers[used].Addr, batch[used]); err != nil {
+			break
+		}
+		used++
 	}
-	c.recvAt = time.Now() // the halved problem restarts the timeout clock
-	_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true})
+	c.recvAt = time.Now() // the narrowed problem restarts the timeout clock
+	_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: true,
+		Used: used, Leftover: batch[used:]})
 }
 
 // performMigrate ships the whole current problem to the peer and goes idle.
@@ -531,7 +561,7 @@ func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) er
 		return err
 	}
 	defer conn.Close()
-	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Subproblem: sub})
+	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Subs: []*solver.Subproblem{sub}})
 }
 
 // flushShares sends a batch to the master when the aggregator's flush

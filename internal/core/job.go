@@ -33,6 +33,9 @@ type JobConfig struct {
 	SliceConflicts int64
 	// SolverOptions overrides engine tuning for every client.
 	SolverOptions *solver.Options
+	// SplitStrategy names the split engine every client runs
+	// ("first-decision", "dilemma", "dilemma-veto"; "" = first-decision).
+	SplitStrategy string
 	// Metrics receives every observability series for the run (comm
 	// traffic, master pool state, solver counters). nil allocates a
 	// private registry, so instrumentation is always on — it is cheap
@@ -75,6 +78,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 		Logger:          cfg.Logger,
 		Flight:          cfg.Flight,
 		CommMetrics:     cm,
+		SplitStrategy:   cfg.SplitStrategy,
 	})
 	if err != nil {
 		return Result{}, err
@@ -102,6 +106,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 			SliceConflicts: cfg.SliceConflicts,
 			MinRunTime:     cfg.MinRunTime,
 			SolverOptions:  cfg.SolverOptions,
+			SplitStrategy:  cfg.SplitStrategy,
 			Counters:       counters,
 			Metrics:        reg,
 			Flight:         cfg.Flight,

@@ -393,3 +393,61 @@ func TestMasterStatusSnapshot(t *testing.T) {
 		t.Fatalf("run result %v", res.Status)
 	}
 }
+
+// TestJobSolveDilemmaUNSAT drives the live master/client multi-way path:
+// a dilemma job must reserve several recipients per split request, deliver
+// the cofactor batch, and still reach the right verdict.
+func TestJobSolveDilemmaUNSAT(t *testing.T) {
+	for _, strategy := range []string{"dilemma", "dilemma-veto"} {
+		t.Run(strategy, func(t *testing.T) {
+			cfg := quickJob(6)
+			cfg.SplitStrategy = strategy
+			res, err := Solve(gen.Pigeonhole(9), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != solver.StatusUNSAT {
+				t.Fatalf("got %v", res.Status)
+			}
+			if res.Splits == 0 {
+				t.Error("eager split config produced no splits")
+			}
+			if res.MaxClients < 2 {
+				t.Errorf("max clients = %d, expected parallelism", res.MaxClients)
+			}
+		})
+	}
+}
+
+// TestJobDilemmaAgainstBrute sweeps SAT and UNSAT random instances through
+// a live dilemma job.
+func TestJobDilemmaAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		f := gen.RandomKSAT(12, 50, 3, seed)
+		want, _ := brute.Solve(f, 0)
+		cfg := quickJob(3)
+		cfg.SplitStrategy = "dilemma"
+		res, err := Solve(f, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if (res.Status == solver.StatusSAT) != (want == brute.SAT) {
+			t.Fatalf("seed %d: got %v, brute %v", seed, res.Status, want)
+		}
+		if res.Status == solver.StatusSAT {
+			if err := f.Verify(res.Model); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestJobUnknownStrategyRejected: a bad -split-strategy value must fail
+// fast at construction, not at the first split.
+func TestJobUnknownStrategyRejected(t *testing.T) {
+	cfg := quickJob(2)
+	cfg.SplitStrategy = "bogus"
+	if _, err := Solve(gen.Pigeonhole(6), cfg); err == nil {
+		t.Fatal("unknown split strategy accepted")
+	}
+}

@@ -56,6 +56,12 @@ type MasterConfig struct {
 	// CommMetrics, when set, lets /status report wire-codec counters
 	// (gob-fallback frames) alongside the pool view.
 	CommMetrics *comm.Metrics
+	// SplitStrategy names the split engine clients run ("first-decision",
+	// "dilemma", "dilemma-veto"; "" = first-decision). The master only uses
+	// its fanout: a 2^k dilemma strategy can hand cofactors to up to 2^k-1
+	// idle peers per split, so that many recipients are reserved per
+	// assignment when available.
+	SplitStrategy string
 }
 
 // Result is the outcome of a distributed run.
@@ -162,13 +168,40 @@ func newClientGauges(reg *obs.Registry, id int) *clientGauges {
 	}
 }
 
-// splitPair is one in-flight transfer: donor splits, recipient receives.
-type splitPair struct {
-	donor      int
-	recipient  int
-	delivered  bool // the donor reported successful delivery
+// splitGroup is one in-flight transfer: the donor splits and ships one
+// cofactor to each reserved recipient. A first-decision split reserves one
+// recipient; a 2^k dilemma split reserves up to 2^k-1.
+type splitGroup struct {
+	donor int
+	// recipients are the reserved peers in assignment order; settled marks
+	// those whose leg has concluded (accepted, failed, or released unused).
+	recipients []int
+	settled    map[int]bool
+	// donorDone is set once the donor's SplitDone arrived; used is how many
+	// recipients (a prefix of the assignment order) it actually served.
+	donorDone  bool
+	used       int
 	assignedAt time.Time
 	// issueEv is the split-issue flight event, parent of the accept/fail.
+	issueEv uint64
+}
+
+// settledCount returns how many recipient legs have concluded.
+func (g *splitGroup) settledCount() int { return len(g.settled) }
+
+// done reports whether the group can be forgotten: the donor reported and
+// every recipient leg concluded.
+func (g *splitGroup) done() bool {
+	return g.donorDone && g.settledCount() == len(g.recipients)
+}
+
+// backlogSub is one leftover cofactor from an over-producing split, queued
+// until a client goes idle. It keeps its origin so the flight log's accept
+// event attaches the eventual recipient under the right split.
+type backlogSub struct {
+	sub     *solver.Subproblem
+	splitID int
+	donor   int
 	issueEv uint64
 }
 
@@ -195,8 +228,18 @@ type Master struct {
 	nextID      int
 	backlog     []BacklogEntry
 	nextSplitID int
+	// fanout is the per-split recipient budget of the configured strategy
+	// (1 for first-decision, 2^k-1 for a 2^k dilemma).
+	fanout int
 	// pendingSplits tracks in-flight subproblem transfers by token.
-	pendingSplits map[int]*splitPair
+	pendingSplits map[int]*splitGroup
+	// subBacklog queues leftover cofactors from splits that produced more
+	// subproblems than there were idle clients; each is already counted in
+	// outstanding and is handed to the next client that goes idle.
+	subBacklog []backlogSub
+	// pendingAssigns tracks backlog cofactors in flight to a recipient, by
+	// recipient ID, until its SplitDone settles (or requeues) them.
+	pendingAssigns map[int]backlogSub
 	// seenShared suppresses re-broadcast of clauses the master already
 	// fanned out, with bounded memory (two-epoch fingerprint window).
 	seenShared *clauseWindow
@@ -253,6 +296,7 @@ type masterMetrics struct {
 	busy          *obs.Gauge
 	reserved      *obs.Gauge
 	backlog       *obs.Gauge
+	subBacklog    *obs.Gauge
 	outstanding   *obs.Gauge
 	splitLat      *obs.Histogram
 }
@@ -270,6 +314,7 @@ func newMasterMetrics(reg *obs.Registry) masterMetrics {
 		busy:          reg.Gauge("gridsat_master_busy_clients", "clients currently holding subproblems"),
 		reserved:      reg.Gauge("gridsat_master_reserved_clients", "clients reserved for in-flight transfers"),
 		backlog:       reg.Gauge("gridsat_master_split_backlog", "queued unserved split requests"),
+		subBacklog:    reg.Gauge("gridsat_master_sub_backlog", "leftover split cofactors waiting for an idle client"),
 		outstanding:   reg.Gauge("gridsat_master_outstanding_subproblems", "live subproblems (busy + in flight)"),
 		splitLat:      reg.Histogram("gridsat_master_split_latency_seconds", "SplitAssign to recipient SplitDone", nil),
 	}
@@ -304,6 +349,7 @@ func (m *Master) updateGauges() {
 	m.met.busy.Set(busy)
 	m.met.reserved.Set(res)
 	m.met.backlog.Set(int64(len(m.backlog)))
+	m.met.subBacklog.Set(int64(len(m.subBacklog)))
 	m.met.outstanding.Set(int64(m.outstanding))
 }
 
@@ -315,6 +361,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	}
 	if cfg.Transport == nil {
 		return nil, errors.New("core: master needs a transport")
+	}
+	if _, err := solver.ParseStrategy(cfg.SplitStrategy); err != nil {
+		return nil, err
 	}
 	l, err := cfg.Transport.Listen(cfg.ListenAddr)
 	if err != nil {
@@ -333,7 +382,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		listener:      l,
 		events:        make(chan masterEvent, 256),
 		clients:       map[int]*masterClient{},
-		pendingSplits: map[int]*splitPair{},
+		fanout:         solver.StrategyFanout(cfg.SplitStrategy),
+		pendingSplits:  map[int]*splitGroup{},
+		pendingAssigns: map[int]backlogSub{},
 		seenShared:    newClauseWindow(cfg.ShareWindow),
 		reg:           reg,
 		log:           log.Named("master"),
@@ -405,6 +456,9 @@ type StatusSnapshot struct {
 	Busy       int
 	Reserved   int
 	Backlog    int
+	// SubBacklog counts leftover split cofactors queued at the master,
+	// waiting for an idle client (dilemma splits can out-produce the pool).
+	SubBacklog int
 	// Outstanding counts live subproblems (busy + in-flight transfers).
 	Outstanding int
 	Splits      int
@@ -654,6 +708,7 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 	if ev.status != nil {
 		snap := StatusSnapshot{
 			Backlog:       len(m.backlog),
+			SubBacklog:    len(m.subBacklog),
 			Outstanding:   m.outstanding,
 			Splits:        m.result.Splits,
 			Shared:        m.result.SharedClauses,
@@ -818,7 +873,7 @@ func (m *Master) assignInitial() {
 	}
 	c := m.clients[target.ID]
 	sub := &solver.Subproblem{NumVars: m.cfg.Formula.NumVars}
-	m.send(c, comm.SplitPayload{From: 0, Subproblem: sub})
+	m.send(c, comm.SplitPayload{From: 0, Subs: []*solver.Subproblem{sub}})
 	m.assigned = true
 	c.busy = true
 	c.assignedAt = time.Now()
@@ -842,9 +897,13 @@ func (m *Master) handleSplitRequest(c *masterClient, msg comm.SplitRequest) {
 	m.serveBacklog()
 }
 
-// serveBacklog matches queued split requests with idle resources,
-// longest-running requester first.
+// serveBacklog places queued work on idle resources: first any leftover
+// cofactors already at the master (cheaper than asking a busy client to
+// split), then queued split requests, longest-running requester first. A
+// request reserves up to the strategy's fanout in idle recipients, so a
+// dilemma donor can shed all its cofactors in one exchange.
 func (m *Master) serveBacklog() {
+	m.serveSubBacklog()
 	for {
 		i := NextFromBacklog(m.backlog)
 		if i < 0 {
@@ -856,67 +915,154 @@ func (m *Master) serveBacklog() {
 			m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
 			continue
 		}
-		target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
-		if !ok {
+		var peers []comm.SplitPeer
+		cands := m.idleCandidates()
+		for len(peers) < max(1, m.fanout) {
+			target, ok := PickSplitTarget(cands, m.cfg.MinMemBytes)
+			if !ok {
+				break
+			}
+			r := m.clients[target.ID]
+			r.reserved = true
+			peers = append(peers, comm.SplitPeer{ID: r.id, Addr: r.addr})
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.ID != target.ID {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		if len(peers) == 0 {
 			return // nothing idle; keep waiting
 		}
-		recipient := m.clients[target.ID]
 		m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
 		donor.pendingSplit = false
-		recipient.reserved = true
-		m.outstanding++ // the in-flight half counts as outstanding work
+		m.outstanding += len(peers) // each in-flight leg counts as outstanding work
 		m.nextSplitID++
-		issueEv := m.femit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
-			Peer: recipient.id, SplitID: m.nextSplitID, Parent: donor.splitReqEv})
-		m.pendingSplits[m.nextSplitID] = &splitPair{donor: donor.id, recipient: recipient.id,
-			assignedAt: time.Now(), issueEv: issueEv}
-		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, PeerID: recipient.id, PeerAddr: recipient.addr})
+		g := &splitGroup{donor: donor.id, settled: map[int]bool{},
+			assignedAt: time.Now()}
+		for _, p := range peers {
+			g.recipients = append(g.recipients, p.ID)
+		}
+		g.issueEv = m.femit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
+			Peer: peers[0].ID, N: int64(len(peers)), SplitID: m.nextSplitID,
+			Parent: donor.splitReqEv})
+		m.pendingSplits[m.nextSplitID] = g
+		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, Peers: peers})
+	}
+}
+
+// serveSubBacklog hands queued leftover cofactors to idle clients. The
+// subproblems are already counted in outstanding (they are live search
+// space), so assignment only flips the recipient busy.
+func (m *Master) serveSubBacklog() {
+	for len(m.subBacklog) > 0 {
+		target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
+		if !ok {
+			return
+		}
+		entry := m.subBacklog[0]
+		m.subBacklog = m.subBacklog[1:]
+		c := m.clients[target.ID]
+		m.pendingAssigns[c.id] = entry
+		m.send(c, comm.SplitPayload{SplitID: entry.splitID, From: entry.donor,
+			Subs: []*solver.Subproblem{entry.sub}})
+		c.busy = true
+		c.assignedAt = time.Now()
+		m.noteBusyCount()
 	}
 }
 
 func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
-	pair, ok := m.pendingSplits[msg.SplitID]
-	if !ok {
-		return // initial-assignment ack (SplitID 0) or an already-settled pair
+	// A backlog-served cofactor acks with the split ID it descended from.
+	if entry, ok := m.pendingAssigns[c.id]; ok && entry.splitID == msg.SplitID {
+		delete(m.pendingAssigns, c.id)
+		if msg.OK {
+			m.result.Splits++
+			m.met.splits.Inc()
+			m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
+				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
+		} else {
+			// The assignment bounced; requeue the cofactor — it is still
+			// live search space and stays counted in outstanding.
+			c.busy = false
+			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
+				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv, Detail: msg.Err})
+			m.subBacklog = append(m.subBacklog, entry)
+			m.serveBacklog()
+		}
+		return
 	}
-	switch c.id {
-	case pair.recipient: // Figure 3, message (4)
-		delete(m.pendingSplits, msg.SplitID)
+	g, ok := m.pendingSplits[msg.SplitID]
+	if !ok {
+		return // initial-assignment ack (SplitID 0) or an already-settled group
+	}
+	if c.id == g.donor { // Figure 3, message (5)
+		g.donorDone = true
+		used := 0
+		if msg.OK {
+			used = min(msg.Used, len(g.recipients))
+		} else {
+			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: g.donor,
+				SplitID: msg.SplitID, Parent: g.issueEv, Detail: msg.Err})
+		}
+		g.used = used
+		// Peers are served in assignment order, so everyone beyond the Used
+		// prefix will never get a payload: release their reservations and
+		// the outstanding slots reserved for them.
+		for _, id := range g.recipients[used:] {
+			if g.settled[id] {
+				continue
+			}
+			g.settled[id] = true
+			if r := m.clients[id]; r != nil {
+				r.reserved = false
+			}
+			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: id,
+				Peer: g.donor, SplitID: msg.SplitID, Parent: g.issueEv, Detail: "released unused"})
+			m.outstanding--
+		}
+		// Cofactors beyond the assigned peers ride back here for the
+		// backlog; each is new live search space.
+		if len(msg.Leftover) > 0 {
+			for _, sub := range msg.Leftover {
+				m.subBacklog = append(m.subBacklog, backlogSub{sub: sub,
+					splitID: msg.SplitID, donor: g.donor, issueEv: g.issueEv})
+				m.outstanding++
+			}
+			m.femit(trace.FEvent{Kind: trace.FEvSplitBacklog, Client: g.donor,
+				SplitID: msg.SplitID, N: int64(len(msg.Leftover)), Parent: g.issueEv})
+		}
+	} else { // Figure 3, message (4): one recipient's leg concluded
+		member := false
+		for _, id := range g.recipients {
+			member = member || id == c.id
+		}
+		if !member || g.settled[c.id] {
+			return
+		}
+		g.settled[c.id] = true
 		c.reserved = false
 		if msg.OK {
 			c.busy = true
 			c.assignedAt = time.Now()
 			m.result.Splits++
 			m.met.splits.Inc()
-			m.met.splitLat.Observe(time.Since(pair.assignedAt).Seconds())
+			m.met.splitLat.Observe(time.Since(g.assignedAt).Seconds())
 			m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
-				Peer: pair.donor, SplitID: msg.SplitID, Parent: pair.issueEv})
+				Peer: g.donor, SplitID: msg.SplitID, Parent: g.issueEv})
 			m.noteBusyCount()
 		} else {
 			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
-				Peer: pair.donor, SplitID: msg.SplitID, Parent: pair.issueEv, Detail: msg.Err})
+				Peer: g.donor, SplitID: msg.SplitID, Parent: g.issueEv, Detail: msg.Err})
 			m.outstanding--
 		}
-		m.serveBacklog()
-	case pair.donor: // Figure 3, message (5)
-		if msg.OK {
-			// Payload delivered; the recipient's own notification settles
-			// the pair. The donor keeps its halved subproblem.
-			pair.delivered = true
-			return
-		}
-		// The donor never sent the payload (it finished first, or the
-		// split/transfer failed): release the reserved recipient or its
-		// slot and the outstanding-work count would leak.
-		delete(m.pendingSplits, msg.SplitID)
-		if r := m.clients[pair.recipient]; r != nil {
-			r.reserved = false
-		}
-		m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
-			Peer: pair.recipient, SplitID: msg.SplitID, Parent: pair.issueEv, Detail: msg.Err})
-		m.outstanding--
-		m.serveBacklog()
 	}
+	if g.done() {
+		delete(m.pendingSplits, msg.SplitID)
+	}
+	m.serveBacklog()
 }
 
 func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
@@ -1067,6 +1213,13 @@ func (m *Master) shutdownAll() {
 
 func max(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b

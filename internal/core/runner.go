@@ -74,6 +74,11 @@ type RunnerConfig struct {
 	// payloads peer-to-peer for exactly this reason; sharing topology is
 	// the analogous choice for the (small, frequent) clause messages.
 	P2PSharing bool
+	// SplitStrategy names the split engine ("first-decision", "dilemma",
+	// "dilemma-veto"; "" = first-decision). A multi-way strategy makes the
+	// simulated master reserve up to its fanout in idle recipients per
+	// split and backlog any cofactors the pool cannot absorb.
+	SplitStrategy string
 	// Seed drives launch jitter.
 	Seed int64
 }
@@ -274,9 +279,21 @@ type simClient struct {
 }
 
 type runnerAssign struct {
-	splitID   int
-	recipient int
+	splitID    int
+	recipients []int
 }
+
+// runnerSplit is one in-flight multi-way transfer in the DES: the donor
+// splits and ships one cofactor per reserved recipient. resolved marks
+// recipient legs that have concluded (accepted, failed, or released).
+type runnerSplit struct {
+	donor      int
+	recipients []int
+	resolved   map[int]bool
+	issueEv    uint64
+}
+
+func (g *runnerSplit) left() int { return len(g.recipients) - len(g.resolved) }
 
 // runner holds the DES master state.
 type runner struct {
@@ -289,8 +306,15 @@ type runner struct {
 
 	backlog     []BacklogEntry
 	nextSplitID int
-	pending     map[int]*splitPair
+	pending     map[int]*runnerSplit
 	seen        *clauseWindow
+	// strategy is the split engine donors run; fanout is its per-split
+	// recipient budget.
+	strategy solver.SplitStrategy
+	fanout   int
+	// subBacklog queues leftover cofactors (counted in outstanding) for
+	// the next idle client, exactly like the live master's.
+	subBacklog []backlogSub
 
 	assigned    bool
 	outstanding int
@@ -328,15 +352,21 @@ func (r *runner) emit(ev trace.FEvent) uint64 {
 // RunDistributed simulates a full GridSAT run over the configured grid.
 func RunDistributed(cfg RunnerConfig) SimResult {
 	cfg = cfg.withDefaults()
+	strategy, err := solver.ParseStrategy(cfg.SplitStrategy)
+	if err != nil {
+		strategy = solver.FirstDecision{}
+	}
 	r := &runner{
-		cfg:     cfg,
-		sim:     grid.NewSim(),
-		info:    grid.NewInfoService(cfg.Grid),
-		clients: map[int]*simClient{},
-		pending: map[int]*splitPair{},
-		seen:    newClauseWindow(0),
-		flight:  cfg.Flight,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		sim:      grid.NewSim(),
+		info:     grid.NewInfoService(cfg.Grid),
+		clients:  map[int]*simClient{},
+		pending:  map[int]*runnerSplit{},
+		seen:     newClauseWindow(0),
+		strategy: strategy,
+		fanout:   solver.StrategyFanout(cfg.SplitStrategy),
+		flight:   cfg.Flight,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
 	if r.master == nil && len(cfg.Grid.Hosts) > 0 {
@@ -569,7 +599,7 @@ func (r *runner) scheduleStep(c *simClient) {
 	c.stepping = true
 
 	var shared []cnf.Clause
-	c.slv.SetOnLearn(func(cl cnf.Clause) { shared = append(shared, cl) })
+	c.slv.SetOnLearn(func(cl cnf.Clause, _ int) { shared = append(shared, cl) })
 	before := c.slv.Stats().Propagations
 	res := c.slv.Solve(solver.Limits{
 		MaxPropagations: r.cfg.QuantumProps,
@@ -724,12 +754,14 @@ func (r *runner) requestSplit(c *simClient, why string) {
 }
 
 // serveBacklog pairs queued split requests with idle resources, exactly
-// like the live master but using NWS forecast ranks.
+// like the live master but using NWS forecast ranks. Each request reserves
+// up to the strategy's fanout in idle recipients.
 func (r *runner) serveBacklog() {
 	if r.done {
 		return
 	}
 	r.serveOrphans()
+	r.serveSubBacklog()
 	for {
 		i := NextFromBacklog(r.backlog)
 		if i < 0 {
@@ -740,26 +772,42 @@ func (r *runner) serveBacklog() {
 			r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
 			continue
 		}
-		target, ok := PickSplitTarget(r.idleCandidates(), 0)
-		if !ok {
+		var recips []int
+		cands := r.idleCandidates()
+		for len(recips) < max(1, r.fanout) {
+			target, ok := PickSplitTarget(cands, 0)
+			if !ok {
+				break
+			}
+			rec := r.clients[target.ID]
+			rec.reserved = true
+			recips = append(recips, rec.id)
+			kept := cands[:0]
+			for _, cd := range cands {
+				if cd.ID != target.ID {
+					kept = append(kept, cd)
+				}
+			}
+			cands = kept
+		}
+		if len(recips) == 0 {
 			return
 		}
-		recipient := r.clients[target.ID]
 		r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
 		donor.splitAsked = false
-		recipient.reserved = true
-		r.outstanding++
+		r.outstanding += len(recips)
 		r.nextSplitID++
 		splitID := r.nextSplitID
 		issueEv := r.emit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
-			Peer: recipient.id, SplitID: splitID, Parent: donor.splitReqEv})
-		r.pending[splitID] = &splitPair{donor: donor.id, recipient: recipient.id, issueEv: issueEv}
+			Peer: recips[0], N: int64(len(recips)), SplitID: splitID, Parent: donor.splitReqEv})
+		r.pending[splitID] = &runnerSplit{donor: donor.id, recipients: recips,
+			resolved: map[int]bool{}, issueEv: issueEv}
 		delay := r.xfer(r.master, donor.host, 64)
 		r.sim.After(delay, func() {
 			if r.done {
 				return
 			}
-			donor.assigns = append(donor.assigns, runnerAssign{splitID: splitID, recipient: recipient.id})
+			donor.assigns = append(donor.assigns, runnerAssign{splitID: splitID, recipients: recips})
 			// An idle donor serves the assignment immediately (it will not
 			// step again); a busy one serves it at its quantum boundary.
 			if !donor.busy {
@@ -769,53 +817,149 @@ func (r *runner) serveBacklog() {
 	}
 }
 
+// resolveLeg concludes one recipient leg without an acceptance: the
+// reservation and its outstanding slot unwind, and the group is forgotten
+// once every leg has concluded.
+func (r *runner) resolveLeg(g *runnerSplit, splitID, rid int, detail string) {
+	if g.resolved[rid] {
+		return
+	}
+	g.resolved[rid] = true
+	if rec := r.clients[rid]; rec != nil {
+		rec.reserved = false
+	}
+	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: rid, Peer: g.donor,
+		SplitID: splitID, Parent: g.issueEv, Detail: detail})
+	r.outstanding--
+	if g.left() == 0 {
+		delete(r.pending, splitID)
+	}
+}
+
 // serveAssigns performs queued split transfers for a donor at a quantum
-// boundary (or immediately when the donor has gone idle).
+// boundary (or immediately when the donor has gone idle). The strategy may
+// produce fewer cofactors than reserved recipients (extras are released)
+// or more (extras ride to the master's sub-backlog).
 func (r *runner) serveAssigns(c *simClient) {
 	for len(c.assigns) > 0 {
 		a := c.assigns[0]
 		c.assigns = c.assigns[1:]
-		pair := r.pending[a.splitID]
-		if pair == nil {
+		g := r.pending[a.splitID]
+		if g == nil {
 			continue
 		}
-		recipient := r.clients[a.recipient]
 		if !c.busy || c.slv == nil {
 			r.releasePending(a.splitID)
 			continue
 		}
-		sub, err := c.slv.Split(r.cfg.ShareMaxLen, 10000)
+		batch, err := r.strategy.Split(c.slv, r.cfg.ShareMaxLen, 10000)
 		if err != nil {
 			r.releasePending(a.splitID)
 			continue
 		}
-		c.recvAt = r.sim.Now() // the halved problem restarts the clock
-		bytes := subproblemBytes(sub)
-		delay := r.xfer(c.host, recipient.host, bytes)
+		c.recvAt = r.sim.Now() // the narrowed problem restarts the clock
+		served := minInt(len(batch), len(a.recipients))
+		// Recipients beyond the batch never get a payload: release them.
+		for _, rid := range a.recipients[served:] {
+			r.resolveLeg(g, a.splitID, rid, "released unused")
+		}
+		// Cofactors beyond the recipients are new live search space queued
+		// at the master; model the donor-to-master transfer once.
+		if len(batch) > served {
+			var bytes int64
+			for _, sub := range batch[served:] {
+				r.subBacklog = append(r.subBacklog, backlogSub{sub: sub,
+					splitID: a.splitID, donor: c.id, issueEv: g.issueEv})
+				r.outstanding++
+				bytes += subproblemBytes(sub)
+			}
+			r.xfer(c.host, r.master, bytes)
+			r.emit(trace.FEvent{Kind: trace.FEvSplitBacklog, Client: c.id,
+				SplitID: a.splitID, N: int64(len(batch) - served), Parent: g.issueEv})
+		}
+		for i := 0; i < served; i++ {
+			sub := batch[i]
+			rid := a.recipients[i]
+			recipient := r.clients[rid]
+			if recipient == nil || g.resolved[rid] {
+				// The leg already unwound (recipient crashed between the
+				// assignment and this quantum); its cofactor is still live
+				// search space, so it joins the backlog instead of vanishing.
+				r.subBacklog = append(r.subBacklog, backlogSub{sub: sub,
+					splitID: a.splitID, donor: c.id, issueEv: g.issueEv})
+				r.outstanding++
+				continue
+			}
+			delay := r.xfer(c.host, recipient.host, subproblemBytes(sub))
+			r.sim.After(delay, func() {
+				if r.done || g.resolved[rid] || recipient.dead {
+					return
+				}
+				g.resolved[rid] = true
+				if g.left() == 0 {
+					delete(r.pending, a.splitID)
+				}
+				recipient.reserved = false
+				slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+				if err != nil {
+					r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: recipient.id,
+						Peer: c.id, SplitID: a.splitID, Parent: g.issueEv, Detail: err.Error()})
+					r.outstanding--
+					r.serveBacklog()
+					return
+				}
+				recipient.slv = slv
+				recipient.busy = true
+				recipient.recvAt = r.sim.Now()
+				recipient.assignedAt = r.sim.Now()
+				recipient.xferTime = delay
+				r.res.Splits++
+				r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: recipient.id,
+					Peer: c.id, SplitID: a.splitID, Parent: g.issueEv})
+				r.noteBusy()
+				r.scheduleStep(recipient)
+			})
+		}
+	}
+	r.serveBacklog()
+}
+
+// serveSubBacklog ships queued leftover cofactors (already counted in
+// outstanding) from the master to idle clients.
+func (r *runner) serveSubBacklog() {
+	for len(r.subBacklog) > 0 {
+		target, ok := PickSplitTarget(r.idleCandidates(), 0)
+		if !ok {
+			return
+		}
+		entry := r.subBacklog[0]
+		r.subBacklog = r.subBacklog[1:]
+		c := r.clients[target.ID]
+		c.reserved = true
+		delay := r.xfer(r.master, c.host, subproblemBytes(entry.sub))
 		r.sim.After(delay, func() {
-			if r.done || recipient.dead {
+			if r.done || c.dead {
 				return
 			}
-			delete(r.pending, a.splitID)
-			recipient.reserved = false
-			slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+			c.reserved = false
+			slv, err := solver.NewFromSubproblem(r.cfg.Formula, entry.sub, r.clientOpts(c))
 			if err != nil {
-				r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: recipient.id,
-					Peer: c.id, SplitID: a.splitID, Parent: pair.issueEv, Detail: err.Error()})
+				r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
+					Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv, Detail: err.Error()})
 				r.outstanding--
 				r.serveBacklog()
 				return
 			}
-			recipient.slv = slv
-			recipient.busy = true
-			recipient.recvAt = r.sim.Now()
-			recipient.assignedAt = r.sim.Now()
-			recipient.xferTime = delay
+			c.slv = slv
+			c.busy = true
+			c.recvAt = r.sim.Now()
+			c.assignedAt = r.sim.Now()
+			c.xferTime = delay
 			r.res.Splits++
-			r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: recipient.id,
-				Peer: c.id, SplitID: a.splitID, Parent: pair.issueEv})
+			r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
+				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
 			r.noteBusy()
-			r.scheduleStep(recipient)
+			r.scheduleStep(c)
 		})
 	}
 }
@@ -936,15 +1080,28 @@ func (r *runner) failClient(id int) {
 	}
 	sort.Ints(pendIDs)
 	for _, splitID := range pendIDs {
-		pair := r.pending[splitID]
-		if pair.recipient == id || pair.donor == id {
-			r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
-				Peer: pair.recipient, SplitID: splitID, Parent: pair.issueEv, Detail: "client lost"})
-			delete(r.pending, splitID)
-			if rec := r.clients[pair.recipient]; rec != nil {
-				rec.reserved = false
+		g := r.pending[splitID]
+		if g.donor == id {
+			// The donor died: every unresolved leg unwinds.
+			r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: g.donor,
+				Peer: g.recipients[0], SplitID: splitID, Parent: g.issueEv, Detail: "client lost"})
+			for _, rid := range g.recipients {
+				if g.resolved[rid] {
+					continue
+				}
+				g.resolved[rid] = true
+				if rec := r.clients[rid]; rec != nil {
+					rec.reserved = false
+				}
+				r.outstanding--
 			}
-			r.outstanding--
+			delete(r.pending, splitID)
+			continue
+		}
+		for _, rid := range g.recipients {
+			if rid == id && !g.resolved[rid] {
+				r.resolveLeg(g, splitID, rid, "client lost")
+			}
 		}
 	}
 	if orphan != nil {
@@ -998,19 +1155,25 @@ func (r *runner) serveOrphans() {
 	}
 }
 
-// releasePending undoes a reservation whose transfer will never happen.
+// releasePending undoes a whole group's reservations when its transfers
+// will never happen (the donor went idle or could not split).
 func (r *runner) releasePending(splitID int) {
-	pair := r.pending[splitID]
-	if pair == nil {
+	g := r.pending[splitID]
+	if g == nil {
 		return
 	}
-	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: pair.donor,
-		Peer: pair.recipient, SplitID: splitID, Parent: pair.issueEv})
+	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: g.donor,
+		Peer: g.recipients[0], SplitID: splitID, Parent: g.issueEv})
 	delete(r.pending, splitID)
-	if rec := r.clients[pair.recipient]; rec != nil {
-		rec.reserved = false
+	for _, rid := range g.recipients {
+		if g.resolved[rid] {
+			continue
+		}
+		if rec := r.clients[rid]; rec != nil {
+			rec.reserved = false
+		}
+		r.outstanding--
 	}
-	r.outstanding--
 	if r.assigned && r.outstanding == 0 {
 		r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
 		return

@@ -56,13 +56,22 @@ func (w *clauseWindow) Add(fp uint64) bool {
 // Len returns the number of remembered fingerprints (≤ 2*cap).
 func (w *clauseWindow) Len() int { return len(w.cur) + len(w.prev) }
 
+// pendingShare is one clause queued for sharing with its learn-time LBD
+// (glue); the pending batch is ranked by (LBD, length) ascending so
+// overflow drops the highest-glue — least valuable — clause first.
+type pendingShare struct {
+	c   cnf.Clause
+	lbd int
+}
+
 // shareAggregator is a client's sender-side batching stage between the
 // solver's OnLearn callback and the master connection. It coalesces
 // learned clauses into batches flushed by count or by interval, filters
 // clauses this client already saw arrive from peers (re-exporting an
 // imported clause would echo it around the cluster), and keeps the
-// pending batch sorted shortest-first so that when the batch overflows,
-// the longest — least valuable — clauses are the ones dropped.
+// pending batch sorted by (LBD, length) best-first so that when the batch
+// overflows, the highest-glue longest — least valuable — clauses are the
+// ones dropped.
 //
 // Learn is called from the solver goroutine mid-slice; NoteReceived and
 // the flush methods run on the client's control loop. All state is
@@ -70,7 +79,7 @@ func (w *clauseWindow) Len() int { return len(w.cur) + len(w.prev) }
 // solver never blocks long.
 type shareAggregator struct {
 	mu         sync.Mutex
-	pending    []cnf.Clause // sorted by length, shortest first
+	pending    []pendingShare // sorted by (LBD, length), best first
 	pendingMax int
 	flushCount int
 	flushEvery time.Duration
@@ -100,10 +109,21 @@ func newShareAggregator(flushCount int, flushEvery time.Duration, windowCap, pen
 	}
 }
 
-// Learn offers a freshly learned clause for sharing. The clause must be
-// safe to retain (OnLearn passes a fresh copy). Clauses already in the
-// window — learned before, or received from a peer — are suppressed.
-func (a *shareAggregator) Learn(c cnf.Clause) {
+// shareKey ranks a pending clause for the batch order: LBD first (0 means
+// "unknown", which ranks last), length within the same glue.
+func shareKey(p pendingShare) uint64 {
+	lbd := p.lbd
+	if lbd <= 0 {
+		lbd = 1 << 20
+	}
+	return uint64(lbd)<<32 | uint64(len(p.c))
+}
+
+// Learn offers a freshly learned clause for sharing, with the LBD (glue)
+// the solver recorded at learn time. The clause must be safe to retain
+// (OnLearn passes a fresh copy). Clauses already in the window — learned
+// before, or received from a peer — are suppressed.
+func (a *shareAggregator) Learn(c cnf.Clause, lbd int) {
 	// Normalize up front: the wire codec's canonical-form fast path then
 	// skips its clone-and-sort on encode, moving that cost here to the
 	// producer side, off the flush/broadcast path. Tautologies are never
@@ -119,14 +139,15 @@ func (a *shareAggregator) Learn(c cnf.Clause) {
 		a.dedupHits++
 		return
 	}
-	// Insert keeping the pending batch sorted shortest-first.
-	i := sort.Search(len(a.pending), func(i int) bool { return len(a.pending[i]) > len(c) })
-	a.pending = append(a.pending, nil)
+	// Insert keeping the pending batch ranked best-first by (LBD, length).
+	p := pendingShare{c: c, lbd: lbd}
+	i := sort.Search(len(a.pending), func(i int) bool { return shareKey(a.pending[i]) > shareKey(p) })
+	a.pending = append(a.pending, pendingShare{})
 	copy(a.pending[i+1:], a.pending[i:])
-	a.pending[i] = c
+	a.pending[i] = p
 	if len(a.pending) > a.pendingMax {
-		// Drop the longest pending clause — the tail of the sorted batch.
-		a.pending[len(a.pending)-1] = nil
+		// Drop the worst-ranked pending clause — the tail of the batch.
+		a.pending[len(a.pending)-1] = pendingShare{}
 		a.pending = a.pending[:len(a.pending)-1]
 		a.overflow++
 	}
@@ -148,20 +169,20 @@ func (a *shareAggregator) NoteReceived(cs []cnf.Clause) {
 		recv[c.Fingerprint()] = struct{}{}
 	}
 	kept := a.pending[:0]
-	for _, c := range a.pending {
-		if _, dup := recv[c.Fingerprint()]; dup {
+	for _, p := range a.pending {
+		if _, dup := recv[p.c.Fingerprint()]; dup {
 			a.dedupHits++
 			continue
 		}
-		kept = append(kept, c)
+		kept = append(kept, p)
 	}
 	for i := len(kept); i < len(a.pending); i++ {
-		a.pending[i] = nil
+		a.pending[i] = pendingShare{}
 	}
 	a.pending = kept
 }
 
-// TakeBatch returns the pending batch (shortest clause first) if the
+// TakeBatch returns the pending batch (best-ranked clause first) if the
 // flush policy says it is time: the batch reached flushCount, or
 // flushEvery has elapsed since the last flush with anything pending.
 // Otherwise it returns nil.
@@ -189,7 +210,10 @@ func (a *shareAggregator) Drain() []cnf.Clause {
 }
 
 func (a *shareAggregator) takeLocked(now time.Time) []cnf.Clause {
-	out := a.pending
+	out := make([]cnf.Clause, len(a.pending))
+	for i, p := range a.pending {
+		out[i] = p.c
+	}
 	a.pending = nil
 	a.lastFlush = now
 	return out

@@ -57,12 +57,12 @@ func clauseOfLen(start, n int) cnf.Clause {
 func TestShareAggregatorFlushByCount(t *testing.T) {
 	a := newShareAggregator(3, time.Hour, 0, 0)
 	now := time.Now()
-	a.Learn(cnf.NewClause(1, 2))
-	a.Learn(cnf.NewClause(3, 4))
+	a.Learn(cnf.NewClause(1, 2), 0)
+	a.Learn(cnf.NewClause(3, 4), 0)
 	if got := a.TakeBatch(now); got != nil {
 		t.Fatalf("flushed %d clauses below the count threshold", len(got))
 	}
-	a.Learn(cnf.NewClause(5, 6))
+	a.Learn(cnf.NewClause(5, 6), 0)
 	got := a.TakeBatch(now)
 	if len(got) != 3 {
 		t.Fatalf("batch has %d clauses, want 3", len(got))
@@ -75,7 +75,7 @@ func TestShareAggregatorFlushByCount(t *testing.T) {
 func TestShareAggregatorFlushByInterval(t *testing.T) {
 	a := newShareAggregator(100, 10*time.Millisecond, 0, 0)
 	start := time.Now()
-	a.Learn(cnf.NewClause(1, 2))
+	a.Learn(cnf.NewClause(1, 2), 0)
 	if got := a.TakeBatch(start); got != nil {
 		t.Fatal("flushed before the interval elapsed")
 	}
@@ -87,10 +87,10 @@ func TestShareAggregatorFlushByInterval(t *testing.T) {
 
 func TestShareAggregatorShortestFirst(t *testing.T) {
 	a := newShareAggregator(100, time.Hour, 0, 0)
-	a.Learn(clauseOfLen(1, 5))
-	a.Learn(clauseOfLen(10, 2))
-	a.Learn(clauseOfLen(20, 8))
-	a.Learn(clauseOfLen(30, 3))
+	a.Learn(clauseOfLen(1, 5), 0)
+	a.Learn(clauseOfLen(10, 2), 0)
+	a.Learn(clauseOfLen(20, 8), 0)
+	a.Learn(clauseOfLen(30, 3), 0)
 	got := a.Drain()
 	for i := 1; i < len(got); i++ {
 		if len(got[i-1]) > len(got[i]) {
@@ -104,9 +104,9 @@ func TestShareAggregatorShortestFirst(t *testing.T) {
 
 func TestShareAggregatorOverflowDropsLongest(t *testing.T) {
 	a := newShareAggregator(2, time.Hour, 0, 2)
-	a.Learn(clauseOfLen(1, 6)) // the long one — should be evicted
-	a.Learn(clauseOfLen(10, 2))
-	a.Learn(clauseOfLen(20, 3))
+	a.Learn(clauseOfLen(1, 6), 0) // the long one — should be evicted
+	a.Learn(clauseOfLen(10, 2), 0)
+	a.Learn(clauseOfLen(20, 3), 0)
 	if a.Overflow() != 1 {
 		t.Fatalf("overflow = %d, want 1", a.Overflow())
 	}
@@ -124,10 +124,10 @@ func TestShareAggregatorOverflowDropsLongest(t *testing.T) {
 func TestShareAggregatorDedupAndPrune(t *testing.T) {
 	a := newShareAggregator(100, time.Hour, 0, 0)
 	c1, c2 := cnf.NewClause(1, 2), cnf.NewClause(3, 4, 5)
-	a.Learn(c1)
-	a.Learn(c2)
+	a.Learn(c1, 0)
+	a.Learn(c2, 0)
 	// Learning the same clause again is suppressed by the window.
-	a.Learn(cnf.NewClause(2, 1))
+	a.Learn(cnf.NewClause(2, 1), 0)
 	if a.DedupHits() != 1 {
 		t.Fatalf("dedup hits = %d after relearn, want 1", a.DedupHits())
 	}
@@ -140,7 +140,7 @@ func TestShareAggregatorDedupAndPrune(t *testing.T) {
 	if len(got) != 1 || got[0].Key() != c1.Key() {
 		t.Fatalf("pending after prune = %v, want just %v", got, c1)
 	}
-	a.Learn(cnf.NewClause(3, 4, 5))
+	a.Learn(cnf.NewClause(3, 4, 5), 0)
 	if got := a.Drain(); got != nil {
 		t.Fatalf("re-learned a clause already received from a peer: %v", got)
 	}

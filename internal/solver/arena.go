@@ -21,7 +21,8 @@ import (
 //
 //	[ header ][ activity ][ lit0 ][ lit1 ] ... [ litN-1 ]
 //
-// header = size<<flagBits | flags. lit words hold cnf.Lit values verbatim
+// header = lbd<<lbdShift | size<<flagBits | flags. lit words hold cnf.Lit
+// values verbatim
 // (cnf.Lit is a uint32 encoding). The activity word is the float32 bits of
 // the clause's VSIDS-era activity for learned clauses (0 for problem
 // clauses); during garbage collection it is reused as the forwarding
@@ -49,8 +50,21 @@ const (
 	flagBits       = 6
 	hdrWords       = 2 // header word + activity word
 
-	// maxClauseSize is the largest literal count the header can encode.
-	maxClauseSize = 1<<(32-flagBits) - 1
+	// The header's top lbdBits carry the clause's LBD (literal blocks
+	// distance, "glue"): the number of distinct decision levels among its
+	// literals at learn time, saturated at maxLBD. 0 means "not recorded"
+	// (problem clauses, imports of unknown provenance). The size field
+	// occupies the sizeBits between the flags and the LBD.
+	lbdBits  = 6
+	lbdShift = 32 - lbdBits
+	maxLBD   = 1<<lbdBits - 1
+	sizeBits = lbdShift - flagBits
+	sizeMask = 1<<sizeBits - 1
+
+	// maxClauseSize is the largest literal count the header can encode. It
+	// matches the wire codec's per-clause length limit, so any clause that
+	// fits a frame fits the header.
+	maxClauseSize = sizeMask
 )
 
 // Arena is a contiguous clause store. It is owned by a single solver
@@ -101,7 +115,24 @@ func (a *Arena) Alloc(lits []cnf.Lit, learnt, local bool, act float32) ClauseRef
 }
 
 // Size returns the clause's literal count.
-func (a *Arena) Size(r ClauseRef) int { return int(a.data[r] >> flagBits) }
+func (a *Arena) Size(r ClauseRef) int { return int(a.data[r] >> flagBits & sizeMask) }
+
+// LBD returns the clause's recorded literal-blocks distance (glue); 0 means
+// the LBD was never recorded.
+func (a *Arena) LBD(r ClauseRef) int { return int(a.data[r] >> lbdShift) }
+
+// SetLBD records the clause's LBD, saturating at maxLBD. Lower is better;
+// glue-2 clauses connect exactly two decision levels and are the classic
+// "glue clauses" worth sharing first.
+func (a *Arena) SetLBD(r ClauseRef, lbd int) {
+	if lbd < 0 {
+		lbd = 0
+	}
+	if lbd > maxLBD {
+		lbd = maxLBD
+	}
+	a.data[r] = uint32(lbd)<<lbdShift | a.data[r]&(1<<lbdShift-1)
+}
 
 // Lit returns the clause's i-th literal.
 func (a *Arena) Lit(r ClauseRef, i int) cnf.Lit {
@@ -165,7 +196,12 @@ func (a *Arena) shrinkTo(r ClauseRef, n int) {
 	if n >= old {
 		return
 	}
-	a.data[r] = uint32(n)<<flagBits | a.data[r]&(1<<flagBits-1)
+	// Preserve the flags and the LBD field; only the size changes. A
+	// strengthened clause's glue can only improve, so cap it at the new size.
+	a.data[r] = a.data[r]&^uint32(sizeMask<<flagBits) | uint32(n)<<flagBits
+	if lbd := a.LBD(r); lbd > n {
+		a.SetLBD(r, n)
+	}
 	a.wasted += int64(old - n)
 	a.live.Add(-int64(old - n))
 }
@@ -187,7 +223,7 @@ func (a *Arena) relocate(old []uint32, r ClauseRef) ClauseRef {
 	if h&flagReloced != 0 {
 		return ClauseRef(old[r+1])
 	}
-	n := int(h >> flagBits)
+	n := int(h >> flagBits & sizeMask)
 	nr := ClauseRef(len(a.data))
 	a.data = append(a.data, old[r:int(r)+hdrWords+n]...)
 	old[r] = h | flagReloced

@@ -151,6 +151,10 @@ func (s *Solver) mergeOne(c cnf.Clause, local bool) bool {
 		return s.assigns.LitValue(sorted[i]) == cnf.Undef && s.assigns.LitValue(sorted[j]) != cnf.Undef
 	})
 	r := s.ca.Alloc(sorted, true, local, clauseAct(s.actInc))
+	// An import's true glue is unknown here (the exporter's levels are
+	// meaningless locally); its length is the standard pessimistic proxy,
+	// so imports rank behind same-length native learnts in export order.
+	s.ca.SetLBD(r, len(sorted))
 	// Tag the peer origin so BCP and conflict analysis can attribute work
 	// to imported clauses (the import-usefulness telemetry). The bit lives
 	// in the header, so it survives arena GC relocation.

@@ -132,7 +132,7 @@ func TestImportSoundness(t *testing.T) {
 		var shared []cnf.Clause
 		expOpts := DefaultOptions()
 		expOpts.ShareMaxLen = 4
-		expOpts.OnLearn = func(c cnf.Clause) {
+		expOpts.OnLearn = func(c cnf.Clause, _ int) {
 			mu.Lock()
 			shared = append(shared, c)
 			mu.Unlock()
@@ -187,7 +187,7 @@ func TestImportConcurrentWithSolve(t *testing.T) {
 	}())
 	var mu sync.Mutex
 	var pool []cnf.Clause
-	exp.opts.OnLearn = func(c cnf.Clause) {
+	exp.opts.OnLearn = func(c cnf.Clause, _ int) {
 		mu.Lock()
 		pool = append(pool, c)
 		mu.Unlock()

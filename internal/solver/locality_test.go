@@ -29,7 +29,7 @@ func TestExportedClausesGloballyValidUnderAssumptions(t *testing.T) {
 		var exported []cnf.Clause
 		opts := DefaultOptions()
 		opts.ShareMaxLen = 14
-		opts.OnLearn = func(c cnf.Clause) { exported = append(exported, c) }
+		opts.OnLearn = func(c cnf.Clause, _ int) { exported = append(exported, c) }
 		s := New(f, opts)
 		// Guiding-path assumptions, as a split recipient would get.
 		if err := s.Assume(cnf.PosLit(0), cnf.NegLit(1), cnf.PosLit(2)); err != nil {
@@ -56,7 +56,7 @@ func TestExportedClausesGloballyValidAfterSplit(t *testing.T) {
 		var exported []cnf.Clause
 		opts := DefaultOptions()
 		opts.ShareMaxLen = 14
-		opts.OnLearn = func(c cnf.Clause) { exported = append(exported, c) }
+		opts.OnLearn = func(c cnf.Clause, _ int) { exported = append(exported, c) }
 		s := New(f, opts)
 		s.Solve(Limits{MaxConflicts: 3})
 		if s.Status() != StatusUnknown || s.DecisionLevel() == 0 {
@@ -83,7 +83,7 @@ func TestLocalImportNotReExported(t *testing.T) {
 	var exported []cnf.Clause
 	opts := DefaultOptions()
 	opts.ShareMaxLen = 14
-	opts.OnLearn = func(c cnf.Clause) { exported = append(exported, c) }
+	opts.OnLearn = func(c cnf.Clause, _ int) { exported = append(exported, c) }
 	sub := &Subproblem{
 		NumVars:     14,
 		Assumptions: []cnf.Lit{cnf.PosLit(0)},
@@ -111,7 +111,7 @@ func TestNoTaintWithoutAssumptions(t *testing.T) {
 	var exported int
 	opts := DefaultOptions()
 	opts.ShareMaxLen = 20
-	opts.OnLearn = func(cnf.Clause) { exported++ }
+	opts.OnLearn = func(_ cnf.Clause, _ int) { exported++ }
 	s := New(f, opts)
 	if r := s.Solve(Limits{}); r.Status != StatusUNSAT {
 		t.Fatalf("got %v", r.Status)
@@ -166,7 +166,7 @@ func TestMinimizationSoundness(t *testing.T) {
 		opts := DefaultOptions()
 		opts.MinimizeLearnts = true
 		opts.ShareMaxLen = 14
-		opts.OnLearn = func(c cnf.Clause) { exported = append(exported, c) }
+		opts.OnLearn = func(c cnf.Clause, _ int) { exported = append(exported, c) }
 		s := New(f, opts)
 		if seed%2 == 0 { // alternate: plain and assumption-carrying runs
 			if err := s.Assume(cnf.PosLit(0), cnf.NegLit(1)); err != nil {
@@ -204,7 +204,7 @@ func TestMinimizationShortensClauses(t *testing.T) {
 		opts := DefaultOptions()
 		opts.MinimizeLearnts = min
 		opts.ShareMaxLen = 1 << 20
-		opts.OnLearn = func(c cnf.Clause) { total += int64(len(c)) }
+		opts.OnLearn = func(c cnf.Clause, _ int) { total += int64(len(c)) }
 		s := New(f, opts)
 		r := s.Solve(Limits{MaxConflicts: 2000})
 		return total, r.Status

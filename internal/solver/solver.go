@@ -112,8 +112,10 @@ type Options struct {
 	// 0 disables sharing.
 	ShareMaxLen int
 	// OnLearn, when set, receives a copy of every learned clause of length
-	// at most ShareMaxLen. Called on the solving goroutine.
-	OnLearn func(cnf.Clause)
+	// at most ShareMaxLen together with its LBD (glue) at learn time, so
+	// share buffers can rank exports by quality. Called on the solving
+	// goroutine.
+	OnLearn func(c cnf.Clause, lbd int)
 	// PruneLevel0 enables removal of clauses satisfied at decision level 0
 	// (the paper's "inconsequential clause" pruning, §3.1). The paper also
 	// backports this to its sequential baseline; it defaults to on.
@@ -284,6 +286,11 @@ type Solver struct {
 	importWaitConflicts   int
 	lastSimplifyTrail     int
 	seen                  []bool // scratch for analyze
+	// lbdSeen/lbdTick stamp decision levels during LBD computation, so
+	// counting distinct levels among a learned clause's literals costs one
+	// pass and no allocation per conflict.
+	lbdSeen []int32
+	lbdTick int32
 	// tainted[v] marks variables whose current assignment depends on the
 	// guiding-path assumptions rather than the base formula alone.
 	tainted    []bool
@@ -318,6 +325,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		seen:     make([]bool, f.NumVars),
 		tainted:  make([]bool, f.NumVars),
+		lbdSeen:  make([]int32, f.NumVars+1),
 	}
 	for v := range s.reason {
 		s.reason[v] = CRefUndef
@@ -441,7 +449,7 @@ func (s *Solver) Stop() { s.stop.Store(true) }
 
 // SetOnLearn replaces the learned-clause export callback. Must only be
 // called while Solve is not running (e.g. between work slices).
-func (s *Solver) SetOnLearn(fn func(cnf.Clause)) { s.opts.OnLearn = fn }
+func (s *Solver) SetOnLearn(fn func(c cnf.Clause, lbd int)) { s.opts.OnLearn = fn }
 
 // Assume enqueues assumption literals at decision level 0 — the mechanism
 // by which a split recipient adopts its subproblem's guiding assignments.
@@ -540,7 +548,7 @@ func (s *Solver) propagate() ClauseRef {
 				continue
 			}
 			base := int(w.ref) + hdrWords
-			n := int(h >> flagBits)
+			n := int(h >> flagBits & sizeMask)
 			falseLit := p.Not()
 			// Ensure the false literal is at position 1.
 			if cnf.Lit(data[base]) == falseLit {
@@ -624,7 +632,7 @@ func (s *Solver) propagate() ClauseRef {
 // constraint: the short clause stored locally is valid only under this
 // client's assumptions, but appending deps yields a clause implied by the
 // base formula alone, which is what gets shared globally.
-func (s *Solver) analyze(confl ClauseRef) (learnt cnf.Clause, back int, deps []cnf.Lit, localUsed bool) {
+func (s *Solver) analyze(confl ClauseRef) (learnt cnf.Clause, back int, deps []cnf.Lit, localUsed bool, lbd int) {
 	learnt = make(cnf.Clause, 1) // learnt[0] reserved for the UIP literal
 	counter := 0
 	p := cnf.NoLit
@@ -707,7 +715,28 @@ func (s *Solver) analyze(confl ClauseRef) (learnt cnf.Clause, back int, deps []c
 	// Chaff's VSIDS also counts the learned clause's literals (it is a new
 	// clause entering the database); bump the asserting literal too.
 	s.bump(learnt[0])
-	return learnt, back, deps, localUsed
+	// The LBD must be measured here, while every literal of the learned
+	// clause is still assigned — the caller backjumps before record.
+	lbd = s.computeLBD(learnt)
+	return learnt, back, deps, localUsed, lbd
+}
+
+// computeLBD counts the distinct decision levels among the clause's
+// literals — the literal-blocks distance ("glue"). Lower is better: a
+// glue-2 clause links exactly two decision levels and tends to stay useful,
+// which is why exports are ranked LBD-first. Only valid while all literals
+// are assigned.
+func (s *Solver) computeLBD(c cnf.Clause) int {
+	s.lbdTick++
+	n := 0
+	for _, l := range c {
+		lv := s.level[l.Var()]
+		if s.lbdSeen[lv] != s.lbdTick {
+			s.lbdSeen[lv] = s.lbdTick
+			n++
+		}
+	}
+	return n
 }
 
 // minimize removes redundant literals from a learned clause: a literal is
@@ -830,7 +859,7 @@ func (s *Solver) backtrackTo(level int) {
 // version offered for global sharing has deps appended, restoring validity
 // under the base formula alone; derivations through local-only clauses
 // cannot be repaired that way and are never exported.
-func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
+func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool, lbd int) {
 	s.lastLearnt = learnt
 	s.stats.Learned++
 	if c := s.opts.Counters; c != nil {
@@ -846,7 +875,7 @@ func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
 		len(learnt)+len(deps) <= s.opts.ShareMaxLen {
 		global := learnt.Clone()
 		global = append(global, deps...)
-		s.opts.OnLearn(global)
+		s.opts.OnLearn(global, lbd)
 		s.stats.Exported++
 	}
 	if len(learnt) == 1 {
@@ -866,6 +895,7 @@ func (s *Solver) record(learnt cnf.Clause, deps []cnf.Lit, localUsed bool) {
 	}
 	learnt[1], learnt[best] = learnt[best], learnt[1]
 	r := s.ca.Alloc(learnt, true, local, clauseAct(s.actInc))
+	s.ca.SetLBD(r, lbd)
 	s.learnts = append(s.learnts, r)
 	s.attach(r)
 	if c := s.opts.Counters; c != nil {
@@ -990,9 +1020,9 @@ func (s *Solver) Solve(lim Limits) Result {
 				s.status = StatusUNSAT
 				return s.finished()
 			}
-			learnt, back, deps, localUsed := s.analyze(confl)
+			learnt, back, deps, localUsed, lbd := s.analyze(confl)
 			s.backtrackTo(back)
-			s.record(learnt, deps, localUsed)
+			s.record(learnt, deps, localUsed, lbd)
 			if s.opts.Instrument != nil {
 				s.opts.Instrument(Event{Kind: EvLearn, Lit: learnt[0], Level: back, ClauseLen: len(learnt)})
 			}

@@ -267,7 +267,7 @@ func TestLearnedClauseExport(t *testing.T) {
 	var exported []cnf.Clause
 	opts := DefaultOptions()
 	opts.ShareMaxLen = 10
-	opts.OnLearn = func(c cnf.Clause) { exported = append(exported, c) }
+	opts.OnLearn = func(c cnf.Clause, _ int) { exported = append(exported, c) }
 	f := gen.Pigeonhole(7)
 	s := New(f, opts)
 	if r := s.Solve(Limits{}); r.Status != StatusUNSAT {
@@ -300,7 +300,7 @@ func TestLearnedClauseExport(t *testing.T) {
 func TestShareMaxLenZeroExportsNothing(t *testing.T) {
 	called := false
 	opts := DefaultOptions()
-	opts.OnLearn = func(cnf.Clause) { called = true }
+	opts.OnLearn = func(_ cnf.Clause, _ int) { called = true }
 	s := New(gen.Pigeonhole(6), opts)
 	s.Solve(Limits{})
 	if called {

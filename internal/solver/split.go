@@ -94,31 +94,47 @@ func (s *Solver) Split(learntMaxLen, learntMaxCount int) (*Subproblem, error) {
 }
 
 // ExportLearnts returns copies of live learned clauses with length at most
-// maxLen (0 disables), up to maxCount (0 means no cap), shortest first —
-// the donor half of the paper's clause-sharing policy during splits.
+// maxLen (0 disables), up to maxCount (0 means no cap), best first — the
+// donor half of the paper's clause-sharing policy during splits. Candidates
+// are ranked by LBD (glue) recorded at learn time and by length within the
+// same glue, so a low-glue long clause beats a high-glue short one; when a
+// count cap applies, the clauses dropped are the worst-ranked ones.
 func (s *Solver) ExportLearnts(maxLen, maxCount int) []cnf.Clause {
 	if maxLen <= 0 {
 		return nil
 	}
-	var out []cnf.Clause
+	var refs []ClauseRef
 	for _, r := range s.learnts {
 		if s.ca.Deleted(r) || s.ca.Size(r) > maxLen {
 			continue
 		}
-		out = append(out, s.clauseAt(r))
+		refs = append(refs, r)
 	}
-	sortClausesByLen(out)
-	if maxCount > 0 && len(out) > maxCount {
-		out = out[:maxCount]
+	s.sortRefsByQuality(refs)
+	if maxCount > 0 && len(refs) > maxCount {
+		refs = refs[:maxCount]
+	}
+	out := make([]cnf.Clause, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, s.clauseAt(r))
 	}
 	return out
 }
 
-func sortClausesByLen(cs []cnf.Clause) {
-	// Insertion sort: export lists are short and mostly ordered.
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && len(cs[j]) < len(cs[j-1]); j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
+// sortRefsByQuality orders clause refs by (LBD, length) ascending — the
+// export ranking. An LBD of 0 means "never recorded" and ranks last.
+// Insertion sort: export lists are short and mostly ordered.
+func (s *Solver) sortRefsByQuality(refs []ClauseRef) {
+	key := func(r ClauseRef) uint64 {
+		lbd := s.ca.LBD(r)
+		if lbd == 0 {
+			lbd = maxLBD + 1
+		}
+		return uint64(lbd)<<32 | uint64(s.ca.Size(r))
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && key(refs[j]) < key(refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
 		}
 	}
 }

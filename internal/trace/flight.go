@@ -29,8 +29,9 @@ const (
 	FEvAssign       = "assign"         // Client received the whole problem
 	FEvSplitRequest = "split-request"  // Client asked to shed work (Detail = why)
 	FEvSplitIssue   = "split-issue"    // master paired donor Client with Peer
-	FEvSplitAccept  = "split-accept"   // recipient Client started donor Peer's half
-	FEvSplitFail    = "split-fail"     // an issued split never completed
+	FEvSplitAccept  = "split-accept"   // recipient Client started donor Peer's cofactor
+	FEvSplitFail    = "split-fail"     // an issued split leg never completed
+	FEvSplitBacklog = "split-backlog"  // donor Client returned N leftover cofactors to the master
 	FEvShareFlush   = "share-flush"    // Client flushed a batch of N learned clauses
 	FEvShareRelay   = "share-relay"    // master fanned out N deduped clauses from Client
 	FEvShareMerge   = "share-merge"    // Client imported N clauses from Peer
@@ -48,7 +49,8 @@ const (
 var KnownKinds = map[string]bool{
 	FEvRunStart: true, FEvClientJoin: true, FEvClientLeave: true,
 	FEvAssign: true, FEvSplitRequest: true, FEvSplitIssue: true,
-	FEvSplitAccept: true, FEvSplitFail: true, FEvShareFlush: true,
+	FEvSplitAccept: true, FEvSplitFail: true, FEvSplitBacklog: true,
+	FEvShareFlush: true,
 	FEvShareRelay: true, FEvShareMerge: true, FEvHeartbeat: true,
 	FEvMemShed: true, FEvMigrate: true, FEvRecover: true,
 	FEvSubUNSAT: true, FEvProgress: true, FEvImportUse: true,

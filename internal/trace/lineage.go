@@ -8,15 +8,19 @@ import (
 
 // This file reconstructs the run's search-space split lineage — the
 // paper's Figure-2 picture of how the initial problem was recursively
-// divided across the grid — from a flight log alone. Every split-accept
-// event forks the donor's current node into two children (the half the
-// donor kept, and the half the recipient received), so a finished tree has
-// exactly splits+1 leaves: each accepted split turns one leaf into two.
+// divided across the grid — from a flight log alone. The first
+// split-accept event for a split ID forks the donor's current node into
+// two children (the cofactor the donor kept, and the one the recipient
+// received); every further accept carrying the same split ID — the other
+// cofactors of a multi-way dilemma split, including leftovers served from
+// the master's backlog later — attaches one more sibling under the same
+// fork. Each accept therefore adds exactly one leaf, so a finished tree
+// has exactly accepts+1 leaves regardless of split arity.
 
 // Node statuses.
 const (
 	NodeOpen  = "open"  // still being solved (or run ended first)
-	NodeSplit = "split" // interior: forked into two children
+	NodeSplit = "split" // interior: forked into two or more children
 	NodeUNSAT = "unsat" // exhausted
 	NodeSAT   = "sat"   // produced the model
 	NodeLost  = "lost"  // owner left and the piece was never recovered
@@ -86,6 +90,76 @@ func (t *LineageTree) Depth() int {
 	return walk(t.Root, 0)
 }
 
+// LineageMetrics are per-tree split-quality aggregates — the numbers a
+// strategy ablation compares: how evenly splits divided the work and how
+// deep the guiding-path tree had to grow before subproblems died.
+type LineageMetrics struct {
+	Nodes  int `json:"nodes"`
+	Leaves int `json:"leaves"`
+	Depth  int `json:"depth"`
+	// MaxFanout is the widest fork (2 for pure first-decision trees, up to
+	// 2^k for a dilemma strategy).
+	MaxFanout int `json:"max_fanout,omitempty"`
+	// BalanceMean averages, over interior nodes, the ratio of the smallest
+	// to the largest child-subtree leaf count: 1.0 means every fork divided
+	// its work perfectly evenly.
+	BalanceMean float64 `json:"balance_mean,omitempty"`
+	// UnsatLeaves counts refuted leaves; KillDepthMean/Max summarize how
+	// deep in the tree they were killed.
+	UnsatLeaves   int     `json:"unsat_leaves,omitempty"`
+	KillDepthMean float64 `json:"kill_depth_mean,omitempty"`
+	KillDepthMax  int     `json:"kill_depth_max,omitempty"`
+}
+
+// Metrics computes the tree's split-quality aggregates in one walk.
+func (t *LineageTree) Metrics() LineageMetrics {
+	m := LineageMetrics{Nodes: len(t.nodes), Leaves: len(t.Leaves()), Depth: t.Depth()}
+	if t.Root == nil {
+		return m
+	}
+	var balSum float64
+	var balN int
+	var killSum int64
+	var walk func(n *LineageNode, d int) int // returns subtree leaf count
+	walk = func(n *LineageNode, d int) int {
+		if len(n.Children) == 0 {
+			if n.Status == NodeUNSAT {
+				m.UnsatLeaves++
+				killSum += int64(d)
+				if d > m.KillDepthMax {
+					m.KillDepthMax = d
+				}
+			}
+			return 1
+		}
+		if len(n.Children) > m.MaxFanout {
+			m.MaxFanout = len(n.Children)
+		}
+		total, minL, maxL := 0, 0, 0
+		for i, c := range n.Children {
+			l := walk(c, d+1)
+			total += l
+			if i == 0 || l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		balSum += float64(minL) / float64(maxL)
+		balN++
+		return total
+	}
+	walk(t.Root, 0)
+	if balN > 0 {
+		m.BalanceMean = balSum / float64(balN)
+	}
+	if m.UnsatLeaves > 0 {
+		m.KillDepthMean = float64(killSum) / float64(m.UnsatLeaves)
+	}
+	return m
+}
+
 // lineageBuilder folds flight events into a tree.
 type lineageBuilder struct {
 	tree *LineageTree
@@ -98,6 +172,9 @@ type lineageBuilder struct {
 	// orphans queues nodes whose owner left, FIFO — recover events reclaim
 	// them in the same order the runtime reassigns checkpoints.
 	orphans []*LineageNode
+	// forks maps a split ID to the interior node it forked, so every
+	// cofactor of a multi-way split lands as a sibling under one fork.
+	forks map[int]*LineageNode
 }
 
 func (b *lineageBuilder) newNode(owner int, ev FEvent, splitID int) *LineageNode {
@@ -115,9 +192,10 @@ func (b *lineageBuilder) newNode(owner int, ev FEvent, splitID int) *LineageNode
 // runs without an assignment produce an empty tree (nil Root).
 func BuildLineage(events []FEvent) *LineageTree {
 	b := &lineageBuilder{
-		tree: &LineageTree{},
-		cur:  map[int]*LineageNode{},
-		last: map[int]*LineageNode{},
+		tree:  &LineageTree{},
+		cur:   map[int]*LineageNode{},
+		last:  map[int]*LineageNode{},
+		forks: map[int]*LineageNode{},
 	}
 	for _, ev := range events {
 		switch ev.Kind {
@@ -183,13 +261,21 @@ func BuildLineage(events []FEvent) *LineageTree {
 	return b.tree
 }
 
-// acceptSplit forks the donor's node: the donor keeps one half (a fresh
-// child node), the recipient starts the other. When the delivery raced
-// with the donor finishing its (already halved) piece, the closed node's
-// verdict moves onto the donor-continuation child so the interior node is
-// always a clean "split".
+// acceptSplit forks the donor's node on the first accept of a split ID:
+// the donor keeps one cofactor (a fresh child node), the recipient starts
+// another. Accepts that repeat an already-forked split ID — the remaining
+// cofactors of a multi-way split, whenever they land — attach as further
+// siblings under the same fork, keeping every cofactor of one split at the
+// same tree depth. When the first delivery raced with the donor finishing
+// its (already narrowed) piece, the closed node's verdict moves onto the
+// donor-continuation child so the interior node is always a clean "split".
 func (b *lineageBuilder) acceptSplit(ev FEvent) {
 	donor, recipient := ev.Peer, ev.Client
+	if p := b.forks[ev.SplitID]; ev.SplitID != 0 && p != nil {
+		half := b.newNode(recipient, ev, ev.SplitID)
+		p.Children = append(p.Children, half)
+		return
+	}
 	d := b.cur[donor]
 	closed := false
 	if d == nil {
@@ -211,18 +297,19 @@ func (b *lineageBuilder) acceptSplit(ev FEvent) {
 	d.Status = NodeSplit
 	d.EndVSec = ev.VSec
 	d.Children = append(d.Children, cont, half)
+	if ev.SplitID != 0 {
+		b.forks[ev.SplitID] = d
+	}
 }
 
-// WriteJSON writes the tree (root-recursive) with leaf/depth totals.
+// WriteJSON writes the tree (root-recursive) with its quality metrics.
 func (t *LineageTree) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Nodes  int          `json:"nodes"`
-		Leaves int          `json:"leaves"`
-		Depth  int          `json:"depth"`
-		Root   *LineageNode `json:"root"`
-	}{len(t.nodes), len(t.Leaves()), t.Depth(), t.Root})
+		LineageMetrics
+		Root *LineageNode `json:"root"`
+	}{t.Metrics(), t.Root})
 }
 
 // WriteDOT renders the tree for Graphviz: one box per subproblem labeled
