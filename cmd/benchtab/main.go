@@ -28,15 +28,16 @@ func main() {
 		rows        = flag.String("rows", "", "comma-separated row filter")
 		scale       = flag.Float64("scale", 1.0, "budget scale factor (1.0 = paper-faithful)")
 		seed        = flag.Int64("seed", 1, "grid contention seed")
-		ablation    = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology | split")
-		ablationOut = flag.String("ablation-out", "", "also write the ablation's machine-readable JSON here (split only)")
+		ablation    = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology | split | hybrid")
+		ablationOut = flag.String("ablation-out", "", "also write the ablation's machine-readable JSON here (split and hybrid)")
+		threads     = flag.Int("threads", 0, "portfolio workers per simulated client (0/1 = single-solver)")
 		bhOnly      = flag.Bool("bhonly", false, "rerun par32-1-c on Blue Horizon alone")
 		snapshot    = flag.String("snapshot", "", "write a machine-readable perf snapshot (JSON) to this path")
 		quiet       = flag.Bool("q", false, "suppress per-row progress")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Threads: *threads}
 	if *rows != "" {
 		opts.Rows = strings.Split(*rows, ",")
 	}
@@ -99,6 +100,20 @@ func main() {
 }
 
 func runAblation(kind, outPath string, opts bench.Options) {
+	// The hybrid ablation sweeps its own multi-family row set (or -rows).
+	if kind == "hybrid" {
+		results := bench.AblationHybridSuite(opts.Rows, opts)
+		fmt.Println("ablation: split-only vs portfolio-only vs hybrid (splits × in-host portfolio)")
+		fmt.Print(bench.RenderHybridAblation(results))
+		if outPath != "" {
+			if err := bench.WriteHybridAblation(outPath, results); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: hybrid ablation JSON written to %s\n", outPath)
+		}
+		return
+	}
 	inst, ok := gen.ByName("homer12") // a large both-solved row
 	if !ok {
 		fmt.Fprintln(os.Stderr, "benchtab: ablation instance missing")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -154,6 +155,7 @@ func cmdSolve(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	clients := fs.Int("clients", 4, "number of in-process clients")
+	threads := fs.Int("threads", runtime.NumCPU(), "portfolio workers per client (1 = classic single-solver clients)")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
 	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget")
@@ -178,6 +180,7 @@ func cmdRun(args []string) error {
 	}
 	res, err := core.Solve(f, core.JobConfig{
 		Clients:       *clients,
+		Threads:       *threads,
 		ShareMaxLen:   *shareLen,
 		SplitStrategy: *splitStrategy,
 		Timeout:       *timeout,
@@ -195,8 +198,8 @@ func cmdRun(args []string) error {
 		return err
 	}
 	report(res.Status, res.Model, f)
-	fmt.Printf("c wall=%.3fs max-clients=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
-		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
+	fmt.Printf("c wall=%.3fs max-clients=%d threads=%d splits=%d shared-clauses=%d msgs=%d bytes=%d\n",
+		res.Wall.Seconds(), res.MaxClients, res.Threads, res.Splits, res.SharedClauses,
 		res.Comm.MsgsSent, res.Comm.BytesSent)
 	return writeReport(*reportPath, fs.Arg(0), res, fl)
 }
@@ -363,6 +366,7 @@ func cmdClient(args []string) error {
 	listen := fs.String("listen", ":0", "P2P listen address")
 	mem := fs.Int64("mem", 512<<20, "free memory to report and budget from")
 	speed := fs.Float64("speed", 1.0, "relative CPU speed hint")
+	threads := fs.Int("threads", runtime.NumCPU(), "portfolio workers on this host (1 = classic single-solver client)")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
 	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	fs.Parse(args)
@@ -374,6 +378,7 @@ func cmdClient(args []string) error {
 		HostName:      host,
 		FreeMemBytes:  *mem,
 		SpeedHint:     *speed,
+		Threads:       *threads,
 		ShareMaxLen:   *shareLen,
 		SplitStrategy: *splitStrategy,
 	})
@@ -465,6 +470,7 @@ func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	testbed := fs.String("testbed", "grads", "grads (34 hosts) or table2 (27 hosts)")
 	timeout := fs.Float64("timeout-vsec", 6000, "virtual-second budget")
+	threads := fs.Int("threads", runtime.NumCPU(), "simulated portfolio workers per client (1 = classic single-solver clients; pin for cross-machine reproducibility)")
 	shareLen := fs.Int("share-len", 10, "maximum shared clause length")
 	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
 	seed := fs.Int64("seed", 1, "contention/jitter seed")
@@ -501,6 +507,7 @@ func cmdSim(args []string) error {
 			Grid:          g,
 			Formula:       f,
 			TimeoutVSec:   *timeout,
+			Threads:       *threads,
 			ShareMaxLen:   *shareLen,
 			SplitStrategy: *splitStrategy,
 			MasterHostID:  -1,
@@ -558,8 +565,8 @@ func cmdSim(args []string) error {
 		fmt.Fprintf(os.Stderr, "gridsat: replay verified — re-run reproduced all %d flight events\n", fl.Len())
 	}
 	report(res.Status, res.Model, f)
-	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d splits=%d shared=%d work=%d-props msgs=%d bytes=%d\n",
-		res.Outcome, res.VSec, res.MaxClients, res.Splits, res.Shared, res.TotalProps,
+	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d threads=%d splits=%d shared=%d work=%d-props msgs=%d bytes=%d\n",
+		res.Outcome, res.VSec, res.MaxClients, res.Threads, res.Splits, res.Shared, res.TotalProps,
 		res.Msgs, res.Bytes)
 	if *timeline != "" && !*sequential {
 		fd, err := os.Create(*timeline)

@@ -8,6 +8,7 @@ import (
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/core"
+	"gridsat/internal/gen"
 	"gridsat/internal/grid"
 	"gridsat/internal/solver"
 	"gridsat/internal/trace"
@@ -94,6 +95,7 @@ func ablationConfig(f *cnf.Formula, opts Options) core.RunnerConfig {
 		Grid:         grid.TestbedGrADS(opts.Seed + 1),
 		Formula:      f,
 		TimeoutVSec:  ChallengeBudgetVSec * opts.scale(),
+		Threads:      opts.Threads,
 		ShareMaxLen:  Table1ShareLen,
 		MasterHostID: -1,
 		Seed:         opts.Seed,
@@ -183,6 +185,116 @@ func RenderStrategyAblation(results []StrategyResult) string {
 // WriteStrategyAblation writes the sweep as a JSON artifact (the CI smoke
 // step uploads it so lineage regressions are diffable across runs).
 func WriteStrategyAblation(path string, results []StrategyResult) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fd)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+// HybridThreads is the portfolio width of the portfolio-only and hybrid
+// arms in the hybrid ablation (K=4 diversified workers per host).
+const HybridThreads = 4
+
+// HybridRows is the default instance set for the hybrid ablation: one
+// representative per Table-1 family small enough to sweep three arms over.
+var HybridRows = []string{"grid_10_20", "w10_75", "ezfact48_5", "homer12"}
+
+// HybridResult is one (instance, arm) cell of the split-vs-portfolio-vs-
+// hybrid ablation.
+type HybridResult struct {
+	Instance string  `json:"instance"`
+	Arm      string  `json:"arm"` // split-only | portfolio-only | hybrid
+	Threads  int     `json:"threads"`
+	Outcome  string  `json:"outcome"`
+	Status   string  `json:"status"`
+	VSec     float64 `json:"vsec"`
+	Clients  int     `json:"max_clients"`
+	Splits   int     `json:"splits"`
+	// Pool counters expose the intra-host exchange volume (zero on the
+	// split-only arm by construction).
+	PoolPublished int64 `json:"pool_published"`
+	PoolDelivered int64 `json:"pool_delivered"`
+}
+
+// AblationHybrid runs the tentpole comparison on one instance: guiding-path
+// splitting alone (K=1, whole testbed), in-host portfolio alone (K=4, one
+// client, no splits), and the two-level hybrid (K=4 across the testbed).
+func AblationHybrid(f *cnf.Formula, name string, opts Options) []HybridResult {
+	arms := []struct {
+		label      string
+		threads    int
+		maxClients int
+	}{
+		{"split-only", 1, 0},
+		{"portfolio-only", HybridThreads, 1},
+		{"hybrid", HybridThreads, 0},
+	}
+	var out []HybridResult
+	for _, a := range arms {
+		cfg := ablationConfig(f, opts)
+		cfg.Threads = a.threads
+		cfg.MaxClients = a.maxClients
+		res := core.RunDistributed(cfg)
+		out = append(out, HybridResult{
+			Instance:      name,
+			Arm:           a.label,
+			Threads:       res.Threads,
+			Outcome:       res.Outcome.String(),
+			Status:        res.Status.String(),
+			VSec:          res.VSec,
+			Clients:       res.MaxClients,
+			Splits:        res.Splits,
+			PoolPublished: res.PoolPublished,
+			PoolDelivered: res.PoolDelivered,
+		})
+	}
+	return out
+}
+
+// AblationHybridSuite sweeps AblationHybrid over a row set (HybridRows when
+// names is nil), skipping unknown instance names.
+func AblationHybridSuite(names []string, opts Options) []HybridResult {
+	if len(names) == 0 {
+		names = HybridRows
+	}
+	var out []HybridResult
+	for _, name := range names {
+		inst, ok := gen.ByName(name)
+		if !ok {
+			continue
+		}
+		out = append(out, AblationHybrid(inst.Build(), name, opts)...)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-30s hybrid ablation done", name))
+		}
+	}
+	return out
+}
+
+// RenderHybridAblation formats the hybrid sweep as the EXPERIMENTS.md
+// markdown table, one row per (instance, arm).
+func RenderHybridAblation(results []HybridResult) string {
+	var b strings.Builder
+	b.WriteString("| instance | arm | K | outcome | vsec | clients | splits | pool pub/del |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s | %s | %d | %s | %.1f | %d | %d | %d / %d |\n",
+			r.Instance, r.Arm, r.Threads, r.Outcome, r.VSec, r.Clients,
+			r.Splits, r.PoolPublished, r.PoolDelivered)
+	}
+	return b.String()
+}
+
+// WriteHybridAblation writes the sweep as a JSON artifact for the CI bench
+// smoke job.
+func WriteHybridAblation(path string, results []HybridResult) error {
 	fd, err := os.Create(path)
 	if err != nil {
 		return err

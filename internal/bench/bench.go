@@ -60,6 +60,9 @@ type Options struct {
 	Rows []string
 	// Seed feeds the grid contention model and launch jitter.
 	Seed int64
+	// Threads is the in-host portfolio width of every simulated client
+	// (0 or 1 = classic single-solver clients, the paper's setup).
+	Threads int
 	// Progress, when non-nil, receives one line per completed row.
 	Progress func(string)
 }
@@ -119,6 +122,7 @@ func runTable1Row(inst gen.Instance, opts Options) Row {
 	}
 	distCfg := seqCfg
 	distCfg.TimeoutVSec = budget * opts.scale()
+	distCfg.Threads = opts.Threads // the sequential baseline stays single-solver
 	row := Row{
 		Inst:    inst,
 		ZChaff:  core.RunSequential(seqCfg),
@@ -158,6 +162,7 @@ func runTable2Row(inst gen.Instance, opts Options) Row {
 		Grid:        g,
 		Formula:     f,
 		TimeoutVSec: (Table2QueueWaitVSec*1.8 + Table2WalltimeVSec) * opts.scale(),
+		Threads:     opts.Threads,
 		ShareMaxLen: Table2ShareLen,
 		Batch: &core.BatchPlan{
 			Nodes:             Table2BatchNodes,

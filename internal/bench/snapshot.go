@@ -39,6 +39,7 @@ type SnapshotRow struct {
 	SpeedUp       float64 `json:"speedup"`
 
 	MaxClients int   `json:"max_clients"`
+	Threads    int   `json:"threads"`
 	Splits     int   `json:"splits"`
 	Shared     int   `json:"shared"`
 	TotalProps int64 `json:"total_props"`
@@ -100,6 +101,7 @@ func snapshotRow(r Row) SnapshotRow {
 		SpeedUp:       r.SpeedUp,
 
 		MaxClients: g.MaxClients,
+		Threads:    g.Threads,
 		Splits:     g.Splits,
 		Shared:     g.Shared,
 		TotalProps: g.TotalProps,

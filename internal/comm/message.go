@@ -166,6 +166,10 @@ type Solved struct {
 	// closes. An UNSAT verdict at depth d refutes 2^-d of the root search
 	// space; the master folds that into its cluster progress estimate.
 	Depth int
+	// Worker is the portfolio worker that produced the verdict (0 on
+	// single-threaded clients — the pathfinder), for the flight log's
+	// worker attribution.
+	Worker int
 }
 
 // Kind implements Message.
@@ -240,6 +244,23 @@ type StatusReport struct {
 	// currently working (0 when idle or on the root problem).
 	Depth  int
 	Deltas SolverDeltas
+	// Workers carries per-worker rows when the client runs an in-host
+	// portfolio (nil for single-threaded clients). Point-in-time gauges,
+	// not deltas: each heartbeat replaces the previous view.
+	Workers []WorkerReport
+}
+
+// WorkerReport is one portfolio worker's row inside a StatusReport: which
+// diversification profile it runs and how far its search has gone, so
+// /status and `gridsat top` can show the in-host picture.
+type WorkerReport struct {
+	Worker       int
+	Profile      string
+	Conflicts    int64
+	Propagations int64
+	Restarts     int64
+	Learnts      int
+	MemBytes     int64
 }
 
 // Kind implements Message.

@@ -55,6 +55,12 @@ type ClientConfig struct {
 	// transform), "dilemma" (2^k-way cofactor split), or "dilemma-veto"
 	// (dilemma with the bad-variable veto filter). See solver.ParseStrategy.
 	SplitStrategy string
+	// Threads is the in-host portfolio width: the client runs this many
+	// diversified solver workers over each subproblem, exchanging learnt
+	// clauses through a lock-free in-host pool, and presents itself to the
+	// master as one client. 0 or 1 preserves single-solver behavior
+	// exactly; the pathfinder (worker 0) always runs the base options.
+	Threads int
 	// SolverOptions tunes the engine; zero value uses solver defaults.
 	SolverOptions *solver.Options
 	// Counters, when set, receives the always-on solver metrics
@@ -107,9 +113,15 @@ type Client struct {
 	master   comm.Conn
 	listener comm.Listener
 
-	base       *cnf.Formula
-	strategy   solver.SplitStrategy
-	slv        *solver.Solver
+	base     *cnf.Formula
+	strategy solver.SplitStrategy
+	// slv is the active solver: the only solver when single-threaded, the
+	// portfolio's pathfinder when Threads > 1. Splits, migration and
+	// depth/coverage reporting always go through slv.
+	slv *solver.Solver
+	// port is the in-host portfolio (nil when Threads <= 1). slv aliases
+	// port.Pathfinder() while it is non-nil.
+	port       *portfolio
 	recvAt     time.Time // when the current subproblem arrived
 	xferTime   time.Duration
 	busy       bool
@@ -338,7 +350,11 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 			// Remember what arrived before importing: clauses received
 			// from peers must never be re-exported by this client.
 			c.shares.NoteReceived(m.Clauses)
-			_ = c.slv.ImportClauses(m.Clauses)
+			if c.port != nil {
+				_ = c.port.ImportClauses(m.Clauses)
+			} else {
+				_ = c.slv.ImportClauses(m.Clauses)
+			}
 			c.femit(trace.FEvent{Kind: trace.FEvShareMerge, Client: c.id, Peer: m.From,
 				N: int64(len(m.Clauses)), Lamport: ti.Lamport, Parent: ti.Parent})
 		}
@@ -374,14 +390,28 @@ func (c *Client) startSubproblem(splitID int, subs []*solver.Subproblem) {
 	if c.cfg.Counters != nil {
 		opts.Counters = c.cfg.Counters
 	}
-	// OnLearn passes a fresh copy, so the aggregator may retain it.
-	opts.OnLearn = c.shares.Learn
-	slv, err := solver.NewFromSubproblem(c.base, sub, opts)
-	if err != nil {
-		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
-		return
+	if c.cfg.Threads > 1 {
+		// Portfolio client: K diversified workers over this subproblem.
+		// Learnt clauses flow through the in-host pool; the ones within
+		// the cluster share bound are forwarded to the aggregator between
+		// slices (see solveSlice), not directly from OnLearn.
+		port, err := newPortfolio(c.base, sub, opts, c.cfg.Threads, c.cfg.ShareMaxLen)
+		if err != nil {
+			_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+			return
+		}
+		c.port = port
+		c.slv = port.Pathfinder()
+	} else {
+		// OnLearn passes a fresh copy, so the aggregator may retain it.
+		opts.OnLearn = c.shares.Learn
+		slv, err := solver.NewFromSubproblem(c.base, sub, opts)
+		if err != nil {
+			_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: err.Error()})
+			return
+		}
+		c.slv = slv
 	}
-	c.slv = slv
 	c.busy = true
 	c.splitAsked = false
 	c.lastHB = solver.Stats{} // fresh solver: deltas restart from zero
@@ -401,10 +431,23 @@ func (c *Client) solveSlice() (bool, error) {
 	if c.cfg.FreeMemBytes > 0 {
 		budget = c.cfg.FreeMemBytes * 60 / 100
 	}
-	res := c.slv.Solve(solver.Limits{
+	lim := solver.Limits{
 		MaxConflicts:   c.cfg.SliceConflicts,
 		MaxMemoryBytes: budget,
-	})
+	}
+	var res solver.Result
+	worker := 0
+	if c.port != nil {
+		res = c.port.Solve(lim)
+		// Pool clauses within the cluster bound ride the normal
+		// master-mediated share path; the aggregator dedups and ranks.
+		c.port.DrainClusterShares(c.shares.Learn)
+		if w := c.port.Winner(); w >= 0 {
+			worker = w
+		}
+	} else {
+		res = c.slv.Solve(lim)
+	}
 	c.flushShares()
 	c.sliceCount++
 	if c.cfg.HeartbeatEvery > 0 && c.sliceCount%c.cfg.HeartbeatEvery == 0 {
@@ -416,16 +459,20 @@ func (c *Client) solveSlice() (bool, error) {
 		c.drainShares()        // don't strand learned clauses in the aggregator
 		c.sendHeartbeat(false) // flush the tail deltas before Solved
 		return false, c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status,
-			Model: res.Model, Depth: c.slv.PathDepth()})
+			Model: res.Model, Depth: c.slv.PathDepth(), Worker: worker})
 	case solver.StatusUNSAT:
 		c.busy = false
 		c.drainShares()
 		c.sendHeartbeat(false)
+		// An extra worker's UNSAT refutes a (possibly pre-split) superset
+		// of the pathfinder's subspace, so reporting at the pathfinder's
+		// depth never over-counts coverage.
 		depth := c.slv.PathDepth()
-		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Depth: depth}); err != nil {
+		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Depth: depth, Worker: worker}); err != nil {
 			return false, err
 		}
 		c.slv = nil
+		c.port = nil
 		return false, nil
 	}
 	// Still unknown: evaluate the split triggers.
@@ -441,11 +488,11 @@ func (c *Client) solveSlice() (bool, error) {
 		// for an idle resource (paper §4.2). The freed bytes reach the
 		// master through the next heartbeat's ReclaimedBytes delta.
 		c.requestSplit(comm.SplitMemoryPressure)
-		freed := c.slv.ShedMemory()
+		freed := c.shedMemory()
 		c.femit(trace.FEvent{Kind: trace.FEvMemShed, Client: c.id, N: freed})
 		return false, nil
 	}
-	if ask, why := dec.ShouldSplit(c.slv.MemoryBytes(), time.Since(c.recvAt).Seconds()); ask {
+	if ask, why := dec.ShouldSplit(c.memoryBytes(), time.Since(c.recvAt).Seconds()); ask {
 		reason := comm.SplitTimeout
 		if why == WhyMemory {
 			reason = comm.SplitMemoryPressure
@@ -462,18 +509,53 @@ func (c *Client) sendHeartbeat(busy bool) {
 	if c.slv == nil {
 		return
 	}
-	st := c.slv.Stats()
+	st := c.stats()
 	d := solver.StatsDelta(st, c.lastHB)
 	c.lastHB = st
-	_ = c.sendMaster(comm.StatusReport{
+	hb := comm.StatusReport{
 		ClientID:  c.id,
-		MemBytes:  c.slv.MemoryBytes(),
-		Learnts:   c.slv.NumLearnts(),
+		MemBytes:  c.memoryBytes(),
+		Learnts:   c.numLearnts(),
 		Conflicts: st.Conflicts,
 		Busy:      busy,
 		Depth:     c.slv.PathDepth(),
 		Deltas:    heartbeatDeltas(d),
-	})
+	}
+	if c.port != nil {
+		hb.Workers = c.port.WorkerReports()
+	}
+	_ = c.sendMaster(hb)
+}
+
+// stats/memoryBytes/numLearnts/shedMemory present the host's solving
+// state as one client: the portfolio's workers summed when one is
+// running, the single solver otherwise.
+func (c *Client) stats() solver.Stats {
+	if c.port != nil {
+		return c.port.Stats()
+	}
+	return c.slv.Stats()
+}
+
+func (c *Client) memoryBytes() int64 {
+	if c.port != nil {
+		return c.port.MemoryBytes()
+	}
+	return c.slv.MemoryBytes()
+}
+
+func (c *Client) numLearnts() int {
+	if c.port != nil {
+		return c.port.NumLearnts()
+	}
+	return c.slv.NumLearnts()
+}
+
+func (c *Client) shedMemory() int64 {
+	if c.port != nil {
+		return c.port.ShedMemory()
+	}
+	return c.slv.ShedMemory()
 }
 
 // heartbeatDeltas maps a solver Stats delta onto the wire struct; one
@@ -549,7 +631,12 @@ func (c *Client) performMigrate(peerAddr string) {
 	if err := c.sendToPeer(0, peerAddr, sub); err != nil {
 		return // keep solving; migration failed
 	}
-	c.slv.Stop()
+	if c.port != nil {
+		c.port.StopAll()
+		c.port = nil
+	} else {
+		c.slv.Stop()
+	}
 	c.slv = nil
 	c.busy = false
 	_ = c.sendMaster(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown})

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gridsat/internal/cnf"
+)
+
+// poolTestClause encodes (worker, seq) into a two-literal clause so every
+// published entry is globally distinguishable.
+func poolTestClause(worker, seq int) cnf.Clause {
+	return cnf.Clause{cnf.MkLit(cnf.Var(worker), false), cnf.MkLit(cnf.Var(seq+8), seq%2 == 1)}
+}
+
+// TestHostPoolStress is the in-host pool's race-detector stress test: K
+// producers each publish N distinct clauses while K concurrent readers
+// drain. Subtest "exact-within-window" sizes the ring so no reader is
+// ever lapped and asserts perfect exchange — every reader receives every
+// other worker's clauses exactly once, zero lost. Subtest "lapped" shrinks
+// the ring below the publish count and asserts the documented window
+// bound instead: per reader, delivered + lost == published-by-others,
+// every delivered entry is genuine (belongs to the published set), and
+// nothing is delivered twice.
+func TestHostPoolStress(t *testing.T) {
+	const (
+		workers = 4
+		n       = 2000
+	)
+	run := func(t *testing.T, capacity int, wantExact bool) {
+		pool := newHostPool(workers, capacity)
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		// Producers: worker w publishes n clauses tagged (w, i).
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					pool.Publish(w, poolTestClause(w, i), 2+i%7)
+				}
+			}(w)
+		}
+		go func() { wg.Wait(); close(done) }()
+
+		type readerState struct {
+			cur  *poolCursor
+			seen map[string]int // clause key -> times delivered
+		}
+		results := make([]readerState, workers)
+		var rg sync.WaitGroup
+		for r := 0; r < workers; r++ {
+			rg.Add(1)
+			go func(r int) {
+				defer rg.Done()
+				st := readerState{cur: pool.NewCursor(), seen: map[string]int{}}
+				drain := func() {
+					for _, e := range pool.Drain(st.cur, r, 0) {
+						st.seen[e.lits.Key()]++
+					}
+				}
+				for {
+					select {
+					case <-done:
+						drain() // final sweep after all publishes landed
+						results[r] = st
+						return
+					default:
+						drain()
+					}
+				}
+			}(r)
+		}
+		rg.Wait()
+
+		published := int64((workers - 1) * n) // per reader, from others
+		for r, st := range results {
+			var delivered int64
+			for key, times := range st.seen {
+				delivered += int64(times)
+				if times > 1 && st.cur.lost == 0 {
+					t.Errorf("reader %d: clause %s delivered %d times with zero loss", r, key, times)
+				}
+				if times > 1 {
+					// Entries are pos-tagged and cursors advance strictly,
+					// so duplicates are impossible even when lapped.
+					t.Errorf("reader %d: clause %s delivered %d times", r, key, times)
+				}
+			}
+			if delivered != st.cur.delivered {
+				t.Fatalf("reader %d: cursor says %d delivered, saw %d", r, st.cur.delivered, delivered)
+			}
+			if got := st.cur.delivered + st.cur.lost; got != published {
+				t.Errorf("reader %d: delivered(%d) + lost(%d) = %d, want published-by-others %d",
+					r, st.cur.delivered, st.cur.lost, got, published)
+			}
+			if wantExact {
+				if st.cur.lost != 0 {
+					t.Errorf("reader %d: lost %d entries despite window >= publish count", r, st.cur.lost)
+				}
+				for w := 0; w < workers; w++ {
+					if w == r {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						if st.seen[poolTestClause(w, i).Key()] != 1 {
+							t.Fatalf("reader %d: missing clause (%d,%d)", r, w, i)
+						}
+					}
+				}
+			} else {
+				// Every delivered clause must be one that was published.
+				for key := range st.seen {
+					found := false
+					for w := 0; w < workers && !found; w++ {
+						for i := 0; i < n; i++ {
+							if poolTestClause(w, i).Key() == key {
+								found = true
+								break
+							}
+						}
+					}
+					if !found {
+						t.Errorf("reader %d: delivered a clause that was never published: %s", r, key)
+					}
+				}
+			}
+		}
+		if stats := pool.Stats(); stats.Published != int64(workers*n) {
+			t.Errorf("pool published %d, want %d", stats.Published, workers*n)
+		}
+	}
+
+	t.Run("exact-within-window", func(t *testing.T) { run(t, n, true) })
+	t.Run("lapped", func(t *testing.T) { run(t, 64, false) })
+}
+
+// TestHostPoolDrainRanking checks the deterministic LBD-then-length
+// import order and the budget's dropped accounting.
+func TestHostPoolDrainRanking(t *testing.T) {
+	pool := newHostPool(2, 16)
+	pool.Publish(1, cnf.Clause{cnf.MkLit(0, false), cnf.MkLit(1, false), cnf.MkLit(2, false)}, 5)
+	pool.Publish(1, cnf.Clause{cnf.MkLit(3, false), cnf.MkLit(4, false)}, 2)
+	pool.Publish(1, cnf.Clause{cnf.MkLit(5, false)}, 2)
+	cur := pool.NewCursor()
+	got := pool.Drain(cur, 0, 2)
+	if len(got) != 2 {
+		t.Fatalf("budget 2: got %d entries", len(got))
+	}
+	if got[0].lbd != 2 || len(got[0].lits) != 1 {
+		t.Errorf("first entry not the best (lbd=%d len=%d)", got[0].lbd, len(got[0].lits))
+	}
+	if got[1].lbd != 2 || len(got[1].lits) != 2 {
+		t.Errorf("second entry misranked (lbd=%d len=%d)", got[1].lbd, len(got[1].lits))
+	}
+	if cur.dropped != 1 {
+		t.Errorf("dropped = %d, want 1", cur.dropped)
+	}
+	if extra := pool.Drain(cur, 0, 0); len(extra) != 0 {
+		t.Errorf("cursor did not advance past budget-dropped entries: %d more", len(extra))
+	}
+	if fmt.Sprint(pool.Stats()) == "" {
+		t.Error("stats unavailable")
+	}
+}

@@ -31,6 +31,9 @@ type JobConfig struct {
 	MinRunTime time.Duration
 	// SliceConflicts is the per-client solver quantum.
 	SliceConflicts int64
+	// Threads is each client's in-host portfolio width (0 or 1 =
+	// single-solver clients, the historical behavior).
+	Threads int
 	// SolverOptions overrides engine tuning for every client.
 	SolverOptions *solver.Options
 	// SplitStrategy names the split engine every client runs
@@ -105,6 +108,7 @@ func Solve(f *cnf.Formula, cfg JobConfig) (Result, error) {
 			ShareMaxLen:    cfg.ShareMaxLen,
 			SliceConflicts: cfg.SliceConflicts,
 			MinRunTime:     cfg.MinRunTime,
+			Threads:        cfg.Threads,
 			SolverOptions:  cfg.SolverOptions,
 			SplitStrategy:  cfg.SplitStrategy,
 			Counters:       counters,

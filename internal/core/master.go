@@ -76,6 +76,9 @@ type Result struct {
 	Splits int
 	// SharedClauses counts clauses the master fanned out.
 	SharedClauses int
+	// Threads is the widest in-host portfolio observed across the run's
+	// clients (1 when every client ran single-threaded).
+	Threads int
 	// Clients holds the end-of-run per-client aggregates built from the
 	// heartbeat stream, sorted by ID (see ClientStatus).
 	Clients []ClientStatus
@@ -111,6 +114,9 @@ type ClientStatus struct {
 	ImportedUseful       int64 `json:"imported_useful"`
 	ImportedImplications int64 `json:"imported_implications"`
 	ImportedResolutions  int64 `json:"imported_resolutions"`
+	// Workers is the client's latest per-worker portfolio breakdown
+	// (absent for single-threaded clients).
+	Workers []comm.WorkerReport `json:"workers,omitempty"`
 }
 
 type masterClient struct {
@@ -142,6 +148,9 @@ type masterClient struct {
 	confRate  float64
 	haveRate  bool
 	lastHBSec float64
+	// workers is the latest per-worker portfolio breakdown from the
+	// client's heartbeat (nil for single-threaded clients).
+	workers []comm.WorkerReport
 }
 
 // clientGauges are the per-client registry series behind /metrics.
@@ -665,6 +674,9 @@ func (m *Master) Run() (Result, error) {
 // finishResult freezes the per-client aggregates into the Result.
 func (m *Master) finishResult() {
 	m.result.Clients = m.clientStatuses()
+	if m.result.Threads == 0 {
+		m.result.Threads = 1 // no portfolio heartbeat seen: single-threaded
+	}
 }
 
 // clientStatuses builds the per-client aggregate list, sorted by ID.
@@ -694,6 +706,7 @@ func (m *Master) clientStatuses() []ClientStatus {
 			ImportedUseful:       c.agg.ImportedUseful,
 			ImportedImplications: c.agg.ImportedImplications,
 			ImportedResolutions:  c.agg.ImportedResolutions,
+			Workers:              c.workers,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -794,6 +807,10 @@ func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 	c.memBytes = msg.MemBytes
 	c.dbLearnts = msg.Learnts
 	c.depth = msg.Depth
+	c.workers = msg.Workers
+	if len(msg.Workers) > m.result.Threads {
+		m.result.Threads = len(msg.Workers)
+	}
 	c.agg.Add(msg.Deltas)
 	m.clusterAgg.Add(msg.Deltas)
 	// Conflict-rate EWMA for utilization and straggler detection; anchored
@@ -1115,11 +1132,12 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 		}
 		m.result.Status = solver.StatusSAT
 		m.result.Model = msg.Model
-		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Client: c.id,
+		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Client: c.id, Worker: msg.Worker,
 			Detail: "SAT", Parent: m.inTI.Parent})
 		return true, nil
 	case solver.StatusUNSAT:
-		ev := m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Parent: m.inTI.Parent})
+		ev := m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Worker: msg.Worker,
+			Parent: m.inTI.Parent})
 		// Fold the refuted prefix into the cluster coverage estimate: a
 		// depth-d subproblem retires 2^-d of the root search space.
 		units := m.prog.CloseSubproblem(msg.Depth, time.Since(m.started).Seconds())

@@ -21,7 +21,10 @@ type Report struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// MaxClients is the peak number of simultaneously busy clients
 	// (Table 1's last column).
-	MaxClients    int `json:"max_clients"`
+	MaxClients int `json:"max_clients"`
+	// Threads is the in-host portfolio width each client ran with
+	// (1 = classic single-solver clients).
+	Threads       int `json:"threads"`
 	Splits        int `json:"splits"`
 	SharedClauses int `json:"shared_clauses"`
 	// Clients are the per-client heartbeat aggregates, sorted by ID.
@@ -41,6 +44,7 @@ func BuildReport(instance string, res Result) Report {
 		Status:        res.Status.String(),
 		WallSeconds:   res.Wall.Seconds(),
 		MaxClients:    res.MaxClients,
+		Threads:       res.Threads,
 		Splits:        res.Splits,
 		SharedClauses: res.SharedClauses,
 		Clients:       res.Clients,

@@ -51,6 +51,13 @@ type RunnerConfig struct {
 	MaxClients int
 	// SolverOptions tunes client engines; nil uses solver defaults.
 	SolverOptions *solver.Options
+	// Threads is each simulated client's in-host portfolio width: worker 0
+	// (the pathfinder) runs the unmodified options and alone drives the
+	// split, checkpoint and migration policies, while workers 1..K-1 run
+	// diversified profiles over the same subproblem and exchange learnt
+	// clauses through the in-host pool. 0 or 1 = single-solver clients,
+	// bit-identical to the historical runner.
+	Threads int
 	// Batch, when non-nil, adds a Blue Horizon-style batch job (Table 2).
 	Batch *BatchPlan
 	// Failures schedules client crashes — the fault-tolerance extension of
@@ -202,6 +209,17 @@ type SimResult struct {
 	// the DES counterpart of the master's churn-proof cluster totals; its
 	// import-usefulness fields feed the share-efficacy view.
 	Agg comm.SolverDeltas
+	// Threads is the per-client portfolio width the run was configured
+	// with (1 = single-solver clients).
+	Threads int
+	// PoolPublished/PoolDelivered/PoolLost/PoolDropped total the in-host
+	// clause-pool exchange across every portfolio client (all zero for
+	// single-threaded runs). Lost counts entries skipped under the pool's
+	// documented lapping window; Dropped counts import-budget rank-outs.
+	PoolPublished int64
+	PoolDelivered int64
+	PoolLost      int64
+	PoolDropped   int64
 }
 
 // Efficacy derives the share-efficacy ratios from the run's aggregated
@@ -244,12 +262,12 @@ func RunSequential(cfg RunnerConfig) SimResult {
 		vsec += float64(delta) / (cfg.PropsPerVSec * host.Speed) // dedicated: availability 1
 		switch {
 		case res.Status != solver.StatusUnknown:
-			return SimResult{Outcome: OutcomeSolved, Status: res.Status,
-				Model: res.Model, VSec: vsec, MaxClients: 1, TotalProps: props}
+			return SimResult{Outcome: OutcomeSolved, Status: res.Status, Model: res.Model,
+				VSec: vsec, MaxClients: 1, Threads: 1, TotalProps: props}
 		case res.Reason == solver.ReasonMemLimit:
-			return SimResult{Outcome: OutcomeMemOut, VSec: vsec, MaxClients: 1, TotalProps: props}
+			return SimResult{Outcome: OutcomeMemOut, VSec: vsec, MaxClients: 1, Threads: 1, TotalProps: props}
 		case vsec >= cfg.TimeoutVSec:
-			return SimResult{Outcome: OutcomeTimeout, VSec: vsec, MaxClients: 1, TotalProps: props}
+			return SimResult{Outcome: OutcomeTimeout, VSec: vsec, MaxClients: 1, Threads: 1, TotalProps: props}
 		}
 	}
 }
@@ -259,7 +277,22 @@ type simClient struct {
 	id   int
 	host *grid.Host
 
-	slv        *solver.Solver
+	slv *solver.Solver
+	// extras are the in-host portfolio workers beyond the pathfinder
+	// (Threads-1 of them; nil on single-threaded runs). They race the
+	// pathfinder for a verdict but never split, checkpoint or migrate, and
+	// they keep solving the subproblem as received even after the
+	// pathfinder narrows its own space by donating cofactors — a wider
+	// ancestor space, so their UNSAT still covers the pathfinder's.
+	extras []*solver.Solver
+	// pool/curs are the workers' lock-free clause exchange and one read
+	// cursor per worker. The DES drives the pool single-threaded, so every
+	// drain is deterministic.
+	pool *hostPool
+	curs []*poolCursor
+	// slotMem is the per-worker memory budget (memBudget/Threads; equal to
+	// memBudget on single-threaded runs).
+	slotMem    int64
 	registered bool
 	busy       bool
 	dead       bool
@@ -329,9 +362,14 @@ type runner struct {
 	done      bool
 	res       SimResult
 	flight    *trace.Flight
-	// verdictClient is the client whose model decided a SAT run (0 for
-	// UNSAT/timeout), recorded on the verdict flight event.
+	// profs are the per-worker diversification profiles shared by every
+	// portfolio client (nil when Threads <= 1); index 0 is the pathfinder
+	// identity profile, whose import/export pool budgets still apply.
+	profs []solver.Profile
+	// verdictClient/verdictWorker locate the solver whose result decided a
+	// SAT run (0/0 for UNSAT/timeout), recorded on the verdict flight event.
 	verdictClient int
+	verdictWorker int
 	batchJob      *grid.BatchJob
 	batchSys      *grid.BatchSystem
 	rng           *rand.Rand
@@ -371,6 +409,18 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
 	if r.master == nil && len(cfg.Grid.Hosts) > 0 {
 		r.master = cfg.Grid.Hosts[len(cfg.Grid.Hosts)-1]
+	}
+	r.res.Threads = 1
+	if cfg.Threads > 1 {
+		r.res.Threads = cfg.Threads
+		baseOpts := solver.DefaultOptions()
+		if cfg.SolverOptions != nil {
+			baseOpts = *cfg.SolverOptions
+		}
+		r.profs = make([]solver.Profile, cfg.Threads)
+		for w := range r.profs {
+			r.profs[w] = solver.ProfileFor(w, baseOpts.Seed)
+		}
 	}
 
 	// NWS monitoring: sample every host periodically.
@@ -466,14 +516,104 @@ func minInt(a, b int) int {
 	return b
 }
 
-// absorbStats folds a solver's lifetime counters into the run's cluster
-// aggregate. Called exactly once per solver instance, at retirement
-// (sub-UNSAT, migration, crash) or at finish for still-live solvers.
+// absorbStats folds a client's solver lifetime counters — the pathfinder's
+// and every portfolio extra's — into the run's cluster aggregate. Called
+// exactly once per solver instance, at retirement (sub-UNSAT, migration,
+// crash) or at finish for still-live solvers.
 func (r *runner) absorbStats(c *simClient) {
-	if c.slv == nil {
-		return
+	if c.slv != nil {
+		r.res.Agg.Add(heartbeatDeltas(c.slv.Stats()))
 	}
-	r.res.Agg.Add(heartbeatDeltas(c.slv.Stats()))
+	for _, ex := range c.extras {
+		r.res.Agg.Add(heartbeatDeltas(ex.Stats()))
+	}
+}
+
+// retire absorbs every engine on c into the cluster aggregate and drops
+// them, folding the host pool's exchange telemetry into the run totals.
+// The one funnel for ending a client's solvers, so per-engine absorption
+// stays exactly-once.
+func (r *runner) retire(c *simClient) {
+	r.absorbStats(c)
+	c.slv = nil
+	c.extras = nil
+	if c.pool != nil {
+		st := c.pool.Stats()
+		r.res.PoolPublished += st.Published
+		r.res.PoolDelivered += st.Delivered
+		r.res.PoolLost += st.Lost
+		r.res.PoolDropped += st.Dropped
+		c.pool = nil
+		c.curs = nil
+	}
+}
+
+// attachSolvers equips c with a freshly built pathfinder plus, when the
+// run is configured with Threads > 1, the diversified portfolio extras and
+// their in-host clause pool. build constructs one engine from the given
+// options. Worker 0 always receives the unmodified base engine options —
+// only its pool export bound widens, and OnLearn gating is export-only —
+// so single-threaded runs are bit-identical to the pre-portfolio runner
+// and the pathfinder's trajectory never depends on K.
+func (r *runner) attachSolvers(c *simClient, build func(solver.Options) (*solver.Solver, error)) error {
+	base := r.clientOpts(c)
+	k := len(r.profs)
+	if k <= 1 {
+		slv, err := build(base)
+		if err != nil {
+			return err
+		}
+		c.slv = slv
+		c.slotMem = c.memBudget
+		return nil
+	}
+	opts0 := base
+	opts0.ShareMaxLen = max(r.profs[0].ExportMaxLen, base.ShareMaxLen)
+	slv, err := build(opts0)
+	if err != nil {
+		return err
+	}
+	c.slv = slv
+	c.slotMem = c.memBudget / int64(k)
+	c.pool = newHostPool(k, poolRingCapacity)
+	c.curs = make([]*poolCursor, k)
+	for w := range c.curs {
+		c.curs[w] = c.pool.NewCursor()
+	}
+	c.extras = c.extras[:0]
+	for w := 1; w < k; w++ {
+		opts := r.profs[w].Apply(base)
+		opts.ShareMaxLen = max(r.profs[w].ExportMaxLen, base.ShareMaxLen)
+		ex, err := build(opts)
+		if err != nil {
+			// The pathfinder is live; a failed extra just narrows the
+			// portfolio (deterministically: the same build fails at every
+			// width). Stop here to keep worker indices dense.
+			break
+		}
+		c.extras = append(c.extras, ex)
+	}
+	return nil
+}
+
+// worker returns engine w on c: 0 is the pathfinder, 1.. the extras.
+func (c *simClient) worker(w int) *solver.Solver {
+	if w == 0 {
+		return c.slv
+	}
+	return c.extras[w-1]
+}
+
+func (c *simClient) workerCount() int { return 1 + len(c.extras) }
+
+// poolClauses projects drained pool entries to their clause payloads
+// (shared, immutable; solver imports clone on receipt).
+func poolClauses(entries []poolEntry) []cnf.Clause {
+	out := make([]cnf.Clause, len(entries))
+	for i, e := range entries {
+		out[i] = e.lits
+	}
+	return out
 }
 
 // closeSub folds a refuted subproblem into the coverage estimate, emitting
@@ -499,8 +639,7 @@ func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignme
 	// deterministic order (retired solvers were absorbed at retirement).
 	for _, id := range r.order {
 		if c := r.clients[id]; c != nil {
-			r.absorbStats(c)
-			c.slv = nil
+			r.retire(c)
 		}
 	}
 	r.res.CoverageUnits = r.prog.Units()
@@ -516,7 +655,8 @@ func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignme
 	case solver.StatusUNSAT:
 		detail = "UNSAT"
 	}
-	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Client: r.verdictClient, Detail: detail})
+	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Client: r.verdictClient,
+		Worker: r.verdictWorker, Detail: detail})
 	r.sample(0) // every run ends with the client count collapsing to zero
 	// Solved before the batch allocation arrived: withdraw the job
 	// (Table 2: "the job queued from the Blue Horizon is canceled").
@@ -571,7 +711,9 @@ func (r *runner) assignInitial(c *simClient) {
 		if r.done {
 			return
 		}
-		c.slv = solver.New(r.cfg.Formula, r.clientOpts(c))
+		_ = r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
+			return solver.New(r.cfg.Formula, opts), nil
+		})
 		c.busy = true
 		c.recvAt = r.sim.Now()
 		c.assignedAt = r.sim.Now()
@@ -598,37 +740,109 @@ func (r *runner) scheduleStep(c *simClient) {
 	}
 	c.stepping = true
 
-	var shared []cnf.Clause
-	c.slv.SetOnLearn(func(cl cnf.Clause, _ int) { shared = append(shared, cl) })
-	before := c.slv.Stats().Propagations
-	res := c.slv.Solve(solver.Limits{
-		MaxPropagations: r.cfg.QuantumProps,
-		MaxMemoryBytes:  c.memBudget,
-	})
-	delta := c.slv.Stats().Propagations - before
-	if delta < 1 {
-		delta = 1 // even an immediately-decided quantum takes some time
+	// One compute quantum on a Threads-core host: every worker advances by
+	// up to QuantumProps "in parallel", so the quantum's virtual duration
+	// is the slowest worker's, while TotalProps accrues the sum (the real
+	// work done). Workers run in index order and drain the in-host pool
+	// before computing, so the whole exchange is deterministic — the same
+	// lock-free pool the live portfolio races on, driven single-threaded.
+	// Worker 0 (the pathfinder) alone feeds the split/memory policies.
+	type workerVerdict struct {
+		worker int
+		status solver.Status
+		model  cnf.Assignment
 	}
-	r.res.TotalProps += delta
+	type workerShed struct {
+		worker int
+		freed  int64
+	}
+	var cluster []cnf.Clause
+	var verdicts []workerVerdict
+	var sheds []workerShed
+	var res solver.Result
+	var maxDelta, sumDelta int64
+	shareLen := r.cfg.ShareMaxLen
+	for w := 0; w < c.workerCount(); w++ {
+		w := w
+		s := c.worker(w)
+		if c.pool != nil {
+			if batch := poolClauses(c.pool.Drain(c.curs[w], w, r.profs[w].ImportBudget)); len(batch) > 0 {
+				_ = s.ImportClauses(batch)
+			}
+		}
+		s.SetOnLearn(func(cl cnf.Clause, lbd int) {
+			// The engine's export bound is the wider pool bound; re-filter
+			// to the cluster share bound for the master-mediated broadcast.
+			if shareLen > 0 && len(cl) <= shareLen {
+				cluster = append(cluster, cl)
+			}
+			if c.pool != nil {
+				c.pool.Publish(w, cl, lbd)
+			}
+		})
+		before := s.Stats().Propagations
+		wres := s.Solve(solver.Limits{
+			MaxPropagations: r.cfg.QuantumProps,
+			MaxMemoryBytes:  c.slotMem,
+		})
+		delta := s.Stats().Propagations - before
+		if delta < 1 {
+			delta = 1 // even an immediately-decided quantum takes some time
+		}
+		sumDelta += delta
+		if delta > maxDelta {
+			maxDelta = delta
+		}
+		if w == 0 {
+			res = wres
+			continue
+		}
+		if wres.Status != solver.StatusUnknown {
+			verdicts = append(verdicts, workerVerdict{w, wres.Status, wres.Model})
+		} else if wres.Reason == solver.ReasonMemLimit {
+			// Extras shed on their own; only the pathfinder's pressure
+			// drives the split policy below.
+			sheds = append(sheds, workerShed{w, s.ShedMemory()})
+		}
+	}
+	r.res.TotalProps += sumDelta
 	avail := r.cfg.Grid.Availability(c.host, r.sim.Now())
-	dur := float64(delta) / (r.cfg.PropsPerVSec * c.host.Speed * avail)
+	dur := float64(maxDelta) / (r.cfg.PropsPerVSec * c.host.Speed * avail)
 
 	r.sim.After(dur, func() {
 		c.stepping = false
 		if r.done || c.dead {
 			return
 		}
-		if len(shared) > 0 {
-			r.broadcast(c, shared)
+		if len(cluster) > 0 {
+			r.broadcast(c, cluster)
 		}
-		if res.Status == solver.StatusSAT {
+		for _, sh := range sheds {
+			r.emit(trace.FEvent{Kind: trace.FEvMemShed, Client: c.id, Worker: sh.worker, N: sh.freed})
+		}
+		// Merge worker verdicts, pathfinder first: the lowest-indexed
+		// verified SAT wins (the DES counterpart of the live portfolio's
+		// first-finisher CAS with deterministic tie-break).
+		if res.Status != solver.StatusUnknown {
+			verdicts = append([]workerVerdict{{0, res.Status, res.Model}}, verdicts...)
+		}
+		sawSAT := false
+		for _, v := range verdicts {
+			if v.status != solver.StatusSAT {
+				continue
+			}
+			sawSAT = true
 			// A model is a model even if the subproblem migrated away
 			// mid-quantum; the master verifies before declaring success
 			// (§3.4).
-			if err := r.cfg.Formula.Verify(res.Model); err == nil {
+			if err := r.cfg.Formula.Verify(v.model); err == nil {
 				r.verdictClient = c.id
-				r.finish(OutcomeSolved, solver.StatusSAT, res.Model)
+				r.verdictWorker = v.worker
+				r.finish(OutcomeSolved, solver.StatusSAT, v.model)
+				return
 			}
+		}
+		if sawSAT {
 			return
 		}
 		if c.slv == nil || !c.busy {
@@ -638,14 +852,19 @@ func (r *runner) scheduleStep(c *simClient) {
 			r.serveAssigns(c)
 			return
 		}
-		switch res.Status {
-		case solver.StatusUNSAT:
+		for _, v := range verdicts {
+			if v.status != solver.StatusUNSAT {
+				continue
+			}
+			// An extra refutes the subproblem as received — a (possibly
+			// wider) ancestor of the pathfinder's current space, since
+			// donated cofactors stay outstanding elsewhere. Closing at the
+			// pathfinder's depth therefore never over-counts coverage.
 			depth := c.slv.PathDepth()
-			r.absorbStats(c)
+			r.retire(c)
 			c.busy = false
-			c.slv = nil
 			c.splitAsked = false
-			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id})
+			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Worker: v.worker})
 			r.closeSub(c.id, depth)
 			r.outstanding--
 			r.sample(r.busyCount())
@@ -669,7 +888,7 @@ func (r *runner) scheduleStep(c *simClient) {
 			r.emit(trace.FEvent{Kind: trace.FEvMemShed, Client: c.id, N: freed})
 		} else {
 			dec := SplitDecision{
-				MemBudgetBytes:      c.memBudget,
+				MemBudgetBytes:      c.slotMem,
 				MemPressureFraction: 0.8,
 				TransferTime:        c.xferTime,
 				MinRunTime:          r.cfg.SplitTimeoutVSec,
@@ -725,7 +944,11 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 			if r.done || other.dead || other.slv == nil {
 				return
 			}
-			_ = other.slv.ImportClauses(batch)
+			// Cluster imports fan out to every in-host worker, like the
+			// live portfolio's ImportClauses.
+			for w := 0; w < other.workerCount(); w++ {
+				_ = other.worker(w).ImportClauses(batch)
+			}
 			r.emit(trace.FEvent{Kind: trace.FEvShareMerge, Client: other.id,
 				Peer: from.id, N: int64(len(batch)), Parent: relayEv})
 		})
@@ -900,7 +1123,9 @@ func (r *runner) serveAssigns(c *simClient) {
 					delete(r.pending, a.splitID)
 				}
 				recipient.reserved = false
-				slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+				err := r.attachSolvers(recipient, func(opts solver.Options) (*solver.Solver, error) {
+					return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+				})
 				if err != nil {
 					r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: recipient.id,
 						Peer: c.id, SplitID: a.splitID, Parent: g.issueEv, Detail: err.Error()})
@@ -908,7 +1133,6 @@ func (r *runner) serveAssigns(c *simClient) {
 					r.serveBacklog()
 					return
 				}
-				recipient.slv = slv
 				recipient.busy = true
 				recipient.recvAt = r.sim.Now()
 				recipient.assignedAt = r.sim.Now()
@@ -942,7 +1166,9 @@ func (r *runner) serveSubBacklog() {
 				return
 			}
 			c.reserved = false
-			slv, err := solver.NewFromSubproblem(r.cfg.Formula, entry.sub, r.clientOpts(c))
+			err := r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
+				return solver.NewFromSubproblem(r.cfg.Formula, entry.sub, opts)
+			})
 			if err != nil {
 				r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
 					Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv, Detail: err.Error()})
@@ -950,7 +1176,6 @@ func (r *runner) serveSubBacklog() {
 				r.serveBacklog()
 				return
 			}
-			c.slv = slv
 			c.busy = true
 			c.recvAt = r.sim.Now()
 			c.assignedAt = r.sim.Now()
@@ -1002,13 +1227,15 @@ func (r *runner) maybeMigrate() {
 		return
 	}
 	// The whole problem moves: level-0 assignments plus learned clauses.
+	// Only the pathfinder's state migrates; the donor's extras are torn
+	// down and the recipient rebuilds a fresh portfolio from the
+	// checkpoint, exactly like the live client's performMigrate.
 	cp := weakest.slv.Checkpoint(solver.HeavyCheckpoint, 10000)
 	sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0,
 		Learnts: cp.Learnts, Depth: cp.Depth}
-	r.absorbStats(weakest)
+	r.retire(weakest)
 	weakest.migrating = true
 	weakest.busy = false
-	weakest.slv = nil
 	weakest.splitAsked = false
 	r.serveAssigns(weakest) // release split assignments queued for the donor
 	recipient.reserved = true
@@ -1025,11 +1252,12 @@ func (r *runner) maybeMigrate() {
 			return
 		}
 		recipient.reserved = false
-		slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(recipient))
+		err := r.attachSolvers(recipient, func(opts solver.Options) (*solver.Solver, error) {
+			return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+		})
 		if err != nil {
 			return
 		}
-		recipient.slv = slv
 		recipient.busy = true
 		recipient.recvAt = r.sim.Now()
 		recipient.assignedAt = r.sim.Now()
@@ -1057,10 +1285,9 @@ func (r *runner) failClient(id int) {
 		cp := c.slv.Checkpoint(solver.LightCheckpoint, 0)
 		orphan = &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0, Depth: cp.Depth}
 	}
-	r.absorbStats(c)
+	r.retire(c)
 	c.dead = true
 	c.busy = false
-	c.slv = nil
 	leaveEv := r.emit(trace.FEvent{Kind: trace.FEvClientLeave, Client: id, Detail: "crash"})
 	// Remove the client; in-flight messages to it become no-ops because
 	// its entry disappears.
@@ -1139,11 +1366,12 @@ func (r *runner) serveOrphans() {
 				return
 			}
 			c.reserved = false
-			slv, err := solver.NewFromSubproblem(r.cfg.Formula, sub, r.clientOpts(c))
+			err := r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
+				return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+			})
 			if err != nil {
 				return
 			}
-			c.slv = slv
 			c.busy = true
 			c.recvAt = r.sim.Now()
 			c.assignedAt = r.sim.Now()

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"gridsat/internal/comm"
 )
 
 // This file renders the `gridsat top` dashboard: a fixed-width terminal
@@ -56,10 +58,12 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		"ID", "STATE", "DEPTH", "CONF/S", "UTIL", "IMP-USE", "MEM", "LEARNTS"), width)
 
 	// The /progress client rows carry rates and depths; join the /status
-	// rows by ID for the learned-clause gauge.
+	// rows by ID for the learned-clause gauge and the per-worker view.
 	learnts := map[int]int{}
+	workers := map[int][]comm.WorkerReport{}
 	for _, c := range s.Clients {
 		learnts[c.ID] = c.DBLearnts
+		workers[c.ID] = c.Workers
 	}
 	for _, c := range p.Clients {
 		state := "idle"
@@ -72,8 +76,38 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		writeLine(&b, fmt.Sprintf("%4d  %-5s  %5d  %9.1f  %4.0f%%  %6.1f%%  %8s  %8d",
 			c.ID, state, c.Depth, c.ConflictsPerSec, c.Utilization*100,
 			c.ImportUseRatio*100, fmtBytes(c.MemBytes), learnts[c.ID]), width)
+		// Portfolio clients get one indented sub-row per in-host worker,
+		// with its diversification tag and point-in-time gauges. MEM and
+		// LEARNTS stay aligned with the parent columns.
+		for _, w := range workers[c.ID] {
+			writeLine(&b, fmt.Sprintf("      w%-2d %-14.14s  conf %-7s rst %-4s%8s  %8d",
+				w.Worker, workerTag(w.Profile), fmtCount(w.Conflicts),
+				fmtCount(w.Restarts), fmtBytes(w.MemBytes), w.Learnts), width)
+		}
 	}
 	return b.String()
+}
+
+// workerTag compresses a diversification Profile.String() into a short
+// dashboard tag: the pathfinder keeps its name, diversified workers show
+// their phase and restart schedule ("rand+luby").
+func workerTag(profile string) string {
+	if strings.Contains(profile, "pathfinder") {
+		return "pathfinder"
+	}
+	phase, restart := "?", "?"
+	for _, f := range strings.Fields(profile) {
+		switch {
+		case strings.HasPrefix(f, "phase="):
+			phase = strings.TrimPrefix(f, "phase=")
+		case strings.HasPrefix(f, "restart="):
+			restart = strings.TrimPrefix(f, "restart=")
+			if i := strings.IndexByte(restart, '/'); i >= 0 {
+				restart = restart[:i]
+			}
+		}
+	}
+	return phase + "+" + restart
 }
 
 // writeLine appends s padded/truncated to exactly width columns plus '\n'.

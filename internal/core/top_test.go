@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"gridsat/internal/comm"
 )
 
 // topTestSnapshots builds the canned /progress + /status payload pair the
@@ -28,7 +30,15 @@ func topTestSnapshots() (ProgressSnapshot, StatusSnapshot) {
 		Backlog: 2, Splits: 14, Shared: 1234,
 		Clients: []ClientStatus{
 			{ID: 1, DBLearnts: 4567}, {ID: 2, DBLearnts: 123},
-			{ID: 3, DBLearnts: 2048}, {ID: 4, DBLearnts: 0},
+			// Client 3 runs a two-worker in-host portfolio: its /status row
+			// carries per-worker gauges rendered as indented sub-rows.
+			{ID: 3, DBLearnts: 2048, Workers: []comm.WorkerReport{
+				{Worker: 0, Profile: "w0: pathfinder (base options)",
+					Conflicts: 1500, Restarts: 12, Learnts: 1024, MemBytes: 16 << 20},
+				{Worker: 1, Profile: "w1: seed=0xdeadbeef phase=neg save=false decay=128 restart=luby/512 import=96 export<=20",
+					Conflicts: 548, Restarts: 7, Learnts: 900, MemBytes: 15 << 20},
+			}},
+			{ID: 4, DBLearnts: 0},
 		},
 	}
 	return p, s
@@ -47,6 +57,8 @@ const topGolden = "" +
 	"   1  busy       5     1234.5   100%    41.2%   12.0MiB      4567               \n" +
 	"   2  SLOW       9      123.4    10%    10.0%    9.0MiB       123               \n" +
 	"   3  busy       7      987.6    80%    25.0%   31.0MiB      2048               \n" +
+	"      w0  pathfinder      conf 1.5k    rst 12   16.0MiB      1024               \n" +
+	"      w1  neg+luby        conf 548     rst 7    15.0MiB       900               \n" +
 	"   4  idle       0        0.0     0%     0.0%    1.0MiB         0               \n"
 
 func TestRenderTopGolden(t *testing.T) {

@@ -155,8 +155,10 @@ func TestLoadCheckpointGarbage(t *testing.T) {
 // a checkpoint taken mid-run must survive Save/LoadCheckpoint bit-exactly
 // (same level-0 prefix, same learned-clause set, literal for literal), and
 // the restored solver must reach the oracle's verdict on the original
-// formula.
-func checkCheckpointRoundTrip(t *testing.T, seed int64, conflicts int64, learntCap int) {
+// formula — under the base options and under every portfolio worker
+// profile up to width `workers` (a restored portfolio rebuilds all K
+// workers from the one pathfinder checkpoint).
+func checkCheckpointRoundTrip(t *testing.T, seed int64, conflicts int64, learntCap, workers int) {
 	t.Helper()
 	f := gen.RandomKSAT(12, 50, 3, seed)
 	want, _ := brute.Solve(f, 0)
@@ -201,34 +203,42 @@ func checkCheckpointRoundTrip(t *testing.T, seed int64, conflicts int64, learntC
 		}
 	}
 
-	restored, err := Restore(f, got, DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
+	if workers < 1 {
+		workers = 1
 	}
-	r := restored.Solve(Limits{})
-	if (r.Status == StatusSAT) != (want == brute.SAT) {
-		t.Fatalf("seed %d: restored verdict %v, oracle %v", seed, r.Status, want)
-	}
-	if r.Status == StatusSAT {
-		if err := f.Verify(r.Model); err != nil {
-			t.Fatalf("seed %d: restored model invalid: %v", seed, err)
+	for w := 0; w < workers; w++ {
+		opts := ProfileFor(w, DefaultOptions().Seed).Apply(DefaultOptions())
+		restored, err := Restore(f, got, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := restored.Solve(Limits{})
+		if (r.Status == StatusSAT) != (want == brute.SAT) {
+			t.Fatalf("seed %d worker %d: restored verdict %v, oracle %v", seed, w, r.Status, want)
+		}
+		if r.Status == StatusSAT {
+			if err := f.Verify(r.Model); err != nil {
+				t.Fatalf("seed %d worker %d: restored model invalid: %v", seed, w, err)
+			}
 		}
 	}
 }
 
 // FuzzCheckpointRoundTrip fuzzes the Save/LoadCheckpoint/Restore pipeline
-// over random instances, interruption points, and learnt caps. The seed
-// corpus doubles as the deterministic property test under plain `go test`.
+// over random instances, interruption points, learnt caps, and portfolio
+// widths (K>1 restores the checkpoint under every diversified worker
+// profile). The seed corpus doubles as the deterministic property test
+// under plain `go test`.
 func FuzzCheckpointRoundTrip(f *testing.F) {
-	f.Add(int64(0), int64(5), uint8(0))
-	f.Add(int64(1), int64(1), uint8(3))
-	f.Add(int64(2), int64(40), uint8(0))
-	f.Add(int64(3), int64(12), uint8(1))
-	f.Add(int64(17), int64(25), uint8(7))
-	f.Fuzz(func(t *testing.T, seed, conflicts int64, learntCap uint8) {
+	f.Add(int64(0), int64(5), uint8(0), uint8(1))
+	f.Add(int64(1), int64(1), uint8(3), uint8(4))
+	f.Add(int64(2), int64(40), uint8(0), uint8(2))
+	f.Add(int64(3), int64(12), uint8(1), uint8(3))
+	f.Add(int64(17), int64(25), uint8(7), uint8(5))
+	f.Fuzz(func(t *testing.T, seed, conflicts int64, learntCap, workers uint8) {
 		if conflicts < 1 {
 			conflicts = 1
 		}
-		checkCheckpointRoundTrip(t, seed&0xffff, conflicts%128, int(learntCap))
+		checkCheckpointRoundTrip(t, seed&0xffff, conflicts%128, int(learntCap), int(workers%6))
 	})
 }

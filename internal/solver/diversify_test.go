@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"gridsat/internal/gen"
+)
+
+// knobs projects the option fields diversification may touch into a
+// comparable value (Options itself holds callbacks and cannot be compared).
+func knobs(o Options) string {
+	return fmt.Sprintf("%d/%v/%v/%d/%v/%d",
+		o.Seed, o.Phase, o.PhaseSaving, o.DecayInterval, o.RestartPolicy, o.RestartBase)
+}
+
+func TestProfileForDeterministicAndIdentity(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for w := 0; w < 8; w++ {
+			a, b := ProfileFor(w, seed), ProfileFor(w, seed)
+			if a != b {
+				t.Fatalf("ProfileFor(%d, %d) not deterministic: %+v vs %+v", w, seed, a, b)
+			}
+		}
+		// Worker 0 is the pathfinder identity: applying it must return the
+		// base options bit for bit, whatever they are.
+		base := DefaultOptions()
+		base.Seed = seed
+		base.ShareMaxLen = 3
+		if got := ProfileFor(0, seed).Apply(base); knobs(got) != knobs(base) || got.ShareMaxLen != base.ShareMaxLen {
+			t.Fatalf("pathfinder profile perturbed options: %+v vs %+v", got, base)
+		}
+	}
+}
+
+func TestProfilesStructurallyDiverse(t *testing.T) {
+	base := DefaultOptions()
+	seen := map[string]bool{}
+	for w := 1; w <= 6; w++ {
+		p := ProfileFor(w, 0)
+		o := p.Apply(base)
+		if knobs(o) == knobs(base) {
+			t.Fatalf("worker %d profile is a no-op", w)
+		}
+		if o.Seed == 0 {
+			t.Fatalf("worker %d got seed 0 (reserved for bit-exact runs)", w)
+		}
+		if p.String() == "" {
+			t.Fatalf("worker %d has empty description", w)
+		}
+		// Adjacent workers must differ from each other, not just from the
+		// base: the lineup rotates restart/phase/decay schedules.
+		key := p.Phase.String() + "/" + p.RestartPolicy.String()
+		if seen[key] && w <= 4 {
+			t.Fatalf("workers 1..4 repeat schedule %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestSeedZeroKeepsPhaseDeterministic pins satellite #1's contract: seed 0
+// must not allocate or consult the phase-flip table, so two seed-0 runs
+// are bit-identical and match the historical engine (the Figure-1 guard
+// covers the cross-version half).
+func TestSeedZeroKeepsPhaseDeterministic(t *testing.T) {
+	f := gen.Pigeonhole(7)
+	run := func() Stats {
+		s := New(f, DefaultOptions())
+		if r := s.Solve(Limits{}); r.Status != StatusUNSAT {
+			t.Fatalf("got %v", r.Status)
+		}
+		return s.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("seed-0 runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSeedRandomizesInitialPhase checks that a non-zero seed actually
+// reaches the decision heuristic: some seed must change the search
+// trajectory on a formula whose phase choice matters.
+func TestSeedRandomizesInitialPhase(t *testing.T) {
+	f := gen.RandomKSAT(30, 120, 3, 5)
+	base := New(f, DefaultOptions())
+	baseRes := base.Solve(Limits{MaxConflicts: 200})
+	diverged := false
+	for seed := int64(1); seed <= 8; seed++ {
+		opts := DefaultOptions()
+		opts.Seed = seed
+		s := New(f, opts)
+		res := s.Solve(Limits{MaxConflicts: 200})
+		if s.Stats() != base.Stats() || res.Status != baseRes.Status {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("no seed in 1..8 changed the search trajectory")
+	}
+}
+
+// TestProfilesReachSameVerdict runs every worker profile standalone on the
+// same instances: diversification must change the path, never the answer.
+func TestProfilesReachSameVerdict(t *testing.T) {
+	f := gen.Pigeonhole(7)
+	base := DefaultOptions()
+	var conflicts []int64
+	for w := 0; w < 5; w++ {
+		opts := ProfileFor(w, base.Seed).Apply(base)
+		s := New(f, opts)
+		if r := s.Solve(Limits{}); r.Status != StatusUNSAT {
+			t.Fatalf("worker %d: got %v", w, r.Status)
+		}
+		conflicts = append(conflicts, s.Stats().Conflicts)
+	}
+	distinct := map[int64]bool{}
+	for _, c := range conflicts {
+		distinct[c] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all 5 worker profiles took identical conflict counts %v — no diversity", conflicts)
+	}
+}

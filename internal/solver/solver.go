@@ -104,9 +104,13 @@ type Options struct {
 	// DecayInterval is the number of conflicts between VSIDS decays
 	// (Chaff divides all literal counters by 2 periodically).
 	DecayInterval int
-	// RestartBase is the base of the Luby restart sequence in conflicts;
-	// 0 disables restarts.
+	// RestartBase is the base interval of the restart sequence in
+	// conflicts; 0 disables restarts regardless of RestartPolicy.
 	RestartBase int
+	// RestartPolicy selects how the restart interval evolves between
+	// restarts (the portfolio diversification axis HordeSat exploits).
+	// The zero value, RestartLuby, reproduces the historical behavior.
+	RestartPolicy RestartPolicy
 	// ShareMaxLen is the maximum length of learned clauses passed to
 	// OnLearn for distribution to other clients (the paper uses 10 and 3).
 	// 0 disables sharing.
@@ -135,8 +139,15 @@ type Options struct {
 	// polarity (progress saving, another post-Chaff refinement). Off by
 	// default for 2003 fidelity.
 	PhaseSaving bool
-	// Seed randomizes VSIDS tie-breaking slightly. Same seed, same run.
+	// Seed diversifies the search deterministically: a non-zero seed
+	// randomizes each variable's initial decision polarity (and feeds
+	// PhaseRand). Seed 0 is bit-identical to the historical engine —
+	// the Figure-1 determinism guard depends on that. Same seed, same run.
 	Seed int64
+	// Phase selects the decision-polarity policy. The zero value,
+	// PhaseVSIDS, keeps the historical behavior (the VSIDS heap's literal
+	// polarity, perturbed per-variable when Seed is non-zero).
+	Phase PhaseMode
 	// DecisionOverride, when non-nil, is consulted before VSIDS on each
 	// decision; returning cnf.NoLit falls through to VSIDS. Used by tests
 	// to replay the paper's worked examples.
@@ -217,6 +228,73 @@ type Event struct {
 	Level int
 	// ClauseLen is the learned-clause length for EvLearn.
 	ClauseLen int
+}
+
+// RestartPolicy selects a restart-interval schedule. Together with
+// PhaseMode and Seed it forms the portfolio diversification axes: workers
+// on the same subproblem explore it in genuinely different orders.
+type RestartPolicy int
+
+// Restart schedules.
+const (
+	// RestartLuby is the Luby series scaled by RestartBase (the default,
+	// and the only schedule the engine had before portfolio clients).
+	RestartLuby RestartPolicy = iota
+	// RestartNone disables restarts even with a non-zero RestartBase.
+	RestartNone
+	// RestartFixed restarts every RestartBase conflicts.
+	RestartFixed
+	// RestartGeometric doubles the interval after every restart,
+	// starting from RestartBase.
+	RestartGeometric
+)
+
+// String implements fmt.Stringer.
+func (p RestartPolicy) String() string {
+	switch p {
+	case RestartLuby:
+		return "luby"
+	case RestartNone:
+		return "none"
+	case RestartFixed:
+		return "fixed"
+	case RestartGeometric:
+		return "geometric"
+	}
+	return fmt.Sprintf("RestartPolicy(%d)", int(p))
+}
+
+// PhaseMode selects the polarity given to a VSIDS-chosen decision
+// variable (before PhaseSaving, which still wins when enabled).
+type PhaseMode int
+
+// Phase policies.
+const (
+	// PhaseVSIDS keeps the polarity the VSIDS heap produced, flipped
+	// per-variable by the Seed-derived mask when Seed is non-zero.
+	PhaseVSIDS PhaseMode = iota
+	// PhasePos always decides the positive literal.
+	PhasePos
+	// PhaseNeg always decides the negative literal.
+	PhaseNeg
+	// PhaseRand fixes each variable's polarity from the Seed-derived
+	// mask (deterministic per seed, ~50/50 across variables).
+	PhaseRand
+)
+
+// String implements fmt.Stringer.
+func (m PhaseMode) String() string {
+	switch m {
+	case PhaseVSIDS:
+		return "vsids"
+	case PhasePos:
+		return "pos"
+	case PhaseNeg:
+		return "neg"
+	case PhaseRand:
+		return "rand"
+	}
+	return fmt.Sprintf("PhaseMode(%d)", int(m))
 }
 
 // DefaultOptions returns the tuning used throughout the benchmarks.
@@ -303,6 +381,10 @@ type Solver struct {
 	pathDepth int
 	// savedPhase remembers each variable's last polarity for PhaseSaving.
 	savedPhase []cnf.LBool
+	// phaseFlip is the Seed-derived per-variable polarity mask consulted
+	// by decide (nil when Seed is 0 and Phase does not need it, keeping
+	// the seedless engine bit-identical to the historical one).
+	phaseFlip []bool
 }
 
 // New builds a solver over f's clauses with the given options.
@@ -332,6 +414,12 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	}
 	if opts.PhaseSaving {
 		s.savedPhase = make([]cnf.LBool, f.NumVars)
+	}
+	if opts.Seed != 0 || opts.Phase == PhaseRand {
+		s.phaseFlip = make([]bool, f.NumVars)
+		for v := range s.phaseFlip {
+			s.phaseFlip[v] = s.rng.Intn(2) == 1
+		}
 	}
 	s.heap = newLitHeap(&s.activity)
 	for _, c := range f.Clauses {
@@ -953,6 +1041,21 @@ func (s *Solver) decide() bool {
 		if s.assigns.Value(l.Var()) != cnf.Undef {
 			continue
 		}
+		switch s.opts.Phase {
+		case PhasePos:
+			l = cnf.MkLit(l.Var(), false)
+		case PhaseNeg:
+			l = cnf.MkLit(l.Var(), true)
+		case PhaseRand:
+			l = cnf.MkLit(l.Var(), s.phaseFlip[l.Var()])
+		default:
+			// PhaseVSIDS: keep the heap's polarity, perturbed by the
+			// Seed mask when one was built (Seed 0 leaves it nil, so
+			// the seedless engine stays bit-identical).
+			if s.phaseFlip != nil && s.phaseFlip[l.Var()] {
+				l = l.Not()
+			}
+		}
 		if s.savedPhase != nil {
 			// Progress saving: keep the variable choice from VSIDS but
 			// reuse the polarity the search last assigned it.
@@ -1054,7 +1157,7 @@ func (s *Solver) Solve(lim Limits) Result {
 			s.backtrackTo(0)
 			continue
 		}
-		if s.opts.RestartBase > 0 && s.conflictsSinceRestart >= restartLimit {
+		if restartLimit > 0 && s.conflictsSinceRestart >= restartLimit {
 			s.conflictsSinceRestart = 0
 			s.restartCount++
 			s.stats.Restarts++
@@ -1087,12 +1190,27 @@ func (s *Solver) finished() Result {
 	return r
 }
 
-// restartThreshold returns the next restart interval from the Luby series.
+// restartThreshold returns the next restart interval under the configured
+// schedule; 0 means "never restart".
 func (s *Solver) restartThreshold() int {
 	if s.opts.RestartBase == 0 {
 		return 0
 	}
-	return s.opts.RestartBase * luby(s.restartCount+1)
+	switch s.opts.RestartPolicy {
+	case RestartNone:
+		return 0
+	case RestartFixed:
+		return s.opts.RestartBase
+	case RestartGeometric:
+		// Cap the shift so long runs cannot overflow the interval.
+		shift := s.restartCount
+		if shift > 20 {
+			shift = 20
+		}
+		return s.opts.RestartBase << shift
+	default:
+		return s.opts.RestartBase * luby(s.restartCount+1)
+	}
 }
 
 // luby computes the Luby restart series 1,1,2,1,1,2,4,...

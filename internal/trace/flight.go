@@ -69,7 +69,11 @@ type FEvent struct {
 	Parent  uint64  `json:"parent,omitempty"`
 	Kind    string  `json:"kind"`
 	Client  int     `json:"client,omitempty"`
-	Peer    int     `json:"peer,omitempty"`
+	// Worker attributes the event to an in-host portfolio worker of
+	// Client (0 = the pathfinder, also the only worker on
+	// single-threaded clients). Set on verdict/sub-unsat events.
+	Worker int `json:"worker,omitempty"`
+	Peer   int `json:"peer,omitempty"`
 	SplitID int     `json:"split,omitempty"`
 	N       int64   `json:"n,omitempty"`
 	VSec    float64 `json:"vsec,omitempty"`
