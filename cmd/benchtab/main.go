@@ -5,6 +5,7 @@
 //	benchtab -table 2              regenerate Table 2 (9 rows + batch)
 //	benchtab -table 1 -rows 6pipe,dp12s12
 //	benchtab -ablation sharelen    clause-share-length sweep
+//	benchtab -ablation sched       scheduling-policy sweep (Poisson workload)
 //	benchtab -bhonly               par32-1-c Blue-Horizon-only rerun
 //	benchtab -snapshot BENCH_6.json   machine-readable CI perf snapshot
 //
@@ -28,7 +29,9 @@ func main() {
 		rows        = flag.String("rows", "", "comma-separated row filter")
 		scale       = flag.Float64("scale", 1.0, "budget scale factor (1.0 = paper-faithful)")
 		seed        = flag.Int64("seed", 1, "grid contention seed")
-		ablation    = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology | split | hybrid")
+		ablation    = flag.String("ablation", "", "sharelen | splittimeout | pruning | ranking | minimize | topology | split | hybrid | sched")
+		schedJobs   = flag.Int("sched-jobs", 8, "job count for the sched ablation's Poisson workload")
+		schedGap    = flag.Float64("sched-gap", 8, "mean inter-arrival gap (vsec) for the sched ablation")
 		ablationOut = flag.String("ablation-out", "", "also write the ablation's machine-readable JSON here (split and hybrid)")
 		threads     = flag.Int("threads", 0, "portfolio workers per simulated client (0/1 = single-solver)")
 		bhOnly      = flag.Bool("bhonly", false, "rerun par32-1-c on Blue Horizon alone")
@@ -74,7 +77,14 @@ func main() {
 	}
 	if *ablation != "" {
 		did = true
-		runAblation(*ablation, *ablationOut, opts)
+		if *ablation == "sched" {
+			jobs := bench.PoissonWorkload(*schedJobs, *schedGap, *seed)
+			fmt.Printf("ablation: scheduling policy over a %d-job Poisson workload (mean gap %gvs, %d clients)\n",
+				*schedJobs, *schedGap, bench.SchedWorkloadClients)
+			fmt.Print(bench.RenderSchedAblation(bench.AblationSched(jobs, opts)))
+		} else {
+			runAblation(*ablation, *ablationOut, opts)
+		}
 	}
 	if *bhOnly {
 		did = true

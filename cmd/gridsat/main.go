@@ -5,6 +5,8 @@
 //	gridsat solve  problem.cnf            sequential solve (zChaff role)
 //	gridsat run    problem.cnf            master + N clients in one process
 //	gridsat master -listen :7070 p.cnf    TCP master for a real deployment
+//	gridsat serve  -listen :7070          long-lived multi-job scheduling
+//	                                      service (submit/cancel over HTTP)
 //	gridsat client -master host:7070      TCP client joining a deployment
 //	gridsat sim    problem.cnf            deterministic simulated-grid run
 //	gridsat top    -addr host:8080        live cluster dashboard (polls a
@@ -17,8 +19,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"gridsat/internal/cnf"
@@ -44,6 +48,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "master":
 		err = cmdMaster(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "client":
 		err = cmdClient(os.Args[2:])
 	case "sim":
@@ -65,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gridsat <solve|run|master|client|sim|top|checkproof> [flags] [problem.cnf]
+	fmt.Fprintln(os.Stderr, `usage: gridsat <solve|run|master|serve|client|sim|top|checkproof> [flags] [problem.cnf]
 run "gridsat <mode> -h" for mode flags`)
 }
 
@@ -358,6 +364,87 @@ func cmdMaster(args []string) error {
 		res.Wall.Seconds(), res.MaxClients, res.Splits, res.SharedClauses,
 		res.Comm.MsgsSent, res.Comm.BytesSent)
 	return writeReport(*reportPath, fs.Arg(0), res, fl)
+}
+
+// cmdServe boots the long-lived multi-job scheduling service: a serve-mode
+// master whose /jobs HTTP API (submit, status, cancel, result) rides the
+// introspection server. Ctrl-C shuts the pool down cleanly.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":7070", "TCP listen address for solver clients")
+	apiAddr := fs.String("api-addr", ":8080", "HTTP address for the /jobs API (also serves /metrics, /status, /progress)")
+	policy := fs.String("sched", "fifo", "allocation policy: fifo | fair-share | priority")
+	maxJobs := fs.Int("max-jobs", 0, "admission cap on active jobs (0 = derive from client count)")
+	memBudget := fs.Int64("mem-budget", 0, "admission cap on summed active formula bytes (0 = unbounded)")
+	minMem := fs.Int64("min-mem", 128<<20, "minimum client free memory (bytes)")
+	rebalance := fs.Duration("rebalance", 0, "allocation review period (0 = 250ms)")
+	timeout := fs.Duration("timeout", 0, "shut the service down after this long (0 = run until interrupted)")
+	splitStrategy := fs.String("split-strategy", "", "split engine: "+solver.StrategyNames)
+	logLevel := fs.String("log", "info", "structured log level (debug|info|warn|error; empty = off)")
+	tracePath := fs.String("trace", "", "record the control-plane flight log as JSONL here")
+	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
+	fs.Parse(args)
+	if *apiAddr == "" {
+		return fmt.Errorf("serve needs -api-addr: the /jobs API rides the introspection server")
+	}
+	if _, err := core.ParseSchedPolicy(*policy); err != nil {
+		return err
+	}
+	logger, err := runLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	fl, closeFlight, err := flightRecorder(*tracePath)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	cm := comm.NewMetrics(reg)
+	// The API endpoints are consumed by NewMaster, so the service is built
+	// unbound and attached once the master exists (requests in the gap
+	// get 503).
+	svc := core.NewService(nil)
+	m, err := core.NewMaster(core.MasterConfig{
+		Transport:       comm.Instrument(comm.TCPTransport{}, cm),
+		ListenAddr:      *listen,
+		MinMemBytes:     *minMem,
+		Timeout:         *timeout,
+		SplitStrategy:   *splitStrategy,
+		Metrics:         reg,
+		MetricsAddr:     *apiAddr,
+		Logger:          logger,
+		Flight:          fl,
+		CommMetrics:     cm,
+		Serve:           true,
+		SchedPolicy:     *policy,
+		Admission:       core.Admission{MaxActive: *maxJobs, MemBudgetBytes: *memBudget},
+		RebalancePeriod: *rebalance,
+		ExtraEndpoints:  svc.Endpoints(),
+	})
+	if err != nil {
+		return err
+	}
+	svc.Attach(m)
+	fmt.Fprintln(os.Stderr, "gridsat serve: clients on", m.Addr())
+	fmt.Fprintln(os.Stderr, "gridsat serve: job API on http://"+m.MetricsAddr()+"/jobs (policy "+*policy+")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "gridsat serve: shutting down")
+		m.Shutdown()
+	}()
+
+	_, err = m.Run()
+	signal.Stop(sig)
+	if err != nil {
+		return err
+	}
+	if err := closeFlight(); err != nil {
+		return err
+	}
+	return writeTraceViews(fl, *perfettoPath, "")
 }
 
 func cmdClient(args []string) error {

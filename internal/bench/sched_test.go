@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPoissonWorkloadDeterministic: the arrival trace is a pure function
+// of (n, meanGap, seed) — the property every policy comparison rests on.
+func TestPoissonWorkloadDeterministic(t *testing.T) {
+	a := PoissonWorkload(6, 25, 5)
+	b := PoissonWorkload(6, 25, 5)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].ArrivalVSec != b[i].ArrivalVSec ||
+			a[i].Priority != b[i].Priority {
+			t.Fatalf("job %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].ArrivalVSec <= a[i-1].ArrivalVSec {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v",
+				i, a[i-1].ArrivalVSec, a[i].ArrivalVSec)
+		}
+	}
+}
+
+// TestAblationSched runs the policy sweep on a short trace and checks
+// every policy solves every job and the sweep is deterministic across
+// reruns (the snapshot-diffing property).
+func TestAblationSched(t *testing.T) {
+	jobs := PoissonWorkload(4, 20, 3)
+	run := func() []SchedResult { return AblationSched(jobs, Options{Seed: 1}) }
+	res := run()
+	if len(res) != 3 {
+		t.Fatalf("got %d policies, want 3", len(res))
+	}
+	for _, r := range res {
+		if r.Jobs != 4 || r.Solved != 4 {
+			t.Fatalf("%s solved %d/%d jobs: %+v", r.Policy, r.Solved, r.Jobs, r.Result.Jobs)
+		}
+		if r.MakespanVSec <= 0 || r.MeanTurnaroundVSec <= 0 {
+			t.Fatalf("%s has empty service metrics: %+v", r.Policy, r)
+		}
+	}
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(run())
+	if string(a) != string(b) {
+		t.Fatal("sched ablation is not deterministic for a fixed trace")
+	}
+	table := RenderSchedAblation(res)
+	for _, policy := range []string{"fifo", "fair-share", "priority"} {
+		if !strings.Contains(table, policy) {
+			t.Fatalf("rendered table lost the %s row:\n%s", policy, table)
+		}
+	}
+}

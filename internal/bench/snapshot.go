@@ -8,8 +8,9 @@ import (
 )
 
 // SnapshotSchema versions the machine-readable benchmark snapshot so CI
-// consumers can reject frames they don't understand.
-const SnapshotSchema = "gridsat-bench-snapshot/1"
+// consumers can reject frames they don't understand. /2 added the
+// scheduler-policy section (Sched) alongside the Table-1 rows.
+const SnapshotSchema = "gridsat-bench-snapshot/2"
 
 // SnapshotRows is the default row set for a CI perf snapshot: fast
 // Table-1 rows covering an UNSAT refutation (full coverage), a SAT hit
@@ -24,6 +25,21 @@ type Snapshot struct {
 	Scale  float64       `json:"scale"`
 	Seed   int64         `json:"seed"`
 	Rows   []SnapshotRow `json:"rows"`
+	// Sched replays the fixed Poisson workload under each scheduling
+	// policy (schema /2). Omitted when the snapshot skips the sweep.
+	Sched []SchedSnapshotRow `json:"sched,omitempty"`
+}
+
+// SchedSnapshotRow is one policy's service metrics over the snapshot's
+// fixed multi-job workload.
+type SchedSnapshotRow struct {
+	Policy             string   `json:"policy"`
+	Jobs               int      `json:"jobs"`
+	Solved             int      `json:"solved"`
+	MakespanVSec       float64  `json:"makespan_vsec"`
+	MeanTurnaroundVSec float64  `json:"mean_turnaround_vsec"`
+	Preemptions        int      `json:"preemptions"`
+	Verdicts           []string `json:"verdicts"`
 }
 
 // SnapshotRow captures one Table-1 row plus the observability totals the
@@ -78,6 +94,21 @@ func BuildSnapshot(opts Options) Snapshot {
 		if row, ok := byName[name]; ok {
 			snap.Rows = append(snap.Rows, row)
 		}
+	}
+	for _, sr := range AblationSched(SchedSnapshotWorkload(), opts) {
+		verdicts := make([]string, 0, len(sr.Result.Jobs))
+		for _, j := range sr.Result.Jobs {
+			verdicts = append(verdicts, j.Verdict)
+		}
+		snap.Sched = append(snap.Sched, SchedSnapshotRow{
+			Policy:             sr.Policy,
+			Jobs:               sr.Jobs,
+			Solved:             sr.Solved,
+			MakespanVSec:       sr.MakespanVSec,
+			MeanTurnaroundVSec: sr.MeanTurnaroundVSec,
+			Preemptions:        sr.Preemptions,
+			Verdicts:           verdicts,
+		})
 	}
 	return snap
 }

@@ -48,6 +48,14 @@ const (
 // stream sees exactly the old format.
 const frameTracedFlag byte = 0x80
 
+// frameJobFlag marks a frame whose binary payload belongs to a scheduler
+// job: one uvarint (the job ID) sits between the trace header (if any)
+// and the length prefix. Job 0 — the implicit single job — never sets
+// the flag, so single-job streams are byte-identical to pre-scheduler
+// ones, and legacy frames decode with Job = 0. Gob fallback frames carry
+// the job inside the blob and never set the flag.
+const frameJobFlag byte = 0x40
+
 // maxFramePayload bounds a frame so a corrupt or hostile length prefix
 // cannot drive a huge allocation. The paper's largest split payloads are
 // hundreds of MB; 1 GiB leaves headroom.
@@ -87,13 +95,14 @@ func EncodeMessage(m Message) (*EncodedMessage, error) {
 	}
 	var id byte
 	var payload []byte
+	job := 0
 	switch v := m.(type) {
 	case ShareClauses:
-		id, payload = frameShare, encodeShare(v)
+		id, payload, job = frameShare, encodeShare(v), v.Job
 	case SplitPayload:
-		id, payload = frameSplit, encodeSplit(v)
+		id, payload, job = frameSplit, encodeSplit(v), v.Job
 	case StatusReport:
-		id, payload = frameStatus, encodeStatus(v)
+		id, payload, job = frameStatus, encodeStatus(v), v.Job
 	default:
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
@@ -104,13 +113,24 @@ func EncodeMessage(m Message) (*EncodedMessage, error) {
 	if len(payload) > maxFramePayload {
 		return nil, fmt.Errorf("comm: frame payload %d exceeds limit", len(payload))
 	}
-	frame := make([]byte, 0, len(payload)+3*binary.MaxVarintLen32+1)
+	if job < 0 {
+		return nil, fmt.Errorf("comm: negative job tag %d", job)
+	}
+	frame := make([]byte, 0, len(payload)+4*binary.MaxVarintLen32+1)
+	flags := id
 	if ti != nil {
-		frame = append(frame, id|frameTracedFlag)
+		flags |= frameTracedFlag
+	}
+	if job != 0 {
+		flags |= frameJobFlag
+	}
+	frame = append(frame, flags)
+	if ti != nil {
 		frame = binary.AppendUvarint(frame, ti.Lamport)
 		frame = binary.AppendUvarint(frame, ti.Parent)
-	} else {
-		frame = append(frame, id)
+	}
+	if job != 0 {
+		frame = binary.AppendUvarint(frame, uint64(job))
 	}
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = append(frame, payload...)
@@ -120,7 +140,7 @@ func EncodeMessage(m Message) (*EncodedMessage, error) {
 // IsFallback reports whether this frame used the gob fallback codec — the
 // signal behind gridsat_comm_codec_fallback_frames_total.
 func (e *EncodedMessage) IsFallback() bool {
-	return len(e.frame) > 0 && e.frame[0]&^frameTracedFlag == frameGob
+	return len(e.frame) > 0 && e.frame[0]&^(frameTracedFlag|frameJobFlag) == frameGob
 }
 
 // HasBinaryCodec reports whether m encodes with a dedicated binary frame
@@ -170,6 +190,16 @@ func readMessage(r frameReader) (Message, error) {
 			return nil, fmt.Errorf("comm: trace header: %w", err)
 		}
 	}
+	job := uint64(0)
+	if id&frameJobFlag != 0 {
+		id &^= frameJobFlag
+		if job, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("comm: job header: %w", err)
+		}
+		if job > 1<<31 {
+			return nil, fmt.Errorf("comm: job tag %d out of range", job)
+		}
+	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("comm: frame length: %w", err)
@@ -182,10 +212,34 @@ func readMessage(r frameReader) (Message, error) {
 		return nil, fmt.Errorf("comm: frame body: %w", err)
 	}
 	m, err := decodePayload(id, payload)
-	if err != nil || ti == nil {
+	if err != nil {
 		return m, err
 	}
+	if job != 0 {
+		m = withJob(m, int(job))
+	}
+	if ti == nil {
+		return m, nil
+	}
 	return Traced{Info: *ti, Msg: m}, nil
+}
+
+// withJob stamps a frame-header job tag onto the decoded binary message.
+// Gob frames never carry the flag (the job travels inside the blob), so
+// unknown kinds pass through untouched.
+func withJob(m Message, job int) Message {
+	switch v := m.(type) {
+	case ShareClauses:
+		v.Job = job
+		return v
+	case SplitPayload:
+		v.Job = job
+		return v
+	case StatusReport:
+		v.Job = job
+		return v
+	}
+	return m
 }
 
 func decodePayload(id byte, payload []byte) (Message, error) {

@@ -24,7 +24,9 @@ func FuzzSplitPayloadRoundTrip(f *testing.F) {
 			t.Skip()
 		}
 		r := rand.New(rand.NewSource(seed))
-		in := SplitPayload{SplitID: int(r.Int31()), From: r.Intn(100) - 50}
+		// Job 0 keeps the legacy frame layout; non-zero jobs exercise the
+		// frameJobFlag header.
+		in := SplitPayload{SplitID: int(r.Int31()), From: r.Intn(100) - 50, Job: r.Intn(4)}
 		for i := 0; i < nSubs; i++ {
 			sub := &solver.Subproblem{NumVars: nVars, Depth: r.Intn(64)}
 			for j := r.Intn(20); j > 0; j-- {
@@ -51,6 +53,9 @@ func FuzzSplitPayloadRoundTrip(f *testing.F) {
 		if out.SplitID != in.SplitID || out.From != in.From {
 			t.Fatalf("header mangled: got %d/%d, want %d/%d",
 				out.SplitID, out.From, in.SplitID, in.From)
+		}
+		if out.Job != in.Job {
+			t.Fatalf("job tag mangled: got %d, want %d", out.Job, in.Job)
 		}
 		if len(out.Subs) != len(in.Subs) {
 			t.Fatalf("decoded %d subs, want %d", len(out.Subs), len(in.Subs))
@@ -86,6 +91,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(good.Frame())
 	f.Add([]byte{frameSplit})
 	f.Add([]byte{frameSplit, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Job-tagged frames: a well-formed one plus truncated/garbage job
+	// headers, so the frameJobFlag path is fuzzed too.
+	tagged, _ := EncodeMessage(ShareClauses{From: 2, Job: 7,
+		Clauses: []cnf.Clause{cnf.NewClause(1, -2)}})
+	f.Add(tagged.Frame())
+	f.Add([]byte{frameShare | frameJobFlag})
+	f.Add([]byte{frameShare | frameJobFlag, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{frameSplit | frameTracedFlag | frameJobFlag, 0x01, 0x02, 0x03})
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		e := EncodedMessage{frame: frame}
 		_, _ = e.Decode() // must not panic

@@ -1,0 +1,162 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+)
+
+// TestJobTagRoundTrip: every binary kind carries a non-zero job tag
+// through the frameJobFlag header, alone and composed with the traced
+// flag.
+func TestJobTagRoundTrip(t *testing.T) {
+	msgs := []Message{
+		ShareClauses{From: 3, Job: 5, Clauses: []cnf.Clause{cnf.NewClause(1, -2, 4)}},
+		SplitPayload{SplitID: 9, From: 2, Job: 12, Subs: []*solver.Subproblem{{
+			NumVars: 10, Depth: 1, Assumptions: []cnf.Lit{cnf.PosLit(3)},
+		}}},
+		StatusReport{ClientID: 4, MemBytes: 1 << 20, Busy: true, Job: 31},
+	}
+	for _, in := range msgs {
+		for _, traced := range []bool{false, true} {
+			m := in
+			if traced {
+				m = Traced{Info: TraceInfo{Lamport: 77, Parent: 3}, Msg: in}
+			}
+			e, err := EncodeMessage(m)
+			if err != nil {
+				t.Fatalf("%s: %v", in.Kind(), err)
+			}
+			if e.Frame()[0]&frameJobFlag == 0 {
+				t.Fatalf("%s: job-tagged frame missing frameJobFlag (byte %#x)", in.Kind(), e.Frame()[0])
+			}
+			got, err := e.Decode()
+			if err != nil {
+				t.Fatalf("%s: decode: %v", in.Kind(), err)
+			}
+			if traced {
+				tr, ok := got.(Traced)
+				if !ok || tr.Info.Lamport != 77 {
+					t.Fatalf("%s: trace envelope lost: %#v", in.Kind(), got)
+				}
+				got = tr.Msg
+			}
+			var job int
+			switch v := got.(type) {
+			case ShareClauses:
+				job = v.Job
+			case SplitPayload:
+				job = v.Job
+			case StatusReport:
+				job = v.Job
+			default:
+				t.Fatalf("%s: decoded %T", in.Kind(), got)
+			}
+			var want int
+			switch v := in.(type) {
+			case ShareClauses:
+				want = v.Job
+			case SplitPayload:
+				want = v.Job
+			case StatusReport:
+				want = v.Job
+			}
+			if job != want {
+				t.Fatalf("%s (traced=%v): job %d, want %d", in.Kind(), traced, job, want)
+			}
+		}
+	}
+}
+
+// TestLegacyUntaggedFramesDecode is the wire backward-compatibility
+// guarantee: a frame laid out exactly as the pre-scheduler codec wrote it
+// (no frameJobFlag, no job uvarint) still decodes, with Job = 0. The
+// legacy frame is built by hand so this keeps failing loudly if the
+// layout ever drifts.
+func TestLegacyUntaggedFramesDecode(t *testing.T) {
+	payload := encodeShare(ShareClauses{From: 6, Clauses: []cnf.Clause{cnf.NewClause(2, -5)}})
+	legacy := []byte{frameShare}
+	legacy = binary.AppendUvarint(legacy, uint64(len(payload)))
+	legacy = append(legacy, payload...)
+
+	got, err := (&EncodedMessage{frame: legacy}).Decode()
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	sc, ok := got.(ShareClauses)
+	if !ok {
+		t.Fatalf("legacy frame decoded as %T", got)
+	}
+	if sc.Job != 0 || sc.From != 6 || len(sc.Clauses) != 1 {
+		t.Fatalf("legacy frame mangled: %+v", sc)
+	}
+
+	// The converse: encoding a job-0 message reproduces the legacy bytes
+	// exactly, so single-job deployments are wire-bit-identical.
+	e, err := EncodeMessage(ShareClauses{From: 6, Clauses: []cnf.Clause{cnf.NewClause(2, -5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e.Frame(), legacy) {
+		t.Fatalf("job-0 frame differs from legacy layout:\n  got  %x\n  want %x", e.Frame(), legacy)
+	}
+}
+
+// TestJobTagGobKinds: control-plane scheduler messages (gob fallback)
+// carry their job inside the blob — no frame flag — and round-trip.
+func TestJobTagGobKinds(t *testing.T) {
+	msgs := []Message{
+		BaseProblem{Formula: func() *cnf.Formula { f := cnf.NewFormula(2); f.Add(1, 2); return f }(), Job: 3},
+		Solved{ClientID: 2, Status: solver.StatusUNSAT, Depth: 4, Job: 7},
+		Preempt{Job: 5},
+		Preempted{ClientID: 9, Job: 5, Sub: &solver.Subproblem{
+			NumVars: 8, Depth: 2,
+			Assumptions: []cnf.Lit{cnf.PosLit(1), cnf.NegLit(4)},
+			Learnts:     []cnf.Clause{cnf.NewClause(1, 2)},
+		}},
+		StopWork{Job: 11},
+	}
+	for _, in := range msgs {
+		e, err := EncodeMessage(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Kind(), err)
+		}
+		if !e.IsFallback() {
+			t.Fatalf("%s: expected gob fallback frame", in.Kind())
+		}
+		if e.Frame()[0]&frameJobFlag != 0 {
+			t.Fatalf("%s: gob frame must not set frameJobFlag", in.Kind())
+		}
+		got, err := e.Decode()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.Kind(), err)
+		}
+		switch v := got.(type) {
+		case BaseProblem:
+			if v.Job != 3 || v.Formula == nil {
+				t.Fatalf("BaseProblem mangled: %+v", v)
+			}
+		case Solved:
+			if v.Job != 7 || v.Status != solver.StatusUNSAT {
+				t.Fatalf("Solved mangled: %+v", v)
+			}
+		case Preempt:
+			if v.Job != 5 {
+				t.Fatalf("Preempt mangled: %+v", v)
+			}
+		case Preempted:
+			if v.Job != 5 || v.Sub == nil || len(v.Sub.Assumptions) != 2 || len(v.Sub.Learnts) != 1 {
+				t.Fatalf("Preempted mangled: %+v", v)
+			}
+		case StopWork:
+			if v.Job != 11 {
+				t.Fatalf("StopWork mangled: %+v", v)
+			}
+		default:
+			t.Fatalf("%s decoded as %T", in.Kind(), got)
+		}
+	}
+}

@@ -52,6 +52,10 @@ func (RegisterAck) Kind() string { return "register-ack" }
 // (the initial clauses "are obtained from the problem file", §3.4).
 type BaseProblem struct {
 	Formula *cnf.Formula
+	// Job keys the formula to a scheduler job. 0 is the implicit
+	// single-job run; a multi-job master sends one BaseProblem per job a
+	// client is allocated to, and the client caches them by ID.
+	Job int
 }
 
 // Kind implements Message.
@@ -116,7 +120,11 @@ func (SplitAssign) Kind() string { return "split-assign" }
 type SplitPayload struct {
 	SplitID int // 0 for the master's initial whole-problem assignment
 	From    int
-	Subs    []*solver.Subproblem
+	// Job tags the subproblems with their scheduler job (0 = the implicit
+	// single job), so a multi-job recipient solves against the right base
+	// formula and the master credits the right job's coverage.
+	Job  int
+	Subs []*solver.Subproblem
 }
 
 // Kind implements Message.
@@ -149,6 +157,10 @@ func (SplitDone) Kind() string { return "split-done" }
 // (paper §3.2: GridSAT shares clauses "as soon as they are generated").
 type ShareClauses struct {
 	From    int
+	// Job scopes the batch: learned clauses are only sound within the job
+	// whose formula produced them, so the master fans a batch out to that
+	// job's clients only and a reassigned client drops stale batches.
+	Job     int
 	Clauses []cnf.Clause
 }
 
@@ -170,6 +182,10 @@ type Solved struct {
 	// single-threaded clients — the pathfinder), for the flight log's
 	// worker attribution.
 	Worker int
+	// Job attributes the verdict to a scheduler job (0 = the implicit
+	// single job), so the master ignores a verdict that raced a
+	// reassignment.
+	Job int
 }
 
 // Kind implements Message.
@@ -191,6 +207,53 @@ type Shutdown struct{}
 
 // Kind implements Message.
 func (Shutdown) Kind() string { return "shutdown" }
+
+// Preempt directs a client to checkpoint its current subproblem and hand
+// it back to the master, so the scheduler can reassign the client to
+// another job. It reuses the §3.4 checkpoint machinery that Migrate uses,
+// but the subproblem returns to the owning job's backlog instead of
+// moving to a named peer.
+type Preempt struct {
+	// Job is the job being preempted; a client that has already moved on
+	// (the preempt raced a verdict) ignores a stale one.
+	Job int
+	// Seq is the master's per-client stop token, echoed back in
+	// Preempted so the master can discard acks from preempts that a
+	// verdict already beat.
+	Seq int
+}
+
+// Kind implements Message.
+func (Preempt) Kind() string { return "preempt" }
+
+// Preempted is the client's answer to Preempt (and to StopWork, with a
+// nil Sub): the checkpointed subproblem travels back to the master for
+// requeueing, and the client is idle again.
+type Preempted struct {
+	ClientID int
+	Job      int
+	// Sub is the checkpointed subproblem (level-0 guiding path + learned
+	// clauses); nil when there was nothing to return — the client raced
+	// to a verdict, or the stop was a cancellation that discards work.
+	Sub *solver.Subproblem
+	// Seq echoes the token from the Preempt/StopWork being acknowledged.
+	Seq int
+}
+
+// Kind implements Message.
+func (Preempted) Kind() string { return "preempted" }
+
+// StopWork tells a client to abandon its current subproblem without
+// returning it — the owning job already reached a verdict or was
+// cancelled. The client acknowledges with Preempted{Sub: nil}.
+type StopWork struct {
+	Job int
+	// Seq is the master's per-client stop token; see Preempt.Seq.
+	Seq int
+}
+
+// Kind implements Message.
+func (StopWork) Kind() string { return "stop-work" }
 
 // SolverDeltas carries solver counter increments accumulated since the
 // client's previous StatusReport, so the master can maintain a live
@@ -244,6 +307,10 @@ type StatusReport struct {
 	// currently working (0 when idle or on the root problem).
 	Depth  int
 	Deltas SolverDeltas
+	// Job is the scheduler job the client is currently allocated to
+	// (0 = the implicit single job), so the master folds the deltas into
+	// the right job's aggregates.
+	Job int
 	// Workers carries per-worker rows when the client runs an in-host
 	// portfolio (nil for single-threaded clients). Point-in-time gauges,
 	// not deltas: each heartbeat replaces the previous view.
@@ -279,4 +346,7 @@ func init() {
 	gob.Register(Migrate{})
 	gob.Register(Shutdown{})
 	gob.Register(StatusReport{})
+	gob.Register(Preempt{})
+	gob.Register(Preempted{})
+	gob.Register(StopWork{})
 }

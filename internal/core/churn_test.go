@@ -130,8 +130,8 @@ func TestHeartbeatAggregationSurvivesChurn(t *testing.T) {
 func TestProgressSnapshotCoverageFromSolved(t *testing.T) {
 	m := newChurnMaster(t)
 	m.started = time.Now()
-	m.assigned = true
-	m.outstanding = 2
+	m.jobs[0].assigned = true
+	m.jobs[0].outstanding = 2
 
 	c1 := &masterClient{id: 1, addr: "a", busy: true, out: make(chan comm.Message, 8)}
 	c2 := &masterClient{id: 2, addr: "b", busy: true, out: make(chan comm.Message, 8)}

@@ -113,7 +113,14 @@ type Client struct {
 	master   comm.Conn
 	listener comm.Listener
 
+	// base is the current subproblem's formula; bases caches every
+	// BaseProblem received, keyed by job (a scheduling master ships one
+	// formula per job; single-job masters use the implicit job 0).
 	base     *cnf.Formula
+	bases    map[int]*cnf.Formula
+	// job is the job the current (or last) subproblem belongs to; tagged
+	// onto every outbound Solved/StatusReport/ShareClauses/SplitPayload.
+	job      int
 	strategy solver.SplitStrategy
 	// slv is the active solver: the only solver when single-threaded, the
 	// portfolio's pathfinder when Threads > 1. Splits, migration and
@@ -197,6 +204,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		strategy: strategy,
 		master:   mc,
 		listener: l,
+		bases:    map[int]*cnf.Formula{},
 		shares:   newShareAggregator(cfg.ShareFlushCount, cfg.ShareFlushInterval, cfg.ShareWindow, cfg.SharePendingMax),
 		control:  make(chan comm.Message, 256),
 		stopped:  make(chan struct{}),
@@ -322,14 +330,23 @@ func (c *Client) handleIdle(msg comm.Message) bool {
 	msg, _ = comm.Unwrap(msg)
 	switch m := msg.(type) {
 	case comm.BaseProblem:
-		c.base = m.Formula
+		c.bases[m.Job] = m.Formula
+		if m.Job == 0 {
+			c.base = m.Formula
+		}
 	case comm.SplitPayload:
-		c.startSubproblem(m.SplitID, m.Subs)
+		c.startSubproblem(m.SplitID, m.Job, m.Subs)
 	case comm.SplitAssign:
 		// The assignment raced with this client finishing its subproblem;
 		// report failure so the master releases the reserved recipient.
 		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: m.SplitID, OK: false,
 			Err: "donor already idle"})
+	case comm.Preempt:
+		// The preempt raced with this client going idle; a bare ack lets
+		// the master return it to the pool.
+		_ = c.sendMaster(comm.Preempted{ClientID: c.id, Job: m.Job, Seq: m.Seq})
+	case comm.StopWork:
+		_ = c.sendMaster(comm.Preempted{ClientID: c.id, Job: m.Job, Seq: m.Seq})
 	case comm.ShareClauses:
 		// Idle clients have no solver; drop (they get a fresh split later).
 	case comm.Shutdown:
@@ -341,14 +358,24 @@ func (c *Client) handleIdle(msg comm.Message) bool {
 func (c *Client) handleBusy(msg comm.Message) bool {
 	msg, ti := comm.Unwrap(msg)
 	switch m := msg.(type) {
+	case comm.BaseProblem:
+		// A scheduling master may pre-ship another job's formula while this
+		// client is still busy (reserved as a split recipient).
+		c.bases[m.Job] = m.Formula
 	case comm.SplitAssign:
 		c.performSplit(m.SplitID, m.Peers)
 	case comm.Migrate:
 		c.performMigrate(m.PeerAddr)
+	case comm.Preempt:
+		c.performPreempt(m.Job, m.Seq)
+	case comm.StopWork:
+		c.performStop(m.Job, m.Seq)
 	case comm.ShareClauses:
-		if c.slv != nil {
+		if c.slv != nil && m.Job == c.job {
 			// Remember what arrived before importing: clauses received
-			// from peers must never be re-exported by this client.
+			// from peers must never be re-exported by this client. Shares
+			// are sound only within their own job's formula, hence the tag
+			// filter.
 			c.shares.NoteReceived(m.Clauses)
 			if c.port != nil {
 				_ = c.port.ImportClauses(m.Clauses)
@@ -356,7 +383,7 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 				_ = c.slv.ImportClauses(m.Clauses)
 			}
 			c.femit(trace.FEvent{Kind: trace.FEvShareMerge, Client: c.id, Peer: m.From,
-				N: int64(len(m.Clauses)), Lamport: ti.Lamport, Parent: ti.Parent})
+				Job: c.job, N: int64(len(m.Clauses)), Lamport: ti.Lamport, Parent: ti.Parent})
 		}
 	case comm.Shutdown:
 		return true
@@ -367,21 +394,28 @@ func (c *Client) handleBusy(msg comm.Message) bool {
 // startSubproblem builds a solver for the received subproblem. A recipient
 // always gets exactly one: multi-subproblem payloads exist only on the
 // donor-to-master leftover path.
-func (c *Client) startSubproblem(splitID int, subs []*solver.Subproblem) {
+func (c *Client) startSubproblem(splitID, job int, subs []*solver.Subproblem) {
+	// Failure acks carry the subproblems back as Leftover so the master
+	// can requeue them: an unstartable cofactor is still live search
+	// space, and dropping it could declare UNSAT without searching it.
 	if len(subs) != 1 {
 		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false,
-			Err: fmt.Sprintf("expected one subproblem, got %d", len(subs))})
+			Err: fmt.Sprintf("expected one subproblem, got %d", len(subs)), Leftover: subs})
 		return
 	}
 	sub := subs[0]
 	if c.busy {
-		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "already busy"})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false,
+			Err: "already busy", Leftover: subs})
 		return
 	}
+	c.base = c.bases[job]
 	if c.base == nil {
-		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false, Err: "no base problem cached"})
+		_ = c.sendMaster(comm.SplitDone{ClientID: c.id, SplitID: splitID, OK: false,
+			Err: "no base problem cached", Leftover: subs})
 		return
 	}
+	c.job = job
 	opts := solver.DefaultOptions()
 	if c.cfg.SolverOptions != nil {
 		opts = *c.cfg.SolverOptions
@@ -459,7 +493,7 @@ func (c *Client) solveSlice() (bool, error) {
 		c.drainShares()        // don't strand learned clauses in the aggregator
 		c.sendHeartbeat(false) // flush the tail deltas before Solved
 		return false, c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status,
-			Model: res.Model, Depth: c.slv.PathDepth(), Worker: worker})
+			Model: res.Model, Depth: c.slv.PathDepth(), Worker: worker, Job: c.job})
 	case solver.StatusUNSAT:
 		c.busy = false
 		c.drainShares()
@@ -468,7 +502,7 @@ func (c *Client) solveSlice() (bool, error) {
 		// of the pathfinder's subspace, so reporting at the pathfinder's
 		// depth never over-counts coverage.
 		depth := c.slv.PathDepth()
-		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Depth: depth, Worker: worker}); err != nil {
+		if err := c.sendMaster(comm.Solved{ClientID: c.id, Status: res.Status, Depth: depth, Worker: worker, Job: c.job}); err != nil {
 			return false, err
 		}
 		c.slv = nil
@@ -519,6 +553,7 @@ func (c *Client) sendHeartbeat(busy bool) {
 		Conflicts: st.Conflicts,
 		Busy:      busy,
 		Depth:     c.slv.PathDepth(),
+		Job:       c.job,
 		Deltas:    heartbeatDeltas(d),
 	}
 	if c.port != nil {
@@ -617,29 +652,69 @@ func (c *Client) performSplit(splitID int, peers []comm.SplitPeer) {
 		Used: used, Leftover: batch[used:]})
 }
 
-// performMigrate ships the whole current problem to the peer and goes idle.
-func (c *Client) performMigrate(peerAddr string) {
-	if c.slv == nil || !c.busy {
-		return
-	}
-	sub := &solver.Subproblem{
+// checkpointSub freezes the current search state as a transferable
+// subproblem: the guiding path (level-0 literals) plus the bounded
+// learnt-clause export (§3.4 HeavyCheckpoint over the wire).
+func (c *Client) checkpointSub() *solver.Subproblem {
+	return &solver.Subproblem{
 		NumVars:     c.base.NumVars,
 		Assumptions: c.slv.Level0Lits(),
 		Learnts:     c.slv.ExportLearnts(c.cfg.SplitLearntMaxLen, c.cfg.SplitLearntMaxCount),
 		Depth:       c.slv.PathDepth(),
 	}
-	if err := c.sendToPeer(0, peerAddr, sub); err != nil {
-		return // keep solving; migration failed
-	}
+}
+
+// stopSolving tears the active solver (or portfolio) down and goes idle.
+func (c *Client) stopSolving() {
 	if c.port != nil {
 		c.port.StopAll()
 		c.port = nil
-	} else {
+	} else if c.slv != nil {
 		c.slv.Stop()
 	}
 	c.slv = nil
 	c.busy = false
-	_ = c.sendMaster(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown})
+}
+
+// performMigrate ships the whole current problem to the peer and goes idle.
+func (c *Client) performMigrate(peerAddr string) {
+	if c.slv == nil || !c.busy {
+		return
+	}
+	sub := c.checkpointSub()
+	if err := c.sendToPeer(0, peerAddr, sub); err != nil {
+		return // keep solving; migration failed
+	}
+	c.stopSolving()
+	_ = c.sendMaster(comm.Solved{ClientID: c.id, Status: solver.StatusUnknown, Job: c.job})
+}
+
+// performPreempt answers the scheduler taking this client away from its
+// job: checkpoint the subproblem, stop, and ship the checkpoint to the
+// master, which backlogs it until the job gets a client again.
+func (c *Client) performPreempt(job, seq int) {
+	if c.slv == nil || !c.busy || job != c.job {
+		// Raced with the subproblem ending (or a stale job tag): a bare ack
+		// returns the client to the pool.
+		_ = c.sendMaster(comm.Preempted{ClientID: c.id, Job: job, Seq: seq})
+		return
+	}
+	c.drainShares()        // don't strand learned clauses
+	c.sendHeartbeat(false) // flush the tail deltas while the solver lives
+	sub := c.checkpointSub()
+	c.stopSolving()
+	_ = c.sendMaster(comm.Preempted{ClientID: c.id, Job: job, Sub: sub, Seq: seq})
+}
+
+// performStop discards the current subproblem outright — its job is done
+// or cancelled, so the work is worthless — and acks with a bare
+// Preempted so the master returns this client to the pool.
+func (c *Client) performStop(job, seq int) {
+	if c.slv != nil && c.busy && job == c.job {
+		c.sendHeartbeat(false)
+		c.stopSolving()
+	}
+	_ = c.sendMaster(comm.Preempted{ClientID: c.id, Job: job, Seq: seq})
 }
 
 func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) error {
@@ -648,7 +723,8 @@ func (c *Client) sendToPeer(splitID int, addr string, sub *solver.Subproblem) er
 		return err
 	}
 	defer conn.Close()
-	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Subs: []*solver.Subproblem{sub}})
+	return conn.Send(comm.SplitPayload{SplitID: splitID, From: c.id, Job: c.job,
+		Subs: []*solver.Subproblem{sub}})
 }
 
 // flushShares sends a batch to the master when the aggregator's flush
@@ -668,8 +744,8 @@ func (c *Client) sendShareBatch(batch []cnf.Clause) {
 	if len(batch) == 0 {
 		return
 	}
-	c.femit(trace.FEvent{Kind: trace.FEvShareFlush, Client: c.id, N: int64(len(batch))})
-	_ = c.sendMaster(comm.ShareClauses{From: c.id, Clauses: batch})
+	c.femit(trace.FEvent{Kind: trace.FEvShareFlush, Client: c.id, Job: c.job, N: int64(len(batch))})
+	_ = c.sendMaster(comm.ShareClauses{From: c.id, Job: c.job, Clauses: batch})
 }
 
 // publishShareMetrics moves the aggregator's dedup tally into the

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"gridsat/internal/gen"
+)
+
+func shares(prios ...int) []SchedShare {
+	out := make([]SchedShare, len(prios))
+	for i, p := range prios {
+		out[i] = SchedShare{JobID: i + 1, Priority: p}
+	}
+	return out
+}
+
+func allocSum(m map[int]int) int {
+	s := 0
+	for _, n := range m {
+		s += n
+	}
+	return s
+}
+
+func TestParseSchedPolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "fifo", "fifo": "fifo", "fair-share": "fair-share", "priority": "priority",
+	} {
+		p, err := ParseSchedPolicy(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%q parsed as %q", name, p.Name())
+		}
+	}
+	if _, err := ParseSchedPolicy("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestFIFOAllocatesOldestFirst: FIFO is run-to-completion in submission
+// order — the whole pool to job 1, spillover only past its demand cap.
+func TestFIFOAllocatesOldestFirst(t *testing.T) {
+	p, _ := ParseSchedPolicy("fifo")
+	got := p.Allocate(shares(1, 9, 5), 6)
+	if got[1] != 6 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("fifo allocation %v", got)
+	}
+	// A demand-capped head job spills the rest to the next in line.
+	jobs := shares(1, 1, 1)
+	jobs[0].Demand = 2
+	got = p.Allocate(jobs, 6)
+	if got[1] != 2 || got[2] != 4 {
+		t.Fatalf("fifo with demand cap: %v", got)
+	}
+}
+
+// TestFairShareSplitsEvenly: equal shares with the remainder to the
+// earliest-submitted jobs, never exceeding the pool.
+func TestFairShareSplitsEvenly(t *testing.T) {
+	p, _ := ParseSchedPolicy("fair-share")
+	got := p.Allocate(shares(1, 9, 5), 7)
+	if got[1] != 3 || got[2] != 2 || got[3] != 2 {
+		t.Fatalf("fair-share allocation %v", got)
+	}
+	if allocSum(got) != 7 {
+		t.Fatalf("allocated %d of 7", allocSum(got))
+	}
+	// Fewer clients than jobs: earliest jobs win, none goes negative.
+	got = p.Allocate(shares(1, 1, 1, 1), 2)
+	if allocSum(got) != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("scarce fair-share: %v", got)
+	}
+}
+
+// TestPriorityWeighted: allocation tracks priority proportionally
+// (largest remainder), and a zero/absent priority defaults to weight 1.
+func TestPriorityWeighted(t *testing.T) {
+	p, _ := ParseSchedPolicy("priority")
+	got := p.Allocate(shares(3, 1), 8)
+	if got[1] != 6 || got[2] != 2 {
+		t.Fatalf("priority 3:1 over 8 clients: %v", got)
+	}
+	got = p.Allocate(shares(0, 0), 4)
+	if got[1] != 2 || got[2] != 2 {
+		t.Fatalf("defaulted weights: %v", got)
+	}
+	// Demand caps redirect surplus to jobs that can still use clients.
+	jobs := shares(10, 1)
+	jobs[0].Demand = 3
+	got = p.Allocate(jobs, 8)
+	if got[1] != 3 || got[2] != 5 {
+		t.Fatalf("demand-capped priority: %v", got)
+	}
+}
+
+// TestAllocateDeterministic: policies are pure functions — same input,
+// same allocation — which the DES replay verifier depends on.
+func TestAllocateDeterministic(t *testing.T) {
+	jobs := shares(2, 7, 7, 1, 4)
+	for _, name := range []string{"fifo", "fair-share", "priority"} {
+		p, _ := ParseSchedPolicy(name)
+		a := p.Allocate(jobs, 13)
+		for i := 0; i < 10; i++ {
+			b := p.Allocate(jobs, 13)
+			if len(a) != len(b) {
+				t.Fatalf("%s: nondeterministic allocation", name)
+			}
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("%s: job %d got %d then %d", name, k, v, b[k])
+				}
+			}
+		}
+		if allocSum(a) > 13 {
+			t.Fatalf("%s over-allocated: %v", name, a)
+		}
+	}
+}
+
+// TestAdmissionControl covers both axes: the client-count-derived active
+// cap and the formula memory budget.
+func TestAdmissionControl(t *testing.T) {
+	// Client-count cap: 10 clients → 10 active jobs max.
+	a := Admission{}
+	if err := a.Admit(1000, 9, 0, 10); err != nil {
+		t.Fatalf("under the cap rejected: %v", err)
+	}
+	if err := a.Admit(1000, 10, 0, 10); err == nil {
+		t.Fatal("11th active job admitted with 10 clients")
+	}
+	// The DefaultMaxActive floor lets an empty cluster queue work.
+	if err := a.Admit(1000, DefaultMaxActive-1, 0, 0); err != nil {
+		t.Fatalf("queue below floor rejected: %v", err)
+	}
+	if err := a.Admit(1000, DefaultMaxActive, 0, 0); err == nil {
+		t.Fatal("queue above floor admitted")
+	}
+	// Explicit cap overrides the derived one.
+	b := Admission{MaxActive: 2}
+	if err := b.Admit(1000, 2, 0, 50); err == nil {
+		t.Fatal("explicit MaxActive ignored")
+	}
+	// Memory budget.
+	c := Admission{MaxActive: 100, MemBudgetBytes: 10_000}
+	if err := c.Admit(4000, 1, 5000, 10); err != nil {
+		t.Fatalf("in-budget job rejected: %v", err)
+	}
+	if err := c.Admit(6000, 1, 5000, 10); err == nil {
+		t.Fatal("over-budget job admitted")
+	}
+}
+
+func TestFormulaMemBytes(t *testing.T) {
+	if FormulaMemBytes(nil) != 0 {
+		t.Fatal("nil formula has a footprint")
+	}
+	small := FormulaMemBytes(gen.Pigeonhole(4))
+	big := FormulaMemBytes(gen.Pigeonhole(10))
+	if small <= 0 || big <= small {
+		t.Fatalf("footprints not monotone: ph4=%d ph10=%d", small, big)
+	}
+}
+
+func TestJobLifecycleStates(t *testing.T) {
+	for s, want := range map[JobState]string{
+		JobQueued: "queued", JobRunning: "running", JobPreempted: "preempted",
+		JobDone: "done", JobCancelled: "cancelled",
+	} {
+		if s.String() != want {
+			t.Errorf("%d renders as %q, want %q", s, s, want)
+		}
+	}
+	for _, s := range []JobState{JobQueued, JobRunning, JobPreempted} {
+		if !s.Active() {
+			t.Errorf("%v should be active", s)
+		}
+	}
+	for _, s := range []JobState{JobDone, JobCancelled} {
+		if s.Active() {
+			t.Errorf("%v should be terminal", s)
+		}
+	}
+	j := &Job{SubmittedAt: 2, FinishedAt: 10, State: JobDone}
+	if j.TurnaroundSec() != 8 {
+		t.Fatalf("turnaround %v", j.TurnaroundSec())
+	}
+	j.State = JobRunning
+	if j.TurnaroundSec() != 0 {
+		t.Fatal("unfinished job has a turnaround")
+	}
+}

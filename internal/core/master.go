@@ -62,6 +62,28 @@ type MasterConfig struct {
 	// idle peers per split, so that many recipients are reserved per
 	// assignment when available.
 	SplitStrategy string
+	// Serve turns the master into a long-lived multi-job scheduling
+	// service: Formula becomes optional, jobs arrive through Submit (or the
+	// HTTP API layered on top — see Service), clients are reassigned
+	// between concurrently running jobs under SchedPolicy (malleable
+	// allocation, with checkpoint/preemption), and Run exits only on
+	// Shutdown, a timeout, or a fatal error. Without Serve the master is
+	// the classic single-job runtime, bit-identical to its pre-scheduler
+	// behavior.
+	Serve bool
+	// SchedPolicy names the serve-mode allocation policy: "fifo" (default),
+	// "fair-share" or "priority". See ParseSchedPolicy.
+	SchedPolicy string
+	// Admission bounds what the serve-mode queue accepts (active-job cap
+	// and formula memory budget); the zero value derives the cap from the
+	// registered client count.
+	Admission Admission
+	// RebalancePeriod is how often serve mode reviews the allocation and
+	// preempts over-allocated jobs (0 = 250ms).
+	RebalancePeriod time.Duration
+	// ExtraEndpoints adds handlers to the introspection server (the serve
+	// API installs its /jobs routes this way). Ignored without MetricsAddr.
+	ExtraEndpoints []obs.Endpoint
 }
 
 // Result is the outcome of a distributed run.
@@ -131,6 +153,23 @@ type masterClient struct {
 	reserved     bool // chosen as split recipient; payload in flight
 	assignedAt   time.Time
 	pendingSplit bool // has an unserved split request
+	// job is the job this client is (or was last) working for; 0 is the
+	// implicit single job of a non-serve master, so every legacy code path
+	// reads and writes job 0 without knowing jobs exist.
+	job int
+	// preempting marks a Preempt in flight: the client stays busy (its
+	// subproblem is live until the checkpoint arrives) but must not be
+	// preempted again or offered new work.
+	preempting bool
+	// stopSeq numbers this client's Preempt/StopWork sends. The client
+	// echoes it in Preempted, letting the master drop acks from preempts
+	// that a racing verdict already beat — the client may have been
+	// reassigned by the time a stale ack lands, and honoring it would
+	// wrongly free a busy client.
+	stopSeq int
+	// sentBase records which jobs' base formulas this client has cached, so
+	// the scheduler sends each BaseProblem at most once per client.
+	sentBase map[int]bool
 	// splitReqEv is the flight-log ID of the client's pending split
 	// request, the causal parent of the split-issue it produces.
 	splitReqEv uint64
@@ -182,6 +221,8 @@ func newClientGauges(reg *obs.Registry, id int) *clientGauges {
 // recipient; a 2^k dilemma split reserves up to 2^k-1.
 type splitGroup struct {
 	donor int
+	// job is the job the donor was splitting for; recipients join it.
+	job int
 	// recipients are the reserved peers in assignment order; settled marks
 	// those whose leg has concluded (accepted, failed, or released unused).
 	recipients []int
@@ -212,6 +253,13 @@ type backlogSub struct {
 	splitID int
 	donor   int
 	issueEv uint64
+	// job owns the queued subproblem (0 for the implicit single job).
+	job int
+	// resume marks a preempted subproblem: donor is then the client it was
+	// checkpointed from and issueEv its job-preempt flight event, so the
+	// eventual assignment emits the migrate→resume chain instead of a
+	// split-accept.
+	resume bool
 }
 
 type masterEvent struct {
@@ -224,47 +272,84 @@ type masterEvent struct {
 	status chan<- StatusSnapshot
 	// progress, when non-nil, requests a ProgressSnapshot the same way.
 	progress chan<- ProgressSnapshot
+	// apply, when non-nil, runs a scheduler request (submit, cancel, job
+	// queries, shutdown) on the event loop; its return value ends Run when
+	// true. The closure owns its own reply channel.
+	apply func() bool
+}
+
+// masterJob is one job's solving state at the master: the Job identity
+// plus all the bookkeeping that used to be woven through the master as
+// singletons — split backlog, leftover cofactors, outstanding-work count,
+// coverage estimator, clause-dedup window and verdict. A non-serve master
+// has exactly one, the implicit job 0.
+type masterJob struct {
+	*Job
+	// backlog queues unserved split requests from this job's clients;
+	// subBacklog queues its leftover cofactors and preempted checkpoints.
+	backlog    []BacklogEntry
+	subBacklog []backlogSub
+	// assigned is set once the root subproblem was handed out; outstanding
+	// counts the job's live subproblems (busy clients + in-flight
+	// transfers + queued cofactors).
+	assigned    bool
+	outstanding int
+	// status and model are the job's verdict (StatusUnknown while running).
+	status solver.Status
+	model  cnf.Assignment
+	// seenShared suppresses re-broadcast of this job's already-fanned-out
+	// clauses (clauses are sound only within their job's formula).
+	seenShared *clauseWindow
+	// prog is the job's coverage estimator; agg sums its clients'
+	// heartbeat deltas (churn-proof: survives client departures).
+	prog ProgressTracker
+	agg  comm.SolverDeltas
+	// splits and shared are this job's shares of the cluster counters.
+	splits int
+	shared int
 }
 
 // Master coordinates a live GridSAT run. Create with NewMaster, then call
 // Run, which blocks until the problem is decided, the timeout expires, or
-// an unrecoverable error occurs.
+// an unrecoverable error occurs. In serve mode (MasterConfig.Serve) Run
+// instead hosts a multi-job scheduling service until Shutdown.
 type Master struct {
 	cfg         MasterConfig
 	listener    comm.Listener
 	events      chan masterEvent
 	clients     map[int]*masterClient
 	nextID      int
-	backlog     []BacklogEntry
 	nextSplitID int
 	// fanout is the per-split recipient budget of the configured strategy
 	// (1 for first-decision, 2^k-1 for a 2^k dilemma).
 	fanout int
+	// jobs holds every job by ID (terminal ones included, so results stay
+	// queryable); jobOrder is submission order. A non-serve master has the
+	// single implicit job 0.
+	jobs     map[int]*masterJob
+	jobOrder []int
+	// nextJobID issues serve-mode job IDs, starting at 1 so job 0 stays
+	// the single-job sentinel everywhere (flight logs, wire tags).
+	nextJobID int
+	// serve, policy and admission are the scheduling service knobs
+	// (see MasterConfig.Serve).
+	serve     bool
+	policy    SchedPolicy
+	admission Admission
 	// pendingSplits tracks in-flight subproblem transfers by token.
 	pendingSplits map[int]*splitGroup
-	// subBacklog queues leftover cofactors from splits that produced more
-	// subproblems than there were idle clients; each is already counted in
-	// outstanding and is handed to the next client that goes idle.
-	subBacklog []backlogSub
 	// pendingAssigns tracks backlog cofactors in flight to a recipient, by
 	// recipient ID, until its SplitDone settles (or requeues) them.
 	pendingAssigns map[int]backlogSub
-	// seenShared suppresses re-broadcast of clauses the master already
-	// fanned out, with bounded memory (two-epoch fingerprint window).
-	seenShared *clauseWindow
 	// sharedDropped counts best-effort ShareClauses messages discarded
 	// because a client's outbound queue was full. Event-loop only.
 	sharedDropped int64
 	result        Result
 	trace         []string // debug event log for tests
 	started       time.Time
-	assigned      bool // the initial problem has been handed out
-	outstanding   int  // subproblems alive (busy clients + in-flight transfers)
-	// prog is the cluster coverage estimator, fed by every UNSAT verdict's
-	// guiding-path depth. clusterAgg sums every heartbeat delta ever
-	// received, independent of the clients map, so totals survive client
-	// churn (a departed client's contribution is never lost).
-	prog       ProgressTracker
+	// clusterAgg sums every heartbeat delta ever received, independent of
+	// the clients map, so totals survive client churn (a departed client's
+	// contribution is never lost).
 	clusterAgg comm.SolverDeltas
 
 	reg      *obs.Registry
@@ -354,24 +439,33 @@ func (m *Master) updateGauges() {
 			res++
 		}
 	}
+	var backlog, subBacklog int
+	for _, j := range m.jobs {
+		backlog += len(j.backlog)
+		subBacklog += len(j.subBacklog)
+	}
 	m.met.registered.Set(reg)
 	m.met.busy.Set(busy)
 	m.met.reserved.Set(res)
-	m.met.backlog.Set(int64(len(m.backlog)))
-	m.met.subBacklog.Set(int64(len(m.subBacklog)))
-	m.met.outstanding.Set(int64(m.outstanding))
+	m.met.backlog.Set(int64(backlog))
+	m.met.subBacklog.Set(int64(subBacklog))
+	m.met.outstanding.Set(int64(m.outstandingTotal()))
 }
 
 // NewMaster builds a master and starts listening; the returned master's
 // Addr is dialable immediately, so clients may be launched before Run.
 func NewMaster(cfg MasterConfig) (*Master, error) {
-	if cfg.Formula == nil {
+	if cfg.Formula == nil && !cfg.Serve {
 		return nil, errors.New("core: master needs a formula")
 	}
 	if cfg.Transport == nil {
 		return nil, errors.New("core: master needs a transport")
 	}
 	if _, err := solver.ParseStrategy(cfg.SplitStrategy); err != nil {
+		return nil, err
+	}
+	policy, err := ParseSchedPolicy(cfg.SchedPolicy)
+	if err != nil {
 		return nil, err
 	}
 	l, err := cfg.Transport.Listen(cfg.ListenAddr)
@@ -387,18 +481,30 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		log = obs.Nop()
 	}
 	m := &Master{
-		cfg:           cfg,
-		listener:      l,
-		events:        make(chan masterEvent, 256),
-		clients:       map[int]*masterClient{},
+		cfg:            cfg,
+		listener:       l,
+		events:         make(chan masterEvent, 256),
+		clients:        map[int]*masterClient{},
 		fanout:         solver.StrategyFanout(cfg.SplitStrategy),
+		jobs:           map[int]*masterJob{},
+		serve:          cfg.Serve,
+		policy:         policy,
+		admission:      cfg.Admission,
 		pendingSplits:  map[int]*splitGroup{},
 		pendingAssigns: map[int]backlogSub{},
-		seenShared:    newClauseWindow(cfg.ShareWindow),
-		reg:           reg,
-		log:           log.Named("master"),
-		met:           newMasterMetrics(reg),
-		flight:        cfg.Flight,
+		reg:            reg,
+		log:            log.Named("master"),
+		met:            newMasterMetrics(reg),
+		flight:         cfg.Flight,
+	}
+	if !cfg.Serve {
+		// Single-job mode: the whole classic runtime is job 0 — no
+		// lifecycle events, no wire tags, no allocation policy.
+		m.jobs[0] = &masterJob{
+			Job:        &Job{ID: 0, Priority: 1, Formula: cfg.Formula, State: JobQueued},
+			seenShared: newClauseWindow(cfg.ShareWindow),
+		}
+		m.jobOrder = []int{0}
 	}
 	if cfg.Flight != nil {
 		// Stamp log lines with the recorder's Lamport time so they can be
@@ -406,14 +512,15 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		m.log = m.log.WithLamport(cfg.Flight)
 	}
 	if cfg.MetricsAddr != "" {
-		extra := []obs.Endpoint{
+		extra := append([]obs.Endpoint{}, cfg.ExtraEndpoints...)
+		extra = append(extra, []obs.Endpoint{
 			{Path: "/progress", H: func(w http.ResponseWriter, _ *http.Request) {
 				w.Header().Set("Content-Type", "application/json")
 				enc := json.NewEncoder(w)
 				enc.SetIndent("", "  ")
 				_ = enc.Encode(m.Progress())
 			}},
-		}
+		}...)
 		if f := m.flight; f != nil {
 			extra = append(extra,
 				obs.Endpoint{Path: "/trace", H: func(w http.ResponseWriter, _ *http.Request) {
@@ -483,6 +590,9 @@ type StatusSnapshot struct {
 	FlightEvents int
 	// WallSeconds is the elapsed run time (0 before Run starts).
 	WallSeconds float64
+	// Jobs are the scheduler's per-job rows in submission order (one row,
+	// job 0, for a single-job master).
+	Jobs []JobSnapshot
 	// Clients are the live per-client aggregates, sorted by ID.
 	Clients []ClientStatus
 }
@@ -520,24 +630,115 @@ func (m *Master) Progress() ProgressSnapshot {
 	return ProgressSnapshot{}
 }
 
+// jobOf resolves the job a client's messages belong to (nil once the job
+// has been forgotten — terminal jobs are kept, so nil means "never
+// existed", which only unroutable traffic produces). Event-loop only.
+func (m *Master) jobOf(c *masterClient) *masterJob {
+	return m.jobs[c.job]
+}
+
+// heldClients counts the clients a job currently holds (busy or reserved,
+// including ones mid-preemption). Event-loop only.
+func (m *Master) heldClients(jobID int) int {
+	n := 0
+	for _, c := range m.clients {
+		if c.job == jobID && (c.busy || c.reserved) {
+			n++
+		}
+	}
+	return n
+}
+
+// outstandingTotal sums live subproblems across every job.
+func (m *Master) outstandingTotal() int {
+	n := 0
+	for _, j := range m.jobs {
+		n += j.outstanding
+	}
+	return n
+}
+
+// jobSnapshot builds one job's external view. Event-loop only.
+func (m *Master) jobSnapshot(j *masterJob, withModel bool) JobSnapshot {
+	snap := JobSnapshot{
+		ID:          j.ID,
+		Name:        j.Name,
+		Priority:    j.Priority,
+		State:       j.State.String(),
+		Clients:     m.heldClients(j.ID),
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   j.StartedAt,
+		FinishedAt:  j.FinishedAt,
+		Preemptions: j.Preemptions,
+		Coverage:    j.prog.Fraction(),
+	}
+	// The job's conflict throughput is the sum of its busy clients' EWMAs.
+	for _, c := range m.clients {
+		if c.job == j.ID && c.busy {
+			snap.ConflictRate += c.confRate
+		}
+	}
+	switch {
+	case j.State == JobCancelled:
+		snap.Verdict = "CANCELLED"
+	case j.status == solver.StatusSAT:
+		snap.Verdict = "SAT"
+		if withModel {
+			for _, l := range j.model.TrueLits() {
+				snap.Model = append(snap.Model, l.DIMACS())
+			}
+		}
+	case j.status == solver.StatusUNSAT:
+		snap.Verdict = "UNSAT"
+	case j.State == JobDone:
+		snap.Verdict = "UNKNOWN"
+	}
+	return snap
+}
+
+// jobSnapshots lists every job in submission order. Event-loop only.
+func (m *Master) jobSnapshots() []JobSnapshot {
+	out := make([]JobSnapshot, 0, len(m.jobOrder))
+	for _, id := range m.jobOrder {
+		out = append(out, m.jobSnapshot(m.jobs[id], false))
+	}
+	return out
+}
+
 // progressSnapshot builds the /progress view. Event-loop only.
 func (m *Master) progressSnapshot() ProgressSnapshot {
 	snap := ProgressSnapshot{
-		Coverage:          m.prog.Fraction(),
-		Units:             m.prog.Units(),
-		ClosedSubproblems: m.prog.Closed(),
-		MaxClosedDepth:    m.prog.MaxDepth(),
-		RatePerSec:        m.prog.Rate(),
-		ETASeconds:        m.prog.ETASeconds(),
-		Outstanding:       m.outstanding,
-		Conflicts:         m.clusterAgg.Conflicts,
-		Implications:      m.clusterAgg.Implications,
+		Outstanding:  m.outstandingTotal(),
+		Conflicts:    m.clusterAgg.Conflicts,
+		Implications: m.clusterAgg.Implications,
 		Efficacy: efficacyFrom(m.clusterAgg.Imported, m.clusterAgg.ImportedUseful,
 			m.clusterAgg.ImportedImplications, m.clusterAgg.ImportedResolutions,
 			m.clusterAgg.Implications),
+		Jobs: m.jobSnapshots(),
 	}
 	if !m.started.IsZero() {
 		snap.WallSeconds = time.Since(m.started).Seconds()
+	}
+	if !m.serve {
+		// Single-job mode: the scalar coverage fields are job 0's, exactly
+		// as before the scheduler existed.
+		j0 := m.jobs[0]
+		snap.Coverage = j0.prog.Fraction()
+		snap.Units = j0.prog.Units()
+		snap.ClosedSubproblems = j0.prog.Closed()
+		snap.MaxClosedDepth = j0.prog.MaxDepth()
+		snap.RatePerSec = j0.prog.Rate()
+		snap.ETASeconds = j0.prog.ETASeconds()
+	} else {
+		// Serve mode: coverage is per job (see Jobs); the scalars report
+		// only the job-independent tallies.
+		for _, id := range m.jobOrder {
+			j := m.jobs[id]
+			snap.ClosedSubproblems += j.prog.Closed()
+			if d := j.prog.MaxDepth(); d > snap.MaxClosedDepth {
+				snap.MaxClosedDepth = d
+			}
+		}
 	}
 	switch m.result.Status {
 	case solver.StatusSAT:
@@ -642,8 +843,21 @@ func (m *Master) Run() (Result, error) {
 			_ = m.httpSrv.Close()
 		}
 	}()
+	var rebalance <-chan time.Time
+	if m.serve {
+		period := m.cfg.RebalancePeriod
+		if period <= 0 {
+			period = 250 * time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		rebalance = t.C
+	}
 	for {
 		select {
+		case <-rebalance:
+			m.maybeRebalance()
+			m.updateGauges()
 		case ev := <-m.events:
 			done, err := m.handle(ev)
 			if err != nil {
@@ -719,13 +933,19 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 		return false, nil
 	}
 	if ev.status != nil {
+		var backlog, subBacklog int
+		for _, j := range m.jobs {
+			backlog += len(j.backlog)
+			subBacklog += len(j.subBacklog)
+		}
 		snap := StatusSnapshot{
-			Backlog:       len(m.backlog),
-			SubBacklog:    len(m.subBacklog),
-			Outstanding:   m.outstanding,
+			Backlog:       backlog,
+			SubBacklog:    subBacklog,
+			Outstanding:   m.outstandingTotal(),
 			Splits:        m.result.Splits,
 			Shared:        m.result.SharedClauses,
 			SharedDropped: m.sharedDropped,
+			Jobs:          m.jobSnapshots(),
 			Clients:       m.clientStatuses(),
 		}
 		if !m.started.IsZero() {
@@ -751,10 +971,16 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 		ev.status <- snap
 		return false, nil
 	}
+	if ev.apply != nil { // scheduler request (submit/cancel/query/shutdown)
+		done := ev.apply()
+		m.updateGauges()
+		return done, nil
+	}
 	if ev.conn != nil { // new connection: wait for its Register
 		m.nextID++
 		id := m.nextID
-		mc := &masterClient{id: id, conn: ev.conn, out: make(chan comm.Message, 1024)}
+		mc := &masterClient{id: id, conn: ev.conn, out: make(chan comm.Message, 1024),
+			sentBase: map[int]bool{}}
 		m.clients[id] = mc
 		go m.readLoop(id, ev.conn)
 		go m.writeLoop(mc)
@@ -764,6 +990,7 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 	if c == nil {
 		return false, nil
 	}
+
 	if ev.err != nil {
 		m.inTI = comm.TraceInfo{}
 		return m.clientLost(c)
@@ -780,12 +1007,13 @@ func (m *Master) handle(ev masterEvent) (bool, error) {
 	case comm.SplitRequest:
 		m.handleSplitRequest(c, msg)
 	case comm.SplitDone:
-		m.handleSplitDone(c, msg)
-		return m.checkExhausted(), nil
+		return m.handleSplitDone(c, msg), nil
 	case comm.ShareClauses:
 		m.handleShare(c, msg)
 	case comm.Solved:
 		return m.handleSolved(c, msg)
+	case comm.Preempted:
+		m.handlePreempted(c, msg)
 	case comm.StatusReport:
 		m.handleStatusReport(c, msg)
 	}
@@ -813,6 +1041,9 @@ func (m *Master) handleStatusReport(c *masterClient, msg comm.StatusReport) {
 	}
 	c.agg.Add(msg.Deltas)
 	m.clusterAgg.Add(msg.Deltas)
+	if j := m.jobOf(c); j != nil {
+		j.agg.Add(msg.Deltas)
+	}
 	// Conflict-rate EWMA for utilization and straggler detection; anchored
 	// to the run clock, so pre-Run heartbeats (none in practice) are skipped.
 	if !m.started.IsZero() {
@@ -871,42 +1102,91 @@ func (m *Master) handleRegister(c *masterClient, msg comm.Register) error {
 	m.femit(trace.FEvent{Kind: trace.FEvClientJoin, Client: c.id,
 		Detail: msg.HostName, Parent: m.inTI.Parent})
 	m.send(c, comm.RegisterAck{ClientID: c.id})
-	m.send(c, comm.BaseProblem{Formula: m.cfg.Formula})
-	if !m.assigned && m.registeredCount() >= max(1, m.cfg.ExpectedClients) {
-		m.assignInitial()
+	if !m.serve {
+		// Single-job mode: every client gets the one formula up front,
+		// exactly as the pre-scheduler master did.
+		c.sentBase[0] = true
+		m.send(c, comm.BaseProblem{Formula: m.cfg.Formula})
+		j0 := m.jobs[0]
+		if !j0.assigned && m.registeredCount() >= max(1, m.cfg.ExpectedClients) {
+			m.assignRoot(j0)
+		}
+		// A fresh idle client may be able to serve the backlog.
+		m.serveBacklog()
+		return nil
 	}
-	// A fresh idle client may be able to serve the backlog.
-	m.serveBacklog()
+	// Serve mode: base formulas go out lazily per job; a fresh client just
+	// joins the allocatable pool.
+	m.maybeRebalance()
 	return nil
 }
 
-// assignInitial hands the whole problem to the best registered client
+// ensureBase sends a job's base formula to a client that has not cached
+// it yet — serve mode ships formulas lazily, right before the client is
+// reserved or assigned for the job. Single-job masters send the formula
+// at registration, so this is a no-op there.
+func (m *Master) ensureBase(c *masterClient, j *masterJob) {
+	if c.sentBase[j.ID] {
+		return
+	}
+	c.sentBase[j.ID] = true
+	m.send(c, comm.BaseProblem{Formula: j.Formula, Job: j.ID})
+}
+
+// markStarted moves a job to running on its first (or renewed) client
+// assignment, stamping StartedAt and the serve-mode lifecycle event.
+func (m *Master) markStarted(j *masterJob) {
+	switch j.State {
+	case JobQueued:
+		j.StartedAt = m.nowSec()
+		j.State = JobRunning
+		if m.serve {
+			m.femit(trace.FEvent{Kind: trace.FEvJobStart, Job: j.ID})
+		}
+	case JobPreempted:
+		j.State = JobRunning
+	}
+}
+
+// nowSec is the master's run clock (seconds since Run started).
+func (m *Master) nowSec() float64 {
+	if m.started.IsZero() {
+		return 0
+	}
+	return time.Since(m.started).Seconds()
+}
+
+// assignRoot hands a job's whole search space to the best idle client
 // ("The first client to register with the master is sent the entire
 // problem" — with ranking, the best-ranked registrant).
-func (m *Master) assignInitial() {
+func (m *Master) assignRoot(j *masterJob) {
 	target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
 	if !ok {
 		return
 	}
 	c := m.clients[target.ID]
-	sub := &solver.Subproblem{NumVars: m.cfg.Formula.NumVars}
-	m.send(c, comm.SplitPayload{From: 0, Subs: []*solver.Subproblem{sub}})
-	m.assigned = true
+	m.ensureBase(c, j)
+	sub := &solver.Subproblem{NumVars: j.Formula.NumVars}
+	m.send(c, comm.SplitPayload{From: 0, Job: j.ID, Subs: []*solver.Subproblem{sub}})
+	j.assigned = true
 	c.busy = true
+	c.job = j.ID
 	c.assignedAt = time.Now()
-	m.outstanding++
-	m.femit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id})
+	j.outstanding++
+	m.markStarted(j)
+	m.femit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id, Job: j.ID})
 	m.noteBusyCount()
 }
 
 func (m *Master) handleSplitRequest(c *masterClient, msg comm.SplitRequest) {
-	if !c.busy || c.pendingSplit {
+	j := m.jobOf(c)
+	if j == nil || !c.busy || c.pendingSplit || c.preempting {
 		return // idle clients cannot split; duplicates are ignored
 	}
 	c.pendingSplit = true
 	c.splitReqEv = m.femit(trace.FEvent{Kind: trace.FEvSplitRequest,
-		Client: c.id, Detail: msg.Why.String(), Parent: m.inTI.Parent})
-	m.backlog = append(m.backlog, BacklogEntry{
+		Client: c.id, Job: j.ID, Detail: msg.Why.String(), Parent: m.inTI.Parent})
+	j.backlog = append(j.backlog, BacklogEntry{
 		ClientID:    c.id,
 		AssignedAt:  float64(c.assignedAt.UnixNano()),
 		RequestedAt: float64(time.Now().UnixNano()),
@@ -914,33 +1194,74 @@ func (m *Master) handleSplitRequest(c *masterClient, msg comm.SplitRequest) {
 	m.serveBacklog()
 }
 
-// serveBacklog places queued work on idle resources: first any leftover
-// cofactors already at the master (cheaper than asking a busy client to
-// split), then queued split requests, longest-running requester first. A
-// request reserves up to the strategy's fanout in idle recipients, so a
-// dilemma donor can shed all its cofactors in one exchange.
+// serveBacklog places queued work on idle resources. A single-job master
+// serves the one implicit job without limits — the pre-scheduler control
+// flow exactly. In serve mode each active job gets clients only up to its
+// policy target, in submission order, so the allocation stays malleable.
 func (m *Master) serveBacklog() {
-	m.serveSubBacklog()
-	for {
-		i := NextFromBacklog(m.backlog)
+	if !m.serve {
+		j := m.jobs[0]
+		m.serveSubBacklog(j, -1)
+		m.serveSplitBacklog(j, -1)
+		return
+	}
+	targets := m.allocTargets()
+	for _, id := range m.jobOrder {
+		j := m.jobs[id]
+		if !j.State.Active() {
+			continue
+		}
+		deficit := targets[j.ID] - m.heldClients(j.ID)
+		if deficit <= 0 {
+			continue
+		}
+		if !j.assigned {
+			// First allocation: the job starts from its root subproblem.
+			m.assignRoot(j)
+			deficit = targets[j.ID] - m.heldClients(j.ID)
+			if deficit <= 0 {
+				continue
+			}
+		}
+		deficit = m.serveSubBacklog(j, deficit)
+		if deficit > 0 {
+			m.serveSplitBacklog(j, deficit)
+		}
+	}
+}
+
+// serveSplitBacklog serves a job's queued split requests, longest-running
+// requester first. A request reserves up to the strategy's fanout in idle
+// recipients, so a dilemma donor can shed all its cofactors in one
+// exchange; limit caps how many recipients may be reserved in total
+// (negative = unbounded, the single-job mode).
+func (m *Master) serveSplitBacklog(j *masterJob, limit int) {
+	for limit != 0 {
+		i := NextFromBacklog(j.backlog)
 		if i < 0 {
 			return
 		}
-		donor := m.clients[m.backlog[i].ClientID]
-		if donor == nil || !donor.busy {
-			// Requester vanished or finished; drop the entry.
-			m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
+		donor := m.clients[j.backlog[i].ClientID]
+		if donor == nil || !donor.busy || donor.job != j.ID || donor.preempting {
+			// Requester vanished, finished, or was reassigned; drop the entry.
+			j.backlog = append(j.backlog[:i], j.backlog[i+1:]...)
 			continue
+		}
+		budget := max(1, m.fanout)
+		if limit > 0 && limit < budget {
+			budget = limit
 		}
 		var peers []comm.SplitPeer
 		cands := m.idleCandidates()
-		for len(peers) < max(1, m.fanout) {
+		for len(peers) < budget {
 			target, ok := PickSplitTarget(cands, m.cfg.MinMemBytes)
 			if !ok {
 				break
 			}
 			r := m.clients[target.ID]
 			r.reserved = true
+			r.job = j.ID
+			m.ensureBase(r, j)
 			peers = append(peers, comm.SplitPeer{ID: r.id, Addr: r.addr})
 			kept := cands[:0]
 			for _, c := range cands {
@@ -953,11 +1274,11 @@ func (m *Master) serveBacklog() {
 		if len(peers) == 0 {
 			return // nothing idle; keep waiting
 		}
-		m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
+		j.backlog = append(j.backlog[:i], j.backlog[i+1:]...)
 		donor.pendingSplit = false
-		m.outstanding += len(peers) // each in-flight leg counts as outstanding work
+		j.outstanding += len(peers) // each in-flight leg counts as outstanding work
 		m.nextSplitID++
-		g := &splitGroup{donor: donor.id, settled: map[int]bool{},
+		g := &splitGroup{donor: donor.id, job: j.ID, settled: map[int]bool{},
 			assignedAt: time.Now()}
 		for _, p := range peers {
 			g.recipients = append(g.recipients, p.ID)
@@ -967,54 +1288,97 @@ func (m *Master) serveBacklog() {
 			Parent: donor.splitReqEv})
 		m.pendingSplits[m.nextSplitID] = g
 		m.send(donor, comm.SplitAssign{SplitID: m.nextSplitID, Peers: peers})
+		if limit > 0 {
+			limit -= len(peers)
+		}
 	}
 }
 
-// serveSubBacklog hands queued leftover cofactors to idle clients. The
-// subproblems are already counted in outstanding (they are live search
-// space), so assignment only flips the recipient busy.
-func (m *Master) serveSubBacklog() {
-	for len(m.subBacklog) > 0 {
+// serveSubBacklog hands a job's queued cofactors (leftover split products
+// and preempted checkpoints) to idle clients — cheaper than asking a busy
+// client to split. The subproblems are already counted in outstanding
+// (they are live search space), so assignment only flips the recipient
+// busy. Returns the remaining assignment budget.
+func (m *Master) serveSubBacklog(j *masterJob, limit int) int {
+	for len(j.subBacklog) > 0 && limit != 0 {
 		target, ok := PickSplitTarget(m.idleCandidates(), m.cfg.MinMemBytes)
 		if !ok {
-			return
+			return limit
 		}
-		entry := m.subBacklog[0]
-		m.subBacklog = m.subBacklog[1:]
+		entry := j.subBacklog[0]
+		j.subBacklog = j.subBacklog[1:]
 		c := m.clients[target.ID]
+		m.ensureBase(c, j)
 		m.pendingAssigns[c.id] = entry
 		m.send(c, comm.SplitPayload{SplitID: entry.splitID, From: entry.donor,
-			Subs: []*solver.Subproblem{entry.sub}})
+			Job: j.ID, Subs: []*solver.Subproblem{entry.sub}})
 		c.busy = true
+		c.job = j.ID
 		c.assignedAt = time.Now()
+		m.markStarted(j)
 		m.noteBusyCount()
+		if limit > 0 {
+			limit--
+		}
 	}
+	return limit
 }
 
-func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
+func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) bool {
 	// A backlog-served cofactor acks with the split ID it descended from.
 	if entry, ok := m.pendingAssigns[c.id]; ok && entry.splitID == msg.SplitID {
 		delete(m.pendingAssigns, c.id)
+		j := m.jobs[entry.job]
 		if msg.OK {
-			m.result.Splits++
-			m.met.splits.Inc()
-			m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
-				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
+			if entry.resume {
+				// A preempted checkpoint came back to life on a new client:
+				// the flight log records the checkpoint's travel and the
+				// resume under the job-preempt event that created it.
+				m.femit(trace.FEvent{Kind: trace.FEvMigrate, Client: entry.donor,
+					Peer: c.id, Job: entry.job, Parent: entry.issueEv})
+				m.femit(trace.FEvent{Kind: trace.FEvJobResume, Client: c.id,
+					Job: entry.job, Parent: entry.issueEv})
+			} else {
+				m.result.Splits++
+				if j != nil {
+					j.splits++
+				}
+				m.met.splits.Inc()
+				m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
+					Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
+			}
 		} else {
 			// The assignment bounced; requeue the cofactor — it is still
 			// live search space and stays counted in outstanding.
 			c.busy = false
 			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
 				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv, Detail: msg.Err})
-			m.subBacklog = append(m.subBacklog, entry)
+			if j != nil && j.State.Active() {
+				j.subBacklog = append(j.subBacklog, entry)
+			} else if j != nil {
+				j.outstanding--
+			}
 			m.serveBacklog()
 		}
-		return
+		return m.checkExhausted(m.jobs[entry.job])
 	}
 	g, ok := m.pendingSplits[msg.SplitID]
 	if !ok {
-		return // initial-assignment ack (SplitID 0) or an already-settled group
+		// Initial-assignment ack (SplitID 0), an already-settled group, or a
+		// transfer whose job ended while the payload was in flight. In the
+		// last case the recipient just started solving a dead job: stop it
+		// and keep it busy master-side until its idle ack.
+		if m.serve && msg.OK && !c.busy {
+			if j := m.jobOf(c); j != nil && !j.State.Active() {
+				c.busy = true
+				c.preempting = true
+				c.stopSeq++
+				m.send(c, comm.StopWork{Job: j.ID, Seq: c.stopSeq})
+			}
+		}
+		return m.checkExhausted(m.jobOf(c))
 	}
+	j := m.jobs[g.job]
 	if c.id == g.donor { // Figure 3, message (5)
 		g.donorDone = true
 		used := 0
@@ -1038,15 +1402,15 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 			}
 			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: id,
 				Peer: g.donor, SplitID: msg.SplitID, Parent: g.issueEv, Detail: "released unused"})
-			m.outstanding--
+			j.outstanding--
 		}
 		// Cofactors beyond the assigned peers ride back here for the
 		// backlog; each is new live search space.
 		if len(msg.Leftover) > 0 {
 			for _, sub := range msg.Leftover {
-				m.subBacklog = append(m.subBacklog, backlogSub{sub: sub,
-					splitID: msg.SplitID, donor: g.donor, issueEv: g.issueEv})
-				m.outstanding++
+				j.subBacklog = append(j.subBacklog, backlogSub{sub: sub,
+					splitID: msg.SplitID, donor: g.donor, issueEv: g.issueEv, job: g.job})
+				j.outstanding++
 			}
 			m.femit(trace.FEvent{Kind: trace.FEvSplitBacklog, Client: g.donor,
 				SplitID: msg.SplitID, N: int64(len(msg.Leftover)), Parent: g.issueEv})
@@ -1057,7 +1421,7 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 			member = member || id == c.id
 		}
 		if !member || g.settled[c.id] {
-			return
+			return false
 		}
 		g.settled[c.id] = true
 		c.reserved = false
@@ -1065,6 +1429,7 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 			c.busy = true
 			c.assignedAt = time.Now()
 			m.result.Splits++
+			j.splits++
 			m.met.splits.Inc()
 			m.met.splitLat.Observe(time.Since(g.assignedAt).Seconds())
 			m.femit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
@@ -1073,23 +1438,37 @@ func (m *Master) handleSplitDone(c *masterClient, msg comm.SplitDone) {
 		} else {
 			m.femit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
 				Peer: g.donor, SplitID: msg.SplitID, Parent: g.issueEv, Detail: msg.Err})
-			m.outstanding--
+			j.outstanding--
+			// If the recipient handed the payload back, it is still live
+			// search space: requeue it rather than losing the cofactor.
+			for _, sub := range msg.Leftover {
+				j.subBacklog = append(j.subBacklog, backlogSub{sub: sub,
+					splitID: msg.SplitID, donor: g.donor, issueEv: g.issueEv, job: g.job})
+				j.outstanding++
+			}
 		}
 	}
 	if g.done() {
 		delete(m.pendingSplits, msg.SplitID)
 	}
 	m.serveBacklog()
+	return m.checkExhausted(j)
 }
 
 func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
+	// Learned clauses are sound only within the formula they were derived
+	// from, so dedup and fan-out are strictly per job.
+	j := m.jobOf(c)
+	if j == nil || !j.State.Active() {
+		return
+	}
 	// Copy on receipt: over the in-process transport the sender may still
 	// hold (and mutate) the slices it sent, so the fan-out must never
 	// alias them. Duplicate suppression is by bounded fingerprint window;
 	// a rare collision or eviction only costs one best-effort share.
 	var fresh []cnf.Clause
 	for _, cl := range msg.Clauses {
-		if !m.seenShared.Add(cl.Fingerprint()) {
+		if !j.seenShared.Add(cl.Fingerprint()) {
 			m.met.shareDedup.Inc()
 			continue
 		}
@@ -1099,16 +1478,17 @@ func (m *Master) handleShare(c *masterClient, msg comm.ShareClauses) {
 		return
 	}
 	m.result.SharedClauses += len(fresh)
+	j.shared += len(fresh)
 	m.met.shared.Add(int64(len(fresh)))
-	m.femit(trace.FEvent{Kind: trace.FEvShareRelay, Client: c.id,
+	m.femit(trace.FEvent{Kind: trace.FEvShareRelay, Client: c.id, Job: j.ID,
 		N: int64(len(fresh)), Parent: m.inTI.Parent})
 	// Encode the batch once; every peer's writeLoop sends the same frame.
-	var out comm.Message = comm.ShareClauses{From: c.id, Clauses: fresh}
+	var out comm.Message = comm.ShareClauses{From: c.id, Job: j.ID, Clauses: fresh}
 	if e, err := comm.EncodeMessage(out); err == nil {
 		out = e
 	}
 	for _, other := range m.clients {
-		if other.id == c.id || other.addr == "" {
+		if other.id == c.id || other.addr == "" || other.job != j.ID {
 			continue
 		}
 		m.send(other, out)
@@ -1119,64 +1499,116 @@ func (m *Master) handleSolved(c *masterClient, msg comm.Solved) (bool, error) {
 	if !c.busy {
 		return false, nil
 	}
+	j := m.jobOf(c)
+	if j == nil {
+		return false, nil
+	}
 	c.busy = false
 	c.pendingSplit = false
-	m.outstanding--
-	m.log.Info("subproblem solved", "client", c.id, "status", msg.Status,
-		"outstanding", m.outstanding)
+	c.preempting = false // a verdict beat any in-flight preempt
+	if !j.State.Active() {
+		// The job ended (cancelled, or decided by a peer) while this client
+		// was still solving; the stale verdict just frees the client.
+		m.serveBacklog()
+		return false, nil
+	}
+	j.outstanding--
+	m.log.Info("subproblem solved", "client", c.id, "job", j.ID,
+		"status", msg.Status, "outstanding", j.outstanding)
 	switch msg.Status {
 	case solver.StatusSAT:
 		// Verify the assignment before declaring success (paper §3.4).
-		if err := m.cfg.Formula.Verify(msg.Model); err != nil {
-			return false, fmt.Errorf("core: client %d reported an invalid model: %w", c.id, err)
+		if err := j.Formula.Verify(msg.Model); err != nil {
+			if !m.serve {
+				return false, fmt.Errorf("core: client %d reported an invalid model: %w", c.id, err)
+			}
+			// One job's bad model must not kill the service.
+			m.log.Warn("invalid model", "client", c.id, "job", j.ID, "err", err)
+			m.finishJob(j, solver.StatusUnknown, nil)
+			return false, nil
 		}
-		m.result.Status = solver.StatusSAT
-		m.result.Model = msg.Model
 		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Client: c.id, Worker: msg.Worker,
-			Detail: "SAT", Parent: m.inTI.Parent})
-		return true, nil
+			Job: j.ID, Detail: "SAT", Parent: m.inTI.Parent})
+		if !m.serve {
+			m.result.Status = solver.StatusSAT
+			m.result.Model = msg.Model
+			j.status, j.model = solver.StatusSAT, msg.Model
+			return true, nil
+		}
+		m.finishJob(j, solver.StatusSAT, msg.Model)
+		return false, nil
 	case solver.StatusUNSAT:
 		ev := m.femit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Worker: msg.Worker,
-			Parent: m.inTI.Parent})
-		// Fold the refuted prefix into the cluster coverage estimate: a
+			Job: j.ID, Parent: m.inTI.Parent})
+		// Fold the refuted prefix into the job's coverage estimate: a
 		// depth-d subproblem retires 2^-d of the root search space.
-		units := m.prog.CloseSubproblem(msg.Depth, time.Since(m.started).Seconds())
-		m.femit(trace.FEvent{Kind: trace.FEvProgress, Client: c.id,
+		units := j.prog.CloseSubproblem(msg.Depth, time.Since(m.started).Seconds())
+		m.femit(trace.FEvent{Kind: trace.FEvProgress, Client: c.id, Job: j.ID,
 			N: int64(units), Detail: fmt.Sprintf("depth=%d", msg.Depth), Parent: ev})
 		// This half of the space is exhausted. If nothing else is
-		// outstanding, the whole problem is unsatisfiable.
-		if m.checkExhausted() {
-			return true, nil
+		// outstanding, the whole job is unsatisfiable.
+		if m.checkExhausted(j) {
+			return !m.serve, nil
 		}
 		m.serveBacklog()
 	}
 	return false, nil
 }
 
-// checkExhausted reports (and records) global unsatisfiability: the
+// checkExhausted reports (and records) a job's unsatisfiability: its
 // problem was handed out and no subproblem remains outstanding anywhere —
 // "all the clients are idle, which means that the instance is
 // unsatisfiable" (§3.4). Checked after every event that can decrement the
 // outstanding-work count, including failed split transfers.
-func (m *Master) checkExhausted() bool {
-	if m.assigned && m.outstanding == 0 && m.result.Status == solver.StatusUnknown {
-		m.result.Status = solver.StatusUNSAT
-		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Detail: "UNSAT"})
-		return true
+func (m *Master) checkExhausted(j *masterJob) bool {
+	if j == nil || !j.State.Active() {
+		return false
+	}
+	if j.assigned && j.outstanding == 0 && j.status == solver.StatusUnknown {
+		if !m.serve {
+			j.status = solver.StatusUNSAT
+			m.result.Status = solver.StatusUNSAT
+			m.femit(trace.FEvent{Kind: trace.FEvVerdict, Detail: "UNSAT"})
+			return true
+		}
+		m.femit(trace.FEvent{Kind: trace.FEvVerdict, Job: j.ID, Detail: "UNSAT"})
+		m.finishJob(j, solver.StatusUNSAT, nil)
+		// One job's exhaustion never ends the service: callers feed this
+		// straight into handle()'s done flag, which must stay false here.
+		return false
 	}
 	return false
 }
 
 // clientLost implements the paper's limited fault handling: a lost idle
 // client is forgotten; a lost busy client is unrecoverable in the live
-// runtime (the DES runner models checkpoint recovery).
+// single-job runtime (the DES runner models checkpoint recovery). The
+// scheduling service instead fails only the job whose subproblem went
+// down with the client — one bad host must not take out the service.
 func (m *Master) clientLost(c *masterClient) (bool, error) {
 	if c.busy || c.reserved {
-		return false, fmt.Errorf("core: lost client %d while it held a subproblem", c.id)
+		if !m.serve {
+			return false, fmt.Errorf("core: lost client %d while it held a subproblem", c.id)
+		}
+		j := m.jobOf(c)
+		m.log.Warn("busy client lost; failing its job", "client", c.id,
+			"host", c.hostName, "job", c.job)
+		m.femit(trace.FEvent{Kind: trace.FEvClientLeave, Client: c.id, Detail: c.hostName})
+		delete(m.clients, c.id)
+		if j != nil && j.State.Active() {
+			// The lost subproblem's search space is unrecoverable live, so
+			// the job cannot conclude soundly: end it UNKNOWN.
+			m.finishJob(j, solver.StatusUnknown, nil)
+		}
+		m.updateGauges()
+		return false, nil
 	}
 	m.log.Warn("idle client lost", "client", c.id, "host", c.hostName)
 	m.femit(trace.FEvent{Kind: trace.FEvClientLeave, Client: c.id, Detail: c.hostName})
 	delete(m.clients, c.id)
+	if m.serve {
+		m.updateGauges()
+	}
 	return false, nil
 }
 

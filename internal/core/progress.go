@@ -258,5 +258,8 @@ type ProgressSnapshot struct {
 	Conflicts    int64         `json:"conflicts"`
 	Implications int64         `json:"implications"`
 	Efficacy     ShareEfficacy `json:"efficacy"`
-	Clients      []ClientProgress `json:"clients"`
+	// Jobs are the scheduler's per-job rows in submission order (a
+	// single-job master reports the one implicit job 0).
+	Jobs    []JobSnapshot    `json:"jobs,omitempty"`
+	Clients []ClientProgress `json:"clients"`
 }

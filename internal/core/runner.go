@@ -24,6 +24,16 @@ import (
 type RunnerConfig struct {
 	Grid    *grid.Grid
 	Formula *cnf.Formula
+	// Jobs switches the DES into multi-job scheduling mode: Formula is
+	// ignored and each SimJob arrives at its ArrivalVSec, contending for
+	// clients under SchedPolicy exactly like submissions to the live
+	// `gridsat serve` master. Empty = the historical single-job run,
+	// bit-identical to the pre-scheduler runner.
+	Jobs []SimJob
+	// SchedPolicy names the malleable allocation policy for multi-job
+	// runs ("fifo", "fair-share", "priority"; "" = fifo). Ignored when
+	// Jobs is empty.
+	SchedPolicy string
 	// PropsPerVSec is R: solver propagations per virtual second on a
 	// dedicated speed-1.0 host. The benchmark harness uses 1000, which
 	// maps the synthetic instances onto the paper's time scale (paper
@@ -100,6 +110,40 @@ type TimelinePoint struct {
 type FailurePlan struct {
 	HostID int
 	AtVSec float64
+}
+
+// SimJob is one instance in a simulated multi-job workload.
+type SimJob struct {
+	Name    string
+	Formula *cnf.Formula
+	// Priority weighs this job under the priority policy (>= 1).
+	Priority int
+	// ArrivalVSec is when the job is submitted (virtual seconds).
+	ArrivalVSec float64
+	// CancelVSec, when > 0, cancels the job at that virtual time if it is
+	// still active — the DES counterpart of POST /jobs/{id}/cancel.
+	CancelVSec float64
+}
+
+// SimJobResult is one job's outcome in a multi-job simulated run.
+type SimJobResult struct {
+	ID   int
+	Name string
+	// Verdict is SAT/UNSAT/UNKNOWN, CANCELLED, or "" if the run's virtual
+	// time budget expired before the job finished.
+	Verdict string
+	Status  solver.Status
+	Model   cnf.Assignment
+	// Lifecycle timestamps in virtual seconds; TurnaroundVSec is
+	// submission to finish (0 while unfinished).
+	SubmitVSec     float64
+	StartVSec      float64
+	FinishVSec     float64
+	TurnaroundVSec float64
+	// Preemptions counts clients taken from this job mid-subproblem.
+	Preemptions int
+	// Coverage is the job's refuted search-space fraction at the end.
+	Coverage float64
 }
 
 // BatchPlan describes the Table-2 batch submission.
@@ -220,6 +264,12 @@ type SimResult struct {
 	PoolDelivered int64
 	PoolLost      int64
 	PoolDropped   int64
+	// Jobs carries per-job outcomes for multi-job runs (nil otherwise),
+	// in submission order; Preemptions totals their preemption counts and
+	// MakespanVSec spans first submission to last finish.
+	Jobs         []SimJobResult
+	Preemptions  int
+	MakespanVSec float64
 }
 
 // Efficacy derives the share-efficacy ratios from the run's aggregated
@@ -276,6 +326,9 @@ func RunSequential(cfg RunnerConfig) SimResult {
 type simClient struct {
 	id   int
 	host *grid.Host
+	// job owns this client's current (or last) subproblem; 0 is the
+	// implicit single job of a non-multi run.
+	job int
 
 	slv *solver.Solver
 	// extras are the in-host portfolio workers beyond the pathfinder
@@ -324,6 +377,8 @@ type runnerSplit struct {
 	recipients []int
 	resolved   map[int]bool
 	issueEv    uint64
+	// job owns every cofactor the split produces.
+	job int
 }
 
 func (g *runnerSplit) left() int { return len(g.recipients) - len(g.resolved) }
@@ -337,31 +392,31 @@ type runner struct {
 	order   []int // deterministic iteration order (host IDs)
 	master  *grid.Host
 
-	backlog     []BacklogEntry
 	nextSplitID int
 	pending     map[int]*runnerSplit
-	seen        *clauseWindow
 	// strategy is the split engine donors run; fanout is its per-split
 	// recipient budget.
 	strategy solver.SplitStrategy
 	fanout   int
-	// subBacklog queues leftover cofactors (counted in outstanding) for
-	// the next idle client, exactly like the live master's.
-	subBacklog []backlogSub
 
-	assigned    bool
-	outstanding int
-	// prog mirrors the live master's cluster coverage estimator; because
-	// the simulation is deterministic, the progress series is too.
-	prog ProgressTracker
-	// orphans are checkpointed subproblems of crashed clients awaiting an
-	// idle resource; orphanEvs carries each one's client-leave flight event
-	// in the same FIFO order, so the recovery event can name its cause.
-	orphans   []*solver.Subproblem
-	orphanEvs []uint64
-	done      bool
-	res       SimResult
-	flight    *trace.Flight
+	// jobs is every job the run knows, keyed by ID; jobOrder is the
+	// deterministic submission order. A single-job run owns exactly
+	// jobs[0], created before the simulation starts, so every historical
+	// code path reads and writes job 0 without knowing jobs exist.
+	jobs     map[int]*runnerJob
+	jobOrder []int
+	// multi marks a scheduling-mode run (cfg.Jobs non-empty): job
+	// lifecycle events are emitted, the policy reallocates clients at
+	// arrivals, finishes and monitor ticks, and the run ends when every
+	// job is terminal.
+	multi  bool
+	policy SchedPolicy
+	// targets is the most recent per-job client allocation (multi only).
+	targets map[int]int
+
+	done   bool
+	res    SimResult
+	flight *trace.Flight
 	// profs are the per-worker diversification profiles shared by every
 	// portfolio client (nil when Threads <= 1); index 0 is the pathfinder
 	// identity profile, whose import/export pool budgets still apply.
@@ -400,11 +455,38 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		info:     grid.NewInfoService(cfg.Grid),
 		clients:  map[int]*simClient{},
 		pending:  map[int]*runnerSplit{},
-		seen:     newClauseWindow(0),
+		jobs:     map[int]*runnerJob{},
 		strategy: strategy,
 		fanout:   solver.StrategyFanout(cfg.SplitStrategy),
 		flight:   cfg.Flight,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if len(cfg.Jobs) > 0 {
+		r.multi = true
+		policy, perr := ParseSchedPolicy(cfg.SchedPolicy)
+		if perr != nil {
+			policy, _ = ParseSchedPolicy("")
+		}
+		r.policy = policy
+		// Jobs are created up front but submitted at their arrival times,
+		// in submission order (arrival time, then config order).
+		arrivals := make([]*runnerJob, 0, len(cfg.Jobs))
+		for i, sj := range cfg.Jobs {
+			j := newRunnerJob(i+1, sj.Name, sj.Formula, sj.Priority)
+			j.cancelAt = sj.CancelVSec
+			arrivals = append(arrivals, j)
+		}
+		for i, sj := range cfg.Jobs {
+			j := arrivals[i]
+			r.sim.At(sj.ArrivalVSec, func() { r.submitSimJob(j) })
+		}
+	} else {
+		// The implicit single job: every historical code path reads and
+		// writes job 0 without knowing jobs exist.
+		j := newRunnerJob(0, "", cfg.Formula, 1)
+		j.State = JobQueued
+		r.jobs[0] = j
+		r.jobOrder = append(r.jobOrder, 0)
 	}
 	r.master = cfg.Grid.HostByID(cfg.MasterHostID)
 	if r.master == nil && len(cfg.Grid.Hosts) > 0 {
@@ -434,6 +516,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		r.emit(trace.FEvent{Kind: trace.FEvHeartbeat, N: int64(r.busyCount())})
 		r.sample(r.busyCount())
 		r.maybeMigrate()
+		r.rebalance() // multi-job: periodic reallocation (no-op otherwise)
 		r.sim.After(cfg.MonitorPeriodVSec, monitor)
 	}
 	r.sim.After(cfg.MonitorPeriodVSec, monitor)
@@ -616,11 +699,12 @@ func poolClauses(entries []poolEntry) []cnf.Clause {
 	return out
 }
 
-// closeSub folds a refuted subproblem into the coverage estimate, emitting
-// the progress flight event and appending the deterministic series point.
-func (r *runner) closeSub(clientID, depth int) {
-	units := r.prog.CloseSubproblem(depth, r.sim.Now())
-	r.emit(trace.FEvent{Kind: trace.FEvProgress, Client: clientID,
+// closeSub folds a refuted subproblem into its job's coverage estimate,
+// emitting the progress flight event and appending the deterministic
+// series point.
+func (r *runner) closeSub(j *runnerJob, clientID, depth int) {
+	units := j.prog.CloseSubproblem(depth, r.sim.Now())
+	r.emit(trace.FEvent{Kind: trace.FEvProgress, Client: clientID, Job: j.ID,
 		N: int64(units), Detail: fmt.Sprintf("depth=%d", depth)})
 	r.res.Progress = append(r.res.Progress, ProgressPoint{
 		VSec:     r.sim.Now(),
@@ -642,21 +726,33 @@ func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignme
 			r.retire(c)
 		}
 	}
-	r.res.CoverageUnits = r.prog.Units()
-	r.res.Coverage = r.prog.Fraction()
-	r.res.ClosedSubproblems = r.prog.Closed()
+	if r.multi {
+		for _, id := range r.jobOrder {
+			r.res.ClosedSubproblems += r.jobs[id].prog.Closed()
+		}
+		r.finishJobResults()
+	} else {
+		j := r.jobs[0]
+		r.res.CoverageUnits = j.prog.Units()
+		r.res.Coverage = j.prog.Fraction()
+		r.res.ClosedSubproblems = j.prog.Closed()
+	}
 	r.res.Outcome = outcome
 	r.res.Status = st
 	r.res.Model = model
-	detail := "UNKNOWN"
-	switch st {
-	case solver.StatusSAT:
-		detail = "SAT"
-	case solver.StatusUNSAT:
-		detail = "UNSAT"
+	if !r.multi {
+		// Multi-job runs emit one verdict per job as it finishes; the
+		// single-job run keeps its historical run-level verdict event.
+		detail := "UNKNOWN"
+		switch st {
+		case solver.StatusSAT:
+			detail = "SAT"
+		case solver.StatusUNSAT:
+			detail = "UNSAT"
+		}
+		r.emit(trace.FEvent{Kind: trace.FEvVerdict, Client: r.verdictClient,
+			Worker: r.verdictWorker, Detail: detail})
 	}
-	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Client: r.verdictClient,
-		Worker: r.verdictWorker, Detail: detail})
 	r.sample(0) // every run ends with the client count collapsing to zero
 	// Solved before the batch allocation arrived: withdraw the job
 	// (Table 2: "the job queued from the Blue Horizon is canceled").
@@ -682,8 +778,12 @@ func (r *runner) launch(h *grid.Host) {
 		r.clients[c.id] = c
 		r.order = append(r.order, c.id)
 		r.emit(trace.FEvent{Kind: trace.FEvClientJoin, Client: c.id, Detail: h.Name})
-		if !r.assigned {
-			r.assignInitial(c)
+		if r.multi {
+			r.rebalance()
+			return
+		}
+		if j := r.jobs[0]; !j.assigned {
+			r.assignRoot(j, c)
 		} else {
 			r.serveBacklog()
 		}
@@ -701,24 +801,33 @@ func (r *runner) xfer(from, to *grid.Host, bytes int64) float64 {
 	return r.cfg.Grid.Network.Transfer(from, to, bytes)
 }
 
-// assignInitial ships the whole problem to the first registered client.
-func (r *runner) assignInitial(c *simClient) {
-	r.assigned = true
-	bytes := int64(r.cfg.Formula.NumLiterals()*4 + 64)
+// assignRoot ships a job's whole problem to its first client.
+func (r *runner) assignRoot(j *runnerJob, c *simClient) {
+	j.assigned = true
+	c.job = j.ID
+	c.reserved = true // holds the client through the transfer
+	bytes := int64(j.Formula.NumLiterals()*4 + 64)
 	delay := r.xfer(r.master, c.host, bytes)
-	r.outstanding++
+	j.outstanding++
 	r.sim.After(delay, func() {
-		if r.done {
+		c.reserved = false
+		if r.done || c.dead {
+			return
+		}
+		if !j.State.Active() {
+			// The job was cancelled while the root was in flight.
+			r.serveBacklog()
 			return
 		}
 		_ = r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
-			return solver.New(r.cfg.Formula, opts), nil
+			return solver.New(j.Formula, opts), nil
 		})
 		c.busy = true
 		c.recvAt = r.sim.Now()
 		c.assignedAt = r.sim.Now()
 		c.xferTime = delay
-		r.emit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id})
+		r.markSimStarted(j)
+		r.emit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id, Job: j.ID})
 		r.noteBusy()
 		r.scheduleStep(c)
 	})
@@ -826,16 +935,21 @@ func (r *runner) scheduleStep(c *simClient) {
 		if res.Status != solver.StatusUnknown {
 			verdicts = append([]workerVerdict{{0, res.Status, res.Model}}, verdicts...)
 		}
+		j := r.jobOf(c)
 		sawSAT := false
 		for _, v := range verdicts {
 			if v.status != solver.StatusSAT {
 				continue
 			}
 			sawSAT = true
-			// A model is a model even if the subproblem migrated away
-			// mid-quantum; the master verifies before declaring success
-			// (§3.4).
-			if err := r.cfg.Formula.Verify(v.model); err == nil {
+			// A model is a model even if the subproblem migrated away (or
+			// was preempted) mid-quantum; the master verifies before
+			// declaring success (§3.4).
+			if err := j.Formula.Verify(v.model); err == nil {
+				if r.multi {
+					r.finishSimJob(j, solver.StatusSAT, v.model, c.id, v.worker)
+					return
+				}
 				r.verdictClient = c.id
 				r.verdictWorker = v.worker
 				r.finish(OutcomeSolved, solver.StatusSAT, v.model)
@@ -864,16 +978,15 @@ func (r *runner) scheduleStep(c *simClient) {
 			r.retire(c)
 			c.busy = false
 			c.splitAsked = false
-			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Worker: v.worker})
-			r.closeSub(c.id, depth)
-			r.outstanding--
+			r.emit(trace.FEvent{Kind: trace.FEvSubUNSAT, Client: c.id, Worker: v.worker, Job: j.ID})
+			r.closeSub(j, c.id, depth)
+			j.outstanding--
 			r.sample(r.busyCount())
 			r.serveAssigns(c) // release any split assignments queued for us
 			if r.done {
 				return
 			}
-			if r.assigned && r.outstanding == 0 {
-				r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+			if r.jobExhausted(j) {
 				return
 			}
 			r.serveBacklog()
@@ -906,16 +1019,18 @@ func (r *runner) scheduleStep(c *simClient) {
 }
 
 // broadcast implements the master-mediated clause sharing of the live
-// runtime: dedup at the master, then deliver to every other busy client
-// with the modeled network delay.
+// runtime: dedup at the master (per job — fingerprints are only
+// meaningful within one formula), then deliver to the job's other busy
+// clients with the modeled network delay.
 func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
+	j := r.jobOf(from)
 	flushEv := r.emit(trace.FEvent{Kind: trace.FEvShareFlush, Client: from.id, N: int64(len(clauses))})
 	// Copy fresh clauses instead of filtering in place: the callback below
 	// retains the batch past this call, and clauses aliases the donor
 	// solver's learnt storage.
 	var fresh []cnf.Clause
 	for _, cl := range clauses {
-		if !r.seen.Add(cl.Fingerprint()) {
+		if !j.seen.Add(cl.Fingerprint()) {
 			continue
 		}
 		fresh = append(fresh, cl.Clone())
@@ -930,7 +1045,7 @@ func (r *runner) broadcast(from *simClient, clauses []cnf.Clause) {
 	toMaster := r.xfer(from.host, r.master, bytes)
 	for _, id := range r.order {
 		other := r.clients[id]
-		if other.id == from.id {
+		if other.id == from.id || other.job != from.job {
 			continue
 		}
 		var delay float64
@@ -967,7 +1082,8 @@ func (r *runner) requestSplit(c *simClient, why string) {
 			return
 		}
 		c.splitReqEv = r.emit(trace.FEvent{Kind: trace.FEvSplitRequest, Client: c.id, Detail: why})
-		r.backlog = append(r.backlog, BacklogEntry{
+		j := r.jobOf(c)
+		j.backlog = append(j.backlog, BacklogEntry{
 			ClientID:    c.id,
 			AssignedAt:  c.assignedAt,
 			RequestedAt: r.sim.Now(),
@@ -976,34 +1092,64 @@ func (r *runner) requestSplit(c *simClient, why string) {
 	})
 }
 
-// serveBacklog pairs queued split requests with idle resources, exactly
-// like the live master but using NWS forecast ranks. Each request reserves
-// up to the strategy's fanout in idle recipients.
+// serveBacklog pairs queued work with idle resources across every active
+// job in submission order, exactly like the live master but using NWS
+// forecast ranks; in multi-job mode the policy's targets cap how many
+// clients each job may take, so serving never undoes a reallocation.
 func (r *runner) serveBacklog() {
 	if r.done {
 		return
 	}
-	r.serveOrphans()
-	r.serveSubBacklog()
+	for _, id := range r.schedOrder() {
+		j := r.jobs[id]
+		if !j.State.Active() {
+			continue
+		}
+		r.serveJob(j)
+	}
+}
+
+// serveJob drains one job's queues into idle clients: recovered orphans
+// first, then backlogged cofactors and preempted checkpoints, then the
+// unstarted root, then split requests (each reserving up to the
+// strategy's fanout in idle recipients).
+func (r *runner) serveJob(j *runnerJob) {
+	r.serveOrphans(j)
+	r.serveSubBacklog(j)
+	if r.multi && !j.assigned && r.capacity(j) > 0 {
+		if target, ok := PickSplitTarget(r.idleCandidates(), 0); ok {
+			r.assignRoot(j, r.clients[target.ID])
+		}
+	}
 	for {
-		i := NextFromBacklog(r.backlog)
+		if r.multi && r.capacity(j) <= 0 {
+			return
+		}
+		i := NextFromBacklog(j.backlog)
 		if i < 0 {
 			return
 		}
-		donor := r.clients[r.backlog[i].ClientID]
-		if donor == nil || !donor.busy {
-			r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
+		donor := r.clients[j.backlog[i].ClientID]
+		if donor == nil || !donor.busy || donor.job != j.ID {
+			j.backlog = append(j.backlog[:i], j.backlog[i+1:]...)
 			continue
+		}
+		budget := max(1, r.fanout)
+		if r.multi {
+			if cap := r.capacity(j); cap < budget {
+				budget = cap
+			}
 		}
 		var recips []int
 		cands := r.idleCandidates()
-		for len(recips) < max(1, r.fanout) {
+		for len(recips) < budget {
 			target, ok := PickSplitTarget(cands, 0)
 			if !ok {
 				break
 			}
 			rec := r.clients[target.ID]
 			rec.reserved = true
+			rec.job = j.ID
 			recips = append(recips, rec.id)
 			kept := cands[:0]
 			for _, cd := range cands {
@@ -1016,15 +1162,15 @@ func (r *runner) serveBacklog() {
 		if len(recips) == 0 {
 			return
 		}
-		r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
+		j.backlog = append(j.backlog[:i], j.backlog[i+1:]...)
 		donor.splitAsked = false
-		r.outstanding += len(recips)
+		j.outstanding += len(recips)
 		r.nextSplitID++
 		splitID := r.nextSplitID
 		issueEv := r.emit(trace.FEvent{Kind: trace.FEvSplitIssue, Client: donor.id,
 			Peer: recips[0], N: int64(len(recips)), SplitID: splitID, Parent: donor.splitReqEv})
 		r.pending[splitID] = &runnerSplit{donor: donor.id, recipients: recips,
-			resolved: map[int]bool{}, issueEv: issueEv}
+			resolved: map[int]bool{}, issueEv: issueEv, job: j.ID}
 		delay := r.xfer(r.master, donor.host, 64)
 		r.sim.After(delay, func() {
 			if r.done {
@@ -1053,7 +1199,7 @@ func (r *runner) resolveLeg(g *runnerSplit, splitID, rid int, detail string) {
 	}
 	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: rid, Peer: g.donor,
 		SplitID: splitID, Parent: g.issueEv, Detail: detail})
-	r.outstanding--
+	r.jobs[g.job].outstanding--
 	if g.left() == 0 {
 		delete(r.pending, splitID)
 	}
@@ -1071,6 +1217,7 @@ func (r *runner) serveAssigns(c *simClient) {
 		if g == nil {
 			continue
 		}
+		j := r.jobs[g.job]
 		if !c.busy || c.slv == nil {
 			r.releasePending(a.splitID)
 			continue
@@ -1091,9 +1238,9 @@ func (r *runner) serveAssigns(c *simClient) {
 		if len(batch) > served {
 			var bytes int64
 			for _, sub := range batch[served:] {
-				r.subBacklog = append(r.subBacklog, backlogSub{sub: sub,
-					splitID: a.splitID, donor: c.id, issueEv: g.issueEv})
-				r.outstanding++
+				j.subBacklog = append(j.subBacklog, backlogSub{sub: sub,
+					splitID: a.splitID, donor: c.id, issueEv: g.issueEv, job: j.ID})
+				j.outstanding++
 				bytes += subproblemBytes(sub)
 			}
 			r.xfer(c.host, r.master, bytes)
@@ -1108,9 +1255,9 @@ func (r *runner) serveAssigns(c *simClient) {
 				// The leg already unwound (recipient crashed between the
 				// assignment and this quantum); its cofactor is still live
 				// search space, so it joins the backlog instead of vanishing.
-				r.subBacklog = append(r.subBacklog, backlogSub{sub: sub,
-					splitID: a.splitID, donor: c.id, issueEv: g.issueEv})
-				r.outstanding++
+				j.subBacklog = append(j.subBacklog, backlogSub{sub: sub,
+					splitID: a.splitID, donor: c.id, issueEv: g.issueEv, job: j.ID})
+				j.outstanding++
 				continue
 			}
 			delay := r.xfer(c.host, recipient.host, subproblemBytes(sub))
@@ -1124,16 +1271,17 @@ func (r *runner) serveAssigns(c *simClient) {
 				}
 				recipient.reserved = false
 				err := r.attachSolvers(recipient, func(opts solver.Options) (*solver.Solver, error) {
-					return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+					return solver.NewFromSubproblem(j.Formula, sub, opts)
 				})
 				if err != nil {
 					r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: recipient.id,
 						Peer: c.id, SplitID: a.splitID, Parent: g.issueEv, Detail: err.Error()})
-					r.outstanding--
+					j.outstanding--
 					r.serveBacklog()
 					return
 				}
 				recipient.busy = true
+				recipient.job = j.ID
 				recipient.recvAt = r.sim.Now()
 				recipient.assignedAt = r.sim.Now()
 				recipient.xferTime = delay
@@ -1148,31 +1296,42 @@ func (r *runner) serveAssigns(c *simClient) {
 	r.serveBacklog()
 }
 
-// serveSubBacklog ships queued leftover cofactors (already counted in
-// outstanding) from the master to idle clients.
-func (r *runner) serveSubBacklog() {
-	for len(r.subBacklog) > 0 {
+// serveSubBacklog ships one job's queued leftover cofactors and preempted
+// checkpoints (already counted in outstanding) from the master to idle
+// clients. A resume entry restarts a preempted subproblem, emitting the
+// migrate → resume chain under its job-preempt event instead of a
+// split-accept.
+func (r *runner) serveSubBacklog(j *runnerJob) {
+	for len(j.subBacklog) > 0 {
+		if r.multi && r.capacity(j) <= 0 {
+			return
+		}
 		target, ok := PickSplitTarget(r.idleCandidates(), 0)
 		if !ok {
 			return
 		}
-		entry := r.subBacklog[0]
-		r.subBacklog = r.subBacklog[1:]
+		entry := j.subBacklog[0]
+		j.subBacklog = j.subBacklog[1:]
 		c := r.clients[target.ID]
 		c.reserved = true
+		c.job = j.ID
 		delay := r.xfer(r.master, c.host, subproblemBytes(entry.sub))
 		r.sim.After(delay, func() {
 			if r.done || c.dead {
 				return
 			}
 			c.reserved = false
+			if !j.State.Active() {
+				r.serveBacklog()
+				return
+			}
 			err := r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
-				return solver.NewFromSubproblem(r.cfg.Formula, entry.sub, opts)
+				return solver.NewFromSubproblem(j.Formula, entry.sub, opts)
 			})
 			if err != nil {
 				r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: c.id,
 					Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv, Detail: err.Error()})
-				r.outstanding--
+				j.outstanding--
 				r.serveBacklog()
 				return
 			}
@@ -1180,9 +1339,17 @@ func (r *runner) serveSubBacklog() {
 			c.recvAt = r.sim.Now()
 			c.assignedAt = r.sim.Now()
 			c.xferTime = delay
-			r.res.Splits++
-			r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
-				Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
+			if entry.resume {
+				r.markSimStarted(j)
+				r.emit(trace.FEvent{Kind: trace.FEvMigrate, Client: entry.donor,
+					Peer: c.id, Job: j.ID, Parent: entry.issueEv})
+				r.emit(trace.FEvent{Kind: trace.FEvJobResume, Client: c.id,
+					Job: j.ID, Parent: entry.issueEv})
+			} else {
+				r.res.Splits++
+				r.emit(trace.FEvent{Kind: trace.FEvSplitAccept, Client: c.id,
+					Peer: entry.donor, SplitID: entry.splitID, Parent: entry.issueEv})
+			}
 			r.noteBusy()
 			r.scheduleStep(c)
 		})
@@ -1230,6 +1397,7 @@ func (r *runner) maybeMigrate() {
 	// Only the pathfinder's state migrates; the donor's extras are torn
 	// down and the recipient rebuilds a fresh portfolio from the
 	// checkpoint, exactly like the live client's performMigrate.
+	j := r.jobOf(weakest)
 	cp := weakest.slv.Checkpoint(solver.HeavyCheckpoint, 10000)
 	sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0,
 		Learnts: cp.Learnts, Depth: cp.Depth}
@@ -1239,21 +1407,23 @@ func (r *runner) maybeMigrate() {
 	weakest.splitAsked = false
 	r.serveAssigns(weakest) // release split assignments queued for the donor
 	recipient.reserved = true
+	recipient.job = j.ID
 	bytes := subproblemBytes(sub)
 	delay := r.xfer(weakest.host, recipient.host, bytes)
 	r.sim.After(delay, func() {
 		weakest.migrating = false
 		if r.done || recipient.dead {
-			r.outstanding-- // the piece is lost with the recipient
+			j.outstanding-- // the piece is lost with the recipient
 			recipient.reserved = false
-			if r.assigned && r.outstanding == 0 {
-				r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
-			}
+			r.jobExhausted(j)
 			return
 		}
 		recipient.reserved = false
+		if !j.State.Active() {
+			return
+		}
 		err := r.attachSolvers(recipient, func(opts solver.Options) (*solver.Solver, error) {
-			return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+			return solver.NewFromSubproblem(j.Formula, sub, opts)
 		})
 		if err != nil {
 			return
@@ -1263,7 +1433,7 @@ func (r *runner) maybeMigrate() {
 		recipient.assignedAt = r.sim.Now()
 		recipient.xferTime = delay
 		r.res.Migrations++
-		r.emit(trace.FEvent{Kind: trace.FEvMigrate, Client: weakest.id, Peer: recipient.id})
+		r.emit(trace.FEvent{Kind: trace.FEvMigrate, Client: weakest.id, Peer: recipient.id, Job: j.ID})
 		r.noteBusy()
 		r.scheduleStep(recipient)
 	})
@@ -1280,6 +1450,7 @@ func (r *runner) failClient(id int) {
 	if c == nil || r.done {
 		return
 	}
+	j := r.jobOf(c)
 	var orphan *solver.Subproblem
 	if c.busy && c.slv != nil {
 		cp := c.slv.Checkpoint(solver.LightCheckpoint, 0)
@@ -1320,7 +1491,7 @@ func (r *runner) failClient(id int) {
 				if rec := r.clients[rid]; rec != nil {
 					rec.reserved = false
 				}
-				r.outstanding--
+				r.jobs[g.job].outstanding--
 			}
 			delete(r.pending, splitID)
 			continue
@@ -1331,43 +1502,50 @@ func (r *runner) failClient(id int) {
 			}
 		}
 	}
-	if orphan != nil {
-		r.orphans = append(r.orphans, orphan)
-		r.orphanEvs = append(r.orphanEvs, leaveEv)
+	if orphan != nil && j.State.Active() {
+		j.orphans = append(j.orphans, orphanEntry{sub: orphan, ev: leaveEv})
 		// The crashed client's outstanding piece survives as an orphan; no
 		// change to the outstanding count.
-		r.serveOrphans()
+		r.serveOrphans(j)
 	}
-	if r.assigned && r.outstanding == 0 {
-		r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+	// Unwinding in-flight legs may have exhausted any job's search space.
+	for _, jid := range r.jobOrder {
+		if r.done {
+			return
+		}
+		r.jobExhausted(r.jobs[jid])
 	}
 }
 
-// serveOrphans reassigns checkpointed subproblems to idle resources.
-func (r *runner) serveOrphans() {
-	for len(r.orphans) > 0 {
+// serveOrphans reassigns one job's checkpointed subproblems (from crashed
+// clients) to idle resources.
+func (r *runner) serveOrphans(j *runnerJob) {
+	for len(j.orphans) > 0 {
+		if r.multi && r.capacity(j) <= 0 {
+			return
+		}
 		target, ok := PickSplitTarget(r.idleCandidates(), 0)
 		if !ok {
 			return
 		}
-		sub := r.orphans[0]
-		r.orphans = r.orphans[1:]
-		var leaveEv uint64
-		if len(r.orphanEvs) > 0 {
-			leaveEv = r.orphanEvs[0]
-			r.orphanEvs = r.orphanEvs[1:]
-		}
+		entry := j.orphans[0]
+		j.orphans = j.orphans[1:]
 		c := r.clients[target.ID]
 		c.reserved = true
-		bytes := subproblemBytes(sub)
+		c.job = j.ID
+		bytes := subproblemBytes(entry.sub)
 		delay := r.xfer(r.master, c.host, bytes)
 		r.sim.After(delay, func() {
 			if r.done || c.dead {
 				return
 			}
 			c.reserved = false
+			if !j.State.Active() {
+				r.serveBacklog()
+				return
+			}
 			err := r.attachSolvers(c, func(opts solver.Options) (*solver.Solver, error) {
-				return solver.NewFromSubproblem(r.cfg.Formula, sub, opts)
+				return solver.NewFromSubproblem(j.Formula, entry.sub, opts)
 			})
 			if err != nil {
 				return
@@ -1376,7 +1554,7 @@ func (r *runner) serveOrphans() {
 			c.recvAt = r.sim.Now()
 			c.assignedAt = r.sim.Now()
 			c.xferTime = delay
-			r.emit(trace.FEvent{Kind: trace.FEvRecover, Client: c.id, Parent: leaveEv})
+			r.emit(trace.FEvent{Kind: trace.FEvRecover, Client: c.id, Job: j.ID, Parent: entry.ev})
 			r.noteBusy()
 			r.scheduleStep(c)
 		})
@@ -1390,6 +1568,7 @@ func (r *runner) releasePending(splitID int) {
 	if g == nil {
 		return
 	}
+	j := r.jobs[g.job]
 	r.emit(trace.FEvent{Kind: trace.FEvSplitFail, Client: g.donor,
 		Peer: g.recipients[0], SplitID: splitID, Parent: g.issueEv})
 	delete(r.pending, splitID)
@@ -1400,10 +1579,9 @@ func (r *runner) releasePending(splitID int) {
 		if rec := r.clients[rid]; rec != nil {
 			rec.reserved = false
 		}
-		r.outstanding--
+		j.outstanding--
 	}
-	if r.assigned && r.outstanding == 0 {
-		r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+	if r.jobExhausted(j) {
 		return
 	}
 	r.serveBacklog()

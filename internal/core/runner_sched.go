@@ -1,0 +1,388 @@
+package core
+
+import (
+	"sort"
+
+	"gridsat/internal/cnf"
+	"gridsat/internal/solver"
+	"gridsat/internal/trace"
+)
+
+// This file is the DES side of the multi-job scheduler: the per-job
+// solving state (runnerJob), job arrival/cancel/finish transitions, and
+// the malleable reallocation that preempts clients from over-target jobs
+// via the same checkpoint machinery §3.4 migration uses. The allocation
+// policies themselves live in jobsched.go and are shared verbatim with
+// the live `gridsat serve` master, so a policy benchmarked here is the
+// code that schedules a real deployment.
+
+// runnerJob is one job's solving state inside the DES. It embeds the
+// shared scheduler entity (identity, priority, lifecycle, timestamps) and
+// adds the search bookkeeping the simulated master keeps per job.
+type runnerJob struct {
+	Job
+	// assigned marks that the root subproblem has shipped; outstanding
+	// counts live subproblems (assigned + backlogged + orphaned).
+	assigned    bool
+	outstanding int
+	// backlog queues split requests from this job's busy clients;
+	// subBacklog queues leftover cofactors and preempted checkpoints
+	// (counted in outstanding) for the next idle client.
+	backlog    []BacklogEntry
+	subBacklog []backlogSub
+	// orphans are checkpointed subproblems of crashed clients awaiting an
+	// idle resource, each with its client-leave flight event so the
+	// recovery event can name its cause.
+	orphans []orphanEntry
+	// prog mirrors the live master's per-job coverage estimator; seen
+	// dedups this job's shared clauses (fingerprints are only meaningful
+	// within one formula).
+	prog ProgressTracker
+	seen *clauseWindow
+	// cancelAt > 0 schedules a cancellation (SimJob.CancelVSec).
+	cancelAt float64
+	status   solver.Status
+	model    cnf.Assignment
+	// verdictClient/verdictWorker locate the solver that decided the job
+	// (0/0 for UNSAT by exhaustion), recorded on its verdict event.
+	verdictClient int
+	verdictWorker int
+}
+
+type orphanEntry struct {
+	sub *solver.Subproblem
+	ev  uint64
+}
+
+// verdict renders the job's outcome the way the /jobs API does.
+func (j *runnerJob) verdict() string {
+	switch {
+	case j.State == JobCancelled:
+		return "CANCELLED"
+	case j.State != JobDone:
+		return ""
+	case j.status == solver.StatusSAT:
+		return "SAT"
+	case j.status == solver.StatusUNSAT:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// newRunnerJob builds a job's DES state; submission bookkeeping happens
+// in submitSimJob (multi) or RunDistributed (the implicit job 0).
+func newRunnerJob(id int, name string, f *cnf.Formula, priority int) *runnerJob {
+	if priority < 1 {
+		priority = 1
+	}
+	return &runnerJob{
+		Job:  Job{ID: id, Name: name, Priority: priority, Formula: f},
+		seen: newClauseWindow(0),
+	}
+}
+
+// jobOf resolves a client's owning job (never nil while the client has
+// ever been assigned; job 0 always exists in single-job runs).
+func (r *runner) jobOf(c *simClient) *runnerJob { return r.jobs[c.job] }
+
+// submitSimJob admits a job into the simulated scheduler at its arrival
+// time. Multi-mode only.
+func (r *runner) submitSimJob(j *runnerJob) {
+	if r.done {
+		return
+	}
+	j.State = JobQueued
+	j.SubmittedAt = r.sim.Now()
+	r.jobs[j.ID] = j
+	r.jobOrder = append(r.jobOrder, j.ID)
+	r.emit(trace.FEvent{Kind: trace.FEvJobSubmit, Job: j.ID,
+		N: int64(j.Priority), Detail: j.Name})
+	if j.cancelAt > 0 {
+		r.sim.At(j.cancelAt, func() { r.cancelSimJob(j) })
+	}
+	r.rebalance()
+}
+
+// cancelSimJob aborts an active job: its clients stop, its queues drop,
+// and the freed capacity reallocates. Multi-mode only.
+func (r *runner) cancelSimJob(j *runnerJob) {
+	if r.done || !j.State.Active() {
+		return
+	}
+	j.State = JobCancelled
+	j.FinishedAt = r.sim.Now()
+	j.outstanding = 0
+	j.backlog = nil
+	j.subBacklog = nil
+	j.orphans = nil
+	r.emit(trace.FEvent{Kind: trace.FEvJobCancel, Job: j.ID})
+	r.releaseSimJob(j)
+	r.sample(r.busyCount())
+	if r.allJobsTerminal() {
+		r.finish(OutcomeSolved, solver.StatusUnknown, nil)
+		return
+	}
+	r.rebalance()
+}
+
+// finishSimJob records a job's verdict and releases everything it holds.
+// Multi-mode only (single-job runs end the whole simulation instead).
+func (r *runner) finishSimJob(j *runnerJob, st solver.Status, model cnf.Assignment, vc, vw int) {
+	if !j.State.Active() {
+		return
+	}
+	j.status = st
+	j.model = model
+	j.State = JobDone
+	j.FinishedAt = r.sim.Now()
+	j.outstanding = 0
+	j.backlog = nil
+	j.subBacklog = nil
+	j.orphans = nil
+	j.verdictClient, j.verdictWorker = vc, vw
+	v := j.verdict()
+	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Job: j.ID, Client: vc, Worker: vw, Detail: v})
+	r.emit(trace.FEvent{Kind: trace.FEvJobDone, Job: j.ID, Detail: v})
+	r.releaseSimJob(j)
+	r.sample(r.busyCount())
+	if r.allJobsTerminal() {
+		r.finish(OutcomeSolved, solver.StatusUnknown, nil)
+		return
+	}
+	r.rebalance()
+}
+
+// releaseSimJob drops a terminal job's in-flight transfers and stops its
+// clients; their solvers retire into the run aggregate immediately (the
+// DES has no in-flight solver to wait out, unlike the live master).
+func (r *runner) releaseSimJob(j *runnerJob) {
+	var pendIDs []int
+	for splitID, g := range r.pending {
+		if g.job == j.ID {
+			pendIDs = append(pendIDs, splitID)
+		}
+	}
+	sort.Ints(pendIDs)
+	for _, splitID := range pendIDs {
+		g := r.pending[splitID]
+		for _, rid := range g.recipients {
+			if g.resolved[rid] {
+				continue
+			}
+			g.resolved[rid] = true
+			if rec := r.clients[rid]; rec != nil {
+				rec.reserved = false
+			}
+		}
+		delete(r.pending, splitID)
+	}
+	for _, id := range r.order {
+		c := r.clients[id]
+		if c.job != j.ID {
+			continue
+		}
+		c.reserved = false
+		if c.busy {
+			r.retire(c)
+			c.busy = false
+			c.splitAsked = false
+			c.assigns = nil
+		}
+	}
+}
+
+// allJobsTerminal reports whether every submitted job reached a verdict
+// or cancellation. Jobs still in cfg.Jobs but unarrived keep the run
+// alive via their pending arrival events, not via this check.
+func (r *runner) allJobsTerminal() bool {
+	if len(r.jobOrder) < len(r.cfg.Jobs) {
+		return false // arrivals still pending
+	}
+	for _, id := range r.jobOrder {
+		if r.jobs[id].State.Active() {
+			return false
+		}
+	}
+	return true
+}
+
+// heldSim counts the clients a job currently holds (busy or reserved).
+func (r *runner) heldSim(jobID int) int {
+	n := 0
+	for _, id := range r.order {
+		c := r.clients[id]
+		if c.job == jobID && (c.busy || c.reserved) {
+			n++
+		}
+	}
+	return n
+}
+
+// simJobDemand mirrors the live master's demand estimate: outstanding
+// subproblems plus backlogged split requests at the strategy's fanout,
+// with headroom for an unstarted root.
+func (r *runner) simJobDemand(j *runnerJob) int {
+	d := j.outstanding + len(j.backlog)*max(1, r.fanout)
+	if !j.assigned {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// capacity is how many more clients a job may take right now: unbounded
+// in single-job mode, target minus held under the policy in multi mode.
+func (r *runner) capacity(j *runnerJob) int {
+	if !r.multi {
+		return len(r.order) + 1
+	}
+	c := r.targets[j.ID] - r.heldSim(j.ID)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// rebalance recomputes the malleable allocation and preempts clients
+// from over-target jobs, newest assignment first (the least progress is
+// lost). Freed and idle clients are then matched to under-target jobs'
+// queues. Multi-mode only; single-job callers use serveBacklog directly.
+func (r *runner) rebalance() {
+	if r.done || !r.multi {
+		return
+	}
+	var shares []SchedShare
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		if !j.State.Active() {
+			continue
+		}
+		shares = append(shares, SchedShare{JobID: j.ID, Priority: j.Priority,
+			Demand: r.simJobDemand(j)})
+	}
+	r.targets = r.policy.Allocate(shares, len(r.order))
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		if !j.State.Active() {
+			continue
+		}
+		over := r.heldSim(j.ID) - r.targets[j.ID]
+		if over > 0 {
+			r.preemptSimClients(j, over)
+		}
+	}
+	r.serveBacklog()
+}
+
+// preemptSimClients checkpoints up to n of a job's busy clients back to
+// its sub-backlog — the §3.4 checkpoint machinery in scheduler service:
+// the level-0 guiding path plus learned clauses travel to the master and
+// wait, still counted outstanding, for the job's next client.
+func (r *runner) preemptSimClients(j *runnerJob, n int) {
+	var cands []*simClient
+	for _, id := range r.order {
+		c := r.clients[id]
+		if c.job == j.ID && c.busy && !c.reserved && !c.migrating && c.slv != nil {
+			cands = append(cands, c)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].assignedAt != cands[b].assignedAt {
+			return cands[a].assignedAt > cands[b].assignedAt
+		}
+		return cands[a].id > cands[b].id
+	})
+	for i := 0; i < n && i < len(cands); i++ {
+		c := cands[i]
+		cp := c.slv.Checkpoint(solver.HeavyCheckpoint, 10000)
+		sub := &solver.Subproblem{NumVars: cp.NumVars, Assumptions: cp.Level0,
+			Learnts: cp.Learnts, Depth: cp.Depth}
+		r.retire(c)
+		c.busy = false
+		c.splitAsked = false
+		r.serveAssigns(c) // release split assignments queued for the donor
+		j.Preemptions++
+		r.res.Preemptions++
+		pe := r.emit(trace.FEvent{Kind: trace.FEvJobPreempt, Client: c.id, Job: j.ID})
+		j.subBacklog = append(j.subBacklog, backlogSub{sub: sub, donor: c.id,
+			issueEv: pe, job: j.ID, resume: true})
+		r.xfer(c.host, r.master, subproblemBytes(sub))
+		r.sample(r.busyCount())
+	}
+	if j.State == JobRunning && r.heldSim(j.ID) == 0 {
+		j.State = JobPreempted
+	}
+}
+
+// markSimStarted moves a job to running on its first (or resumed) client
+// allocation, emitting the lifecycle event in multi mode only so
+// single-job flight logs stay byte-identical.
+func (r *runner) markSimStarted(j *runnerJob) {
+	switch j.State {
+	case JobQueued:
+		j.State = JobRunning
+		j.StartedAt = r.sim.Now()
+		if r.multi {
+			r.emit(trace.FEvent{Kind: trace.FEvJobStart, Job: j.ID})
+		}
+	case JobPreempted:
+		j.State = JobRunning
+	}
+}
+
+// jobExhausted folds "outstanding hit zero" into the job's UNSAT
+// verdict: the whole search space was refuted with nothing lost. In
+// single-job mode that ends the run. Reports whether the caller's job
+// reached a verdict.
+func (r *runner) jobExhausted(j *runnerJob) bool {
+	if r.done || j == nil || !j.State.Active() || !j.assigned || j.outstanding != 0 {
+		return false
+	}
+	if r.multi {
+		r.finishSimJob(j, solver.StatusUNSAT, nil, 0, 0)
+		return true
+	}
+	r.finish(OutcomeSolved, solver.StatusUNSAT, nil)
+	return true
+}
+
+// schedOrder is the deterministic order jobs are offered idle clients:
+// submission order — the policy's targets, not this order, decide
+// fairness between concurrently running jobs.
+func (r *runner) schedOrder() []int { return r.jobOrder }
+
+// finishJobResults freezes per-job outcomes into the result (multi only).
+func (r *runner) finishJobResults() {
+	if !r.multi {
+		return
+	}
+	firstSubmit, lastFinish := -1.0, 0.0
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		jr := SimJobResult{
+			ID:          j.ID,
+			Name:        j.Name,
+			Verdict:     j.verdict(),
+			Status:      j.status,
+			Model:       j.model,
+			SubmitVSec:  j.SubmittedAt,
+			StartVSec:   j.StartedAt,
+			FinishVSec:  j.FinishedAt,
+			Preemptions: j.Preemptions,
+			Coverage:    j.prog.Fraction(),
+		}
+		jr.TurnaroundVSec = j.TurnaroundSec()
+		r.res.Jobs = append(r.res.Jobs, jr)
+		if firstSubmit < 0 || j.SubmittedAt < firstSubmit {
+			firstSubmit = j.SubmittedAt
+		}
+		if j.FinishedAt > lastFinish {
+			lastFinish = j.FinishedAt
+		}
+	}
+	if firstSubmit >= 0 && lastFinish > firstSubmit {
+		r.res.MakespanVSec = lastFinish - firstSubmit
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+	"gridsat/internal/gen"
+	"gridsat/internal/grid"
+	"gridsat/internal/solver"
+	"gridsat/internal/trace"
+)
+
+func desSchedConfig(jobs []SimJob, policy string, timeout float64) RunnerConfig {
+	return RunnerConfig{
+		Grid:              grid.TestbedGrADS(1),
+		Jobs:              jobs,
+		SchedPolicy:       policy,
+		TimeoutVSec:       timeout,
+		PropsPerVSec:      1000,
+		QuantumProps:      5000,
+		ShareMaxLen:       10,
+		MasterHostID:      -1,
+		MonitorPeriodVSec: 10,
+		Seed:              1,
+	}
+}
+
+// schedSATFormula is a satisfiable instance whose SAT-ness is verified
+// against the brute-force oracle, so verdict assertions can't drift with
+// the generator.
+func schedSATFormula(t *testing.T) *cnf.Formula {
+	t.Helper()
+	f := gen.RandomKSAT(20, 70, 3, 11)
+	if want, _ := brute.Solve(f, 0); want != brute.SAT {
+		t.Fatal("fixture formula is not SAT; pick another seed")
+	}
+	return f
+}
+
+func jobByID(t *testing.T, res SimResult, id int) SimJobResult {
+	t.Helper()
+	for _, jr := range res.Jobs {
+		if jr.ID == id {
+			return jr
+		}
+	}
+	t.Fatalf("no result for job %d in %+v", id, res.Jobs)
+	return SimJobResult{}
+}
+
+// TestRunDistributedTwoConcurrentJobs is the DES half of the multi-job
+// acceptance criterion: two jobs overlap in virtual time under fair-share
+// and both reach correct verdicts.
+func TestRunDistributedTwoConcurrentJobs(t *testing.T) {
+	sat := schedSATFormula(t)
+	jobs := []SimJob{
+		{Name: "unsat", Formula: gen.Pigeonhole(8), Priority: 1, ArrivalVSec: 1},
+		{Name: "sat", Formula: sat, Priority: 1, ArrivalVSec: 2},
+	}
+	fl := trace.NewFlight(nil)
+	cfg := desSchedConfig(jobs, "fair-share", 50_000)
+	cfg.Flight = fl
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("outcome %v, want solved (jobs: %+v)", res.Outcome, res.Jobs)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("got %d job results, want 2", len(res.Jobs))
+	}
+	j1, j2 := jobByID(t, res, 1), jobByID(t, res, 2)
+	if j1.Verdict != "UNSAT" {
+		t.Fatalf("job 1 verdict %q, want UNSAT", j1.Verdict)
+	}
+	if j2.Verdict != "SAT" {
+		t.Fatalf("job 2 verdict %q, want SAT", j2.Verdict)
+	}
+	if err := sat.Verify(j2.Model); err != nil {
+		t.Fatalf("job 2 model does not satisfy its formula: %v", err)
+	}
+	// Both jobs ran concurrently: job 2 started before job 1 finished.
+	if j2.StartVSec >= j1.FinishVSec {
+		t.Fatalf("jobs never overlapped: job 2 started at %v, job 1 finished at %v",
+			j2.StartVSec, j1.FinishVSec)
+	}
+	if res.MakespanVSec <= 0 {
+		t.Fatal("makespan not recorded")
+	}
+	// The flight log's job verdicts agree with the result.
+	verdicts := trace.JobVerdicts(fl.Events())
+	if verdicts[1] != "UNSAT" || verdicts[2] != "SAT" {
+		t.Fatalf("flight verdicts %v disagree with results", verdicts)
+	}
+}
+
+// TestRunDistributedSchedPreemptChain asserts a real malleable
+// reassignment inside the DES: a long job absorbs the cluster, a second
+// arrival forces a preemption, and the flight log shows the
+// preempt → migrate → resume chain with matching parents.
+func TestRunDistributedSchedPreemptChain(t *testing.T) {
+	jobs := []SimJob{
+		{Name: "long", Formula: gen.Pigeonhole(9), Priority: 1, ArrivalVSec: 1},
+		{Name: "late", Formula: gen.Pigeonhole(7), Priority: 1, ArrivalVSec: 40},
+	}
+	fl := trace.NewFlight(nil)
+	cfg := desSchedConfig(jobs, "fair-share", 200_000)
+	// Two clients total, so the long job provably holds the whole cluster
+	// when the second job arrives — its start REQUIRES a preemption.
+	cfg.MaxClients = 2
+	cfg.Flight = fl
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("outcome %v (jobs: %+v)", res.Outcome, res.Jobs)
+	}
+	j1, j2 := jobByID(t, res, 1), jobByID(t, res, 2)
+	if j1.Verdict != "UNSAT" || j2.Verdict != "UNSAT" {
+		t.Fatalf("verdicts %q/%q, want UNSAT/UNSAT (lost search space?)", j1.Verdict, j2.Verdict)
+	}
+	if res.Preemptions < 1 {
+		t.Fatalf("preemptions = %d, want >= 1", res.Preemptions)
+	}
+	var preempt, migrate, resume *trace.FEvent
+	evs := fl.Events()
+	for i := range evs {
+		ev := &evs[i]
+		switch {
+		case ev.Kind == trace.FEvJobPreempt && preempt == nil:
+			preempt = ev
+		case ev.Kind == trace.FEvMigrate && preempt != nil && ev.Parent == preempt.ID && migrate == nil:
+			migrate = ev
+		case ev.Kind == trace.FEvJobResume && preempt != nil && ev.Parent == preempt.ID && resume == nil:
+			resume = ev
+		}
+	}
+	if preempt == nil || migrate == nil || resume == nil {
+		t.Fatalf("incomplete preempt chain: preempt=%v migrate=%v resume=%v",
+			preempt != nil, migrate != nil, resume != nil)
+	}
+	if migrate.Client != preempt.Client {
+		t.Fatalf("migrate donor %d is not the preempted client %d", migrate.Client, preempt.Client)
+	}
+	if resume.Client != migrate.Peer {
+		t.Fatalf("resume client %d is not the migrate recipient %d", resume.Client, migrate.Peer)
+	}
+	if migrate.Job != preempt.Job || resume.Job != preempt.Job {
+		t.Fatalf("chain crosses jobs: preempt job %d, migrate %d, resume %d",
+			preempt.Job, migrate.Job, resume.Job)
+	}
+}
+
+// TestRunDistributedSchedCancel cancels a job mid-run and expects the
+// survivor to finish normally while the cancelled one reports CANCELLED.
+func TestRunDistributedSchedCancel(t *testing.T) {
+	jobs := []SimJob{
+		{Name: "doomed", Formula: gen.Pigeonhole(10), Priority: 1, ArrivalVSec: 1, CancelVSec: 60},
+		{Name: "keeper", Formula: gen.Pigeonhole(7), Priority: 1, ArrivalVSec: 5},
+	}
+	res := RunDistributed(desSchedConfig(jobs, "fifo", 200_000))
+	if res.Outcome != OutcomeSolved {
+		t.Fatalf("outcome %v (jobs: %+v)", res.Outcome, res.Jobs)
+	}
+	if v := jobByID(t, res, 1).Verdict; v != "CANCELLED" {
+		t.Fatalf("job 1 verdict %q, want CANCELLED", v)
+	}
+	if v := jobByID(t, res, 2).Verdict; v != "UNSAT" {
+		t.Fatalf("job 2 verdict %q, want UNSAT", v)
+	}
+}
+
+// TestRunDistributedSchedDeterministic reruns the same multi-job config
+// and expects identical results and identical flight logs — the property
+// the scheduler ablation harness depends on.
+func TestRunDistributedSchedDeterministic(t *testing.T) {
+	mk := func() (SimResult, []trace.FEvent) {
+		sat := gen.RandomKSAT(20, 70, 3, 11)
+		jobs := []SimJob{
+			{Name: "a", Formula: gen.Pigeonhole(8), Priority: 2, ArrivalVSec: 1},
+			{Name: "b", Formula: sat, Priority: 1, ArrivalVSec: 3},
+			{Name: "c", Formula: gen.Pigeonhole(7), Priority: 1, ArrivalVSec: 6},
+		}
+		fl := trace.NewFlight(nil)
+		cfg := desSchedConfig(jobs, "priority", 100_000)
+		cfg.Flight = fl
+		return RunDistributed(cfg), fl.Events()
+	}
+	r1, e1 := mk()
+	r2, e2 := mk()
+	if r1.VSec != r2.VSec || r1.Preemptions != r2.Preemptions || len(r1.Jobs) != len(r2.Jobs) {
+		t.Fatalf("results diverge: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Verdict != r2.Jobs[i].Verdict || r1.Jobs[i].FinishVSec != r2.Jobs[i].FinishVSec {
+			t.Fatalf("job %d diverges: %+v vs %+v", i, r1.Jobs[i], r2.Jobs[i])
+		}
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("flight logs diverge: %d vs %d events", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("flight event %d diverges:\n%+v\n%+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestRunDistributedSingleJobUnchanged guards the bit-identity contract:
+// a single-job run through the scheduler-aware runner must produce the
+// same verdict, virtual time, and flight log as before the refactor —
+// job 0 stays implicit and no scheduler events leak into the log.
+func TestRunDistributedSingleJobUnchanged(t *testing.T) {
+	fl := trace.NewFlight(nil)
+	cfg := desConfig(gen.Pigeonhole(8), 10_000)
+	cfg.Flight = fl
+	res := RunDistributed(cfg)
+	if res.Outcome != OutcomeSolved || res.Status != solver.StatusUNSAT {
+		t.Fatalf("got %v/%v", res.Outcome, res.Status)
+	}
+	if res.Jobs != nil || res.Preemptions != 0 {
+		t.Fatalf("single-job run grew scheduler results: %+v", res.Jobs)
+	}
+	for _, ev := range fl.Events() {
+		if ev.Job != 0 {
+			t.Fatalf("single-job event carries a job tag: %+v", ev)
+		}
+		switch ev.Kind {
+		case trace.FEvJobSubmit, trace.FEvJobStart, trace.FEvJobPreempt,
+			trace.FEvJobResume, trace.FEvJobDone, trace.FEvJobCancel:
+			t.Fatalf("single-job run emitted scheduler lifecycle event %+v", ev)
+		}
+	}
+}
+
+// TestSimJobDemandAndCapacity pins the DES demand estimate the policies
+// apportion against.
+func TestSimJobDemandAndCapacity(t *testing.T) {
+	r := &runner{fanout: 2}
+	j := newRunnerJob(1, "x", nil, 1)
+	if d := r.simJobDemand(j); d != 1 {
+		t.Fatalf("unstarted job demand %d, want 1 (the root)", d)
+	}
+	j.assigned = true
+	j.outstanding = 3
+	j.backlog = []BacklogEntry{{ClientID: 1}}
+	if d := r.simJobDemand(j); d != 5 {
+		t.Fatalf("demand %d, want outstanding 3 + backlog 1×fanout 2 = 5", d)
+	}
+}

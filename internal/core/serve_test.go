@@ -1,0 +1,563 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsat/internal/brute"
+	"gridsat/internal/cnf"
+	"gridsat/internal/comm"
+	"gridsat/internal/gen"
+	"gridsat/internal/trace"
+)
+
+// serveMaster boots a serve-mode master on tr and runs its event loop.
+// The returned channel yields Run's result after Shutdown (or timeout).
+func serveMaster(t *testing.T, tr comm.Transport, cfg MasterConfig) (*Master, chan Result) {
+	t.Helper()
+	cfg.Transport = tr
+	cfg.Serve = true
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.RebalancePeriod == 0 {
+		cfg.RebalancePeriod = 5 * time.Millisecond
+	}
+	m, err := NewMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Result, 1)
+	go func() {
+		res, _ := m.Run()
+		done <- res
+	}()
+	return m, done
+}
+
+// serveClients launches n clients against the master and returns a
+// WaitGroup that drains once the master shuts the pool down.
+func serveClients(t *testing.T, tr comm.Transport, addr string, n int, fl *trace.Flight) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cl, err := NewClient(ClientConfig{
+			Transport:      tr,
+			MasterAddr:     addr,
+			ListenAddr:     clientListenAddr(tr),
+			HostName:       fmt.Sprintf("host-%d", i),
+			FreeMemBytes:   64 << 20,
+			SliceConflicts: 200,
+			MinRunTime:     5 * time.Millisecond,
+			HeartbeatEvery: 1,
+			Flight:         fl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = cl.Run() }()
+	}
+	return &wg
+}
+
+// clientListenAddr picks a client listen address suited to the transport:
+// TCP needs a real port for peer-to-peer payloads, inproc self-names.
+func clientListenAddr(tr comm.Transport) string {
+	if _, ok := tr.(comm.TCPTransport); ok {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+// waitJobState polls until the job reaches a terminal state.
+func waitJobState(t *testing.T, m *Master, id int, within time.Duration) JobSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		snap, err := m.JobStatus(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == "done" || snap.State == "cancelled" {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d still %q after %v: %+v", id, snap.State, within, snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitJobClients polls until the job holds at least n clients.
+func waitJobClients(t *testing.T, m *Master, id, n int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		snap, err := m.JobStatus(id, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Clients >= n {
+			return
+		}
+		if snap.State == "done" {
+			t.Fatalf("job %d finished before holding %d clients", id, n)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d holds %d clients after %v, want >= %d", id, snap.Clients, within, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// modelSatisfies checks a DIMACS-literal model against every clause.
+func modelSatisfies(f *cnf.Formula, model []int) bool {
+	val := map[int]bool{}
+	for _, l := range model {
+		if l > 0 {
+			val[l] = true
+		} else {
+			val[-l] = false
+		}
+	}
+	for _, cl := range f.Clauses {
+		sat := false
+		for _, lit := range cl {
+			d := lit.DIMACS()
+			v, ok := val[absInt(d)]
+			if ok && v == (d > 0) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// satTestFormula returns a small satisfiable 3-SAT instance, verified
+// against the brute-force reference so the test never lies to itself.
+func satTestFormula(t *testing.T) *cnf.Formula {
+	t.Helper()
+	f := gen.RandomKSAT(20, 70, 3, 3)
+	if want, _ := brute.Solve(f, 0); want != brute.SAT {
+		t.Fatal("test formula unexpectedly UNSAT; pick another seed")
+	}
+	return f
+}
+
+// TestServeTwoConcurrentJobs is the service's basic contract over the
+// in-process transport: two jobs submitted back to back run under
+// fair-share and both reach correct verdicts — the UNSAT one by
+// exhaustion, the SAT one with a model that satisfies its formula.
+func TestServeTwoConcurrentJobs(t *testing.T) {
+	tr := comm.NewInprocTransport()
+	fl := trace.NewFlight(nil)
+	m, done := serveMaster(t, tr, MasterConfig{
+		ListenAddr:  "serve-master",
+		SchedPolicy: "fair-share",
+		Flight:      fl,
+	})
+	wg := serveClients(t, tr, "serve-master", 3, fl)
+
+	unsat := gen.Pigeonhole(7)
+	sat := satTestFormula(t)
+
+	id1, err := m.Submit("php7", unsat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.Submit("rand3", sat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 || id1 <= 0 || id2 <= 0 {
+		t.Fatalf("bad job IDs %d, %d", id1, id2)
+	}
+
+	s1 := waitJobState(t, m, id1, time.Minute)
+	s2 := waitJobState(t, m, id2, time.Minute)
+	if s1.Verdict != "UNSAT" {
+		t.Fatalf("job %d verdict %q, want UNSAT", id1, s1.Verdict)
+	}
+	if s2.Verdict != "SAT" {
+		t.Fatalf("job %d verdict %q, want SAT", id2, s2.Verdict)
+	}
+	if len(s2.Model) == 0 || !modelSatisfies(sat, s2.Model) {
+		t.Fatalf("job %d model does not satisfy its formula: %v", id2, s2.Model)
+	}
+
+	// The flight log agrees with the API on both verdicts.
+	verdicts := trace.JobVerdicts(fl.Events())
+	if verdicts[id1] != "UNSAT" || verdicts[id2] != "SAT" {
+		t.Fatalf("flight-log verdicts %v disagree with API", verdicts)
+	}
+
+	jobs := m.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != id1 || jobs[1].ID != id2 {
+		t.Fatalf("Jobs() = %+v, want [%d %d] in submission order", jobs, id1, id2)
+	}
+
+	m.Shutdown()
+	<-done
+	wg.Wait()
+}
+
+// TestServeMalleableReassignment is the acceptance test for malleable
+// allocation over live TCP: a long UNSAT job absorbs both clients, a
+// second job arrives, and fair-share must take a client from the first
+// job via checkpoint preemption. Both clients provably start on job 1
+// (we wait for Clients == 2 before submitting job 2), so whichever
+// client job 2's root lands on was reassigned between jobs mid-run. The
+// flight log must show the full preempt → migrate → resume chain for
+// job 1's checkpointed subproblem, and both verdicts must be correct —
+// the UNSAT one proving no search space was lost across the preemption.
+func TestServeMalleableReassignment(t *testing.T) {
+	tr := comm.TCPTransport{}
+	fl := trace.NewFlight(nil)
+	m, done := serveMaster(t, tr, MasterConfig{
+		ListenAddr:  "127.0.0.1:0",
+		SchedPolicy: "fair-share",
+		Flight:      fl,
+	})
+	wg := serveClients(t, tr, m.Addr(), 2, fl)
+
+	long := gen.Pigeonhole(9)
+	sat := satTestFormula(t)
+
+	id1, err := m.Submit("long-unsat", long, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both clients must be working job 1 before job 2 arrives, so the
+	// only way job 2 can start is by taking one of them.
+	waitJobClients(t, m, id1, 2, 30*time.Second)
+
+	id2, err := m.Submit("short-sat", sat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := waitJobState(t, m, id2, time.Minute)
+	s1 := waitJobState(t, m, id1, time.Minute)
+	if s1.Verdict != "UNSAT" {
+		t.Fatalf("job %d verdict %q, want UNSAT (search space lost across preemption?)", id1, s1.Verdict)
+	}
+	if s2.Verdict != "SAT" || !modelSatisfies(sat, s2.Model) {
+		t.Fatalf("job %d verdict %q model %v, want satisfying SAT", id2, s2.Verdict, s2.Model)
+	}
+	if s1.Preemptions < 1 {
+		t.Fatalf("job %d preemptions = %d, want >= 1", id1, s1.Preemptions)
+	}
+
+	m.Shutdown()
+	<-done
+	wg.Wait()
+
+	// The causal chain in the flight log: job 1 loses a client to a
+	// checkpoint (job-preempt), job 2 starts on a client that was job
+	// 1's, and job 1's checkpoint later travels to a client (migrate)
+	// and resumes there (job-resume), both pointing back at the
+	// preempt event that created it.
+	evs := fl.Events()
+	var preempt, migrate, resume, assign2 *trace.FEvent
+	for i := range evs {
+		ev := &evs[i]
+		switch {
+		case ev.Kind == trace.FEvJobPreempt && ev.Job == id1 && preempt == nil:
+			preempt = ev
+		case ev.Kind == trace.FEvAssign && ev.Job == id2 && assign2 == nil:
+			assign2 = ev
+		case ev.Kind == trace.FEvMigrate && ev.Job == id1 && preempt != nil &&
+			ev.Parent == preempt.ID && migrate == nil:
+			migrate = ev
+		case ev.Kind == trace.FEvJobResume && ev.Job == id1 && preempt != nil &&
+			ev.Parent == preempt.ID && resume == nil:
+			resume = ev
+		}
+	}
+	if preempt == nil {
+		t.Fatal("flight log has no job-preempt event for job 1")
+	}
+	if assign2 == nil {
+		t.Fatal("flight log has no assign event for job 2 — it never took a client")
+	}
+	if migrate == nil || resume == nil {
+		t.Fatalf("flight log missing the migrate/resume pair under preempt %d (migrate=%v resume=%v)",
+			preempt.ID, migrate != nil, resume != nil)
+	}
+	if !(preempt.ID < migrate.ID && migrate.ID < resume.ID) {
+		t.Fatalf("chain out of order: preempt=%d migrate=%d resume=%d",
+			preempt.ID, migrate.ID, resume.ID)
+	}
+	if migrate.Client != preempt.Client {
+		t.Fatalf("migrate donor %d is not the preempted client %d", migrate.Client, preempt.Client)
+	}
+	if resume.Client != migrate.Peer {
+		t.Fatalf("resume client %d is not the migrate recipient %d", resume.Client, migrate.Peer)
+	}
+	if verdicts := trace.JobVerdicts(evs); verdicts[id1] != "UNSAT" || verdicts[id2] != "SAT" {
+		t.Fatalf("flight-log verdicts %v disagree with API", verdicts)
+	}
+}
+
+// TestServeHTTPAPI drives the service purely over HTTP: submit via a
+// DIMACS POST body, poll status, fetch the result with its model, list
+// jobs, cancel a long-running job mid-run, and get proper error codes
+// for unknown IDs, double cancels, and garbage bodies.
+func TestServeHTTPAPI(t *testing.T) {
+	tr := comm.NewInprocTransport()
+	svc := NewService(nil) // late-bound: endpoints go into the config first
+	m, done := serveMaster(t, tr, MasterConfig{
+		ListenAddr:     "serve-http",
+		SchedPolicy:    "fair-share",
+		MetricsAddr:    "127.0.0.1:0",
+		ExtraEndpoints: svc.Endpoints(),
+	})
+	svc.Attach(m)
+	wg := serveClients(t, tr, "serve-http", 2, nil)
+	base := "http://" + m.MetricsAddr()
+
+	dimacs := func(f *cnf.Formula) *bytes.Buffer {
+		b := new(bytes.Buffer)
+		if err := cnf.WriteDIMACS(b, f); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	post := func(path string, body *bytes.Buffer) (*http.Response, string) {
+		t.Helper()
+		if body == nil {
+			body = new(bytes.Buffer)
+		}
+		resp, err := http.Post(base+path, "text/plain", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := new(bytes.Buffer)
+		_, _ = out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, out.String()
+	}
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := new(bytes.Buffer)
+		_, _ = out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, out.String()
+	}
+
+	// Submit a small SAT instance and a long UNSAT one to cancel.
+	sat := satTestFormula(t)
+	resp, body := post("/jobs?name=websat&priority=2", dimacs(sat))
+	if resp.StatusCode != http.StatusAccepted || !strings.Contains(body, `"id"`) {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post("/jobs?name=weblong", dimacs(gen.Pigeonhole(10)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long: %d %s", resp.StatusCode, body)
+	}
+
+	// Garbage bodies and bad priorities are the client's fault.
+	if resp, _ = post("/jobs", bytes.NewBufferString("this is not DIMACS")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage submit status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = post("/jobs?priority=x", dimacs(sat)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority status %d, want 400", resp.StatusCode)
+	}
+
+	// The list shows both jobs in submission order with their names.
+	if _, body = get("/jobs"); !strings.Contains(body, "websat") || !strings.Contains(body, "weblong") {
+		t.Fatalf("job list missing names: %s", body)
+	}
+
+	// Poll job 1 to a SAT verdict, then fetch the model on /result.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, body = get("/jobs/1"); strings.Contains(body, `"state": "done"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job 1 never finished: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(body, `"verdict": "SAT"`) {
+		t.Fatalf("job 1 status: %s", body)
+	}
+	if _, body = get("/jobs/1/result"); !strings.Contains(body, `"model"`) {
+		t.Fatalf("result has no model: %s", body)
+	}
+
+	// Cancel the long job mid-run; a second cancel conflicts.
+	if resp, body = post("/jobs/2/cancel", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ = post("/jobs/2/cancel", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel status %d, want 409", resp.StatusCode)
+	}
+	if _, body = get("/jobs/2"); !strings.Contains(body, `"state": "cancelled"`) {
+		t.Fatalf("job 2 after cancel: %s", body)
+	}
+
+	// Unknown IDs are 404 on status, result and cancel alike.
+	if resp, _ = get("/jobs/99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = post("/jobs/99/cancel", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cancel status %d, want 404", resp.StatusCode)
+	}
+
+	// The cancelled job's clients came back: a third submission still
+	// completes, proving the pool was actually released.
+	resp, body = post("/jobs?name=after", dimacs(gen.Pigeonhole(5)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: %d %s", resp.StatusCode, body)
+	}
+	s3 := waitJobState(t, m, 3, time.Minute)
+	if s3.Verdict != "UNSAT" {
+		t.Fatalf("post-cancel job verdict %q, want UNSAT", s3.Verdict)
+	}
+
+	m.Shutdown()
+	<-done
+	wg.Wait()
+}
+
+// TestServeAdmissionAndErrors pins the Go-API edges: admission control
+// rejects past the active cap and frees a slot when a job ends; a
+// single-job master refuses scheduling calls outright.
+func TestServeAdmissionAndErrors(t *testing.T) {
+	tr := comm.NewInprocTransport()
+	m, done := serveMaster(t, tr, MasterConfig{
+		ListenAddr: "serve-admit",
+		Admission:  Admission{MaxActive: 1},
+	})
+
+	f := cnf.NewFormula(2)
+	f.Add(1, 2)
+	id1, err := m.Submit("one", f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("two", f, 1); err == nil {
+		t.Fatal("second submit admitted past MaxActive=1")
+	}
+	if err := m.CancelJob(id1); err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled job no longer counts as active; the queue reopens.
+	if _, err := m.Submit("three", f, 1); err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+	if err := m.CancelJob(99); err == nil {
+		t.Fatal("cancelling an unknown job succeeded")
+	}
+	if _, err := m.JobStatus(99, false); err == nil {
+		t.Fatal("status of an unknown job succeeded")
+	}
+	m.Shutdown()
+	<-done
+
+	// A classic single-job master refuses every scheduling call.
+	sm, err := NewMaster(MasterConfig{
+		Transport:  tr,
+		ListenAddr: "serve-single",
+		Formula:    f,
+		Timeout:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdone := make(chan Result, 1)
+	go func() { res, _ := sm.Run(); sdone <- res }()
+	if _, err := sm.Submit("x", f, 1); err == nil {
+		t.Fatal("Submit on a single-job master succeeded")
+	}
+	if err := sm.CancelJob(0); err == nil {
+		t.Fatal("CancelJob on a single-job master succeeded")
+	}
+	sm.Shutdown()
+	<-sdone
+}
+
+// TestServeSchedulerChurn hammers the scheduler with arrivals, cancels
+// and late-joining clients at a small rebalance period — the -race CI
+// target. Every job must still reach a terminal state and the verdicts
+// that do land must be correct.
+func TestServeSchedulerChurn(t *testing.T) {
+	tr := comm.NewInprocTransport()
+	m, done := serveMaster(t, tr, MasterConfig{
+		ListenAddr:      "serve-churn",
+		SchedPolicy:     "priority",
+		RebalancePeriod: 2 * time.Millisecond,
+		Admission:       Admission{MaxActive: 16},
+	})
+	wg := serveClients(t, tr, "serve-churn", 2, nil)
+
+	type want struct {
+		id      int
+		verdict string // "" = cancelled, no verdict expected
+	}
+	var wants []want
+	for i := 0; i < 6; i++ {
+		var f *cnf.Formula
+		verdict := ""
+		if i%2 == 0 {
+			f = gen.Pigeonhole(6)
+			verdict = "UNSAT"
+		} else {
+			f = gen.RandomKSAT(20, 70, 3, 3)
+			verdict = "SAT"
+		}
+		id, err := m.Submit(fmt.Sprintf("churn-%d", i), f, 1+i%3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cancel every third job almost immediately, racing the
+		// scheduler's assignment of it.
+		if i%3 == 2 {
+			verdict = ""
+			go func() { _ = m.CancelJob(id) }()
+		}
+		wants = append(wants, want{id, verdict})
+		if i == 2 {
+			// Two more clients join mid-stream.
+			wg2 := serveClients(t, tr, "serve-churn", 2, nil)
+			defer wg2.Wait()
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	for _, w := range wants {
+		snap := waitJobState(t, m, w.id, time.Minute)
+		if w.verdict != "" && snap.Verdict != w.verdict {
+			t.Fatalf("job %d verdict %q, want %q", w.id, snap.Verdict, w.verdict)
+		}
+		if w.verdict == "" && snap.State != "cancelled" && snap.Verdict == "" {
+			t.Fatalf("job %d neither cancelled nor decided: %+v", w.id, snap)
+		}
+	}
+	m.Shutdown()
+	<-done
+	wg.Wait()
+}

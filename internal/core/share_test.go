@@ -484,7 +484,7 @@ func TestMasterShareWindowBounded(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if got := m.seenShared.Len(); got > 2*window {
+	if got := m.jobs[0].seenShared.Len(); got > 2*window {
 		t.Fatalf("share window holds %d fingerprints after sustained sharing, want <= %d", got, 2*window)
 	}
 }

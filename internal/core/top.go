@@ -53,6 +53,24 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		fmtCount(p.Conflicts), fmtCount(p.Implications), fmtCount(e.Imported),
 		e.UsefulRatio*100, e.ImplicationShare*100), width)
 
+	// Serve-mode masters carry the scheduler's per-job rows. A single-job
+	// master reports one implicit row (job 0), which the frame omits — the
+	// header line already tells that whole story.
+	if len(s.Jobs) > 0 && !(len(s.Jobs) == 1 && s.Jobs[0].ID == 0) {
+		writeLine(&b, "", width)
+		writeLine(&b, fmt.Sprintf("%4s  %-10s  %-9s  %3s  %4s  %6s  %8s  %-9s",
+			"JOB", "NAME", "STATE", "PRI", "CLI", "COV", "CONF/S", "VERDICT"), width)
+		for _, j := range s.Jobs {
+			verdict := j.Verdict
+			if verdict == "" {
+				verdict = "-"
+			}
+			writeLine(&b, fmt.Sprintf("%4d  %-10.10s  %-9.9s  %3d  %4d  %5.1f%%  %8.1f  %-9.9s",
+				j.ID, j.Name, j.State, j.Priority, j.Clients,
+				j.Coverage*100, j.ConflictRate, verdict), width)
+		}
+	}
+
 	writeLine(&b, "", width)
 	writeLine(&b, fmt.Sprintf("%4s  %-5s  %5s  %9s  %5s  %7s  %8s  %8s",
 		"ID", "STATE", "DEPTH", "CONF/S", "UTIL", "IMP-USE", "MEM", "LEARNTS"), width)

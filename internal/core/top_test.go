@@ -77,6 +77,59 @@ func TestRenderTopGolden(t *testing.T) {
 	}
 }
 
+// topJobsGolden is the expected 80-column frame when the /status payload
+// carries the scheduler's per-job rows (a serve-mode master): the job
+// table appears between the cluster summary and the client table, long
+// names truncate, and finished jobs show their verdict.
+const topJobsGolden = "" +
+	"GridSAT running  wall 1m35s  [=================------------------------]  42.2% \n" +
+	"closed 57 subproblems  max depth 12  rate 0.34%/s  ETA 2m50s                    \n" +
+	"clients 4 registered, 3 busy  outstanding 4  backlog 2  splits 14  shared 1.2k  \n" +
+	"conflicts 1.2M  implications 45.7M  imported 2.3k  useful 41.2%  impl-share 7.9%\n" +
+	"                                                                                \n" +
+	" JOB  NAME        STATE      PRI   CLI     COV    CONF/S  VERDICT               \n" +
+	"   1  php9        running      1     2   25.3%     812.5  -                     \n" +
+	"   2  factoring-  running      3     1    4.0%      96.1  -                     \n" +
+	"   3  rand3sat    done         2     0    0.0%       0.0  SAT                   \n" +
+	"                                                                                \n" +
+	"  ID  STATE  DEPTH     CONF/S   UTIL  IMP-USE       MEM   LEARNTS               \n" +
+	"   1  busy       5     1234.5   100%    41.2%   12.0MiB      4567               \n" +
+	"   2  SLOW       9      123.4    10%    10.0%    9.0MiB       123               \n" +
+	"   3  busy       7      987.6    80%    25.0%   31.0MiB      2048               \n" +
+	"      w0  pathfinder      conf 1.5k    rst 12   16.0MiB      1024               \n" +
+	"      w1  neg+luby        conf 548     rst 7    15.0MiB       900               \n" +
+	"   4  idle       0        0.0     0%     0.0%    1.0MiB         0               \n"
+
+// TestRenderTopJobsGolden locks the serve-mode frame layout. A status
+// payload with one implicit job 0 must NOT grow the section — that is the
+// single-job frame, pinned byte-for-byte by TestRenderTopGolden.
+func TestRenderTopJobsGolden(t *testing.T) {
+	p, s := topTestSnapshots()
+	s.Jobs = []JobSnapshot{
+		{ID: 1, Name: "php9", Priority: 1, State: "running", Clients: 2, Coverage: 0.253, ConflictRate: 812.5},
+		{ID: 2, Name: "factoring-xl", Priority: 3, State: "running", Clients: 1, Coverage: 0.04, ConflictRate: 96.1},
+		{ID: 3, Name: "rand3sat", Priority: 2, State: "done", Verdict: "SAT"},
+	}
+	got := RenderTop(p, s, 80)
+	if got != topJobsGolden {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(topJobsGolden, "\n")
+		t.Errorf("serve-mode frame drifted from golden.\ngot:\n%s", got)
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first diff at line %d:\ngot:  %q\nwant: %q", i+1, gl[i], wl[i])
+				break
+			}
+		}
+	}
+
+	// The implicit single-job row keeps the classic frame.
+	s.Jobs = []JobSnapshot{{ID: 0, State: "running"}}
+	if RenderTop(p, s, 80) != topGolden {
+		t.Error("implicit job-0 row changed the single-job frame")
+	}
+}
+
 // TestRenderTopFixedWidth checks the overwrite invariant: every line of a
 // frame is exactly the requested width, whatever the payload.
 func TestRenderTopFixedWidth(t *testing.T) {

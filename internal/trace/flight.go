@@ -43,6 +43,16 @@ const (
 	FEvProgress     = "progress"       // coverage advanced; N = fixed-point units (2^-62)
 	FEvImportUse    = "import-use"     // Client first used an imported clause; N = uses this window
 	FEvVerdict      = "verdict"        // run decided (Detail = SAT/UNSAT/UNKNOWN)
+
+	// Multi-job scheduler lifecycle kinds. Single-job runs never emit
+	// them (the implicit job is ID 0), so pre-scheduler logs stay valid
+	// and bit-identical.
+	FEvJobSubmit  = "job-submit"  // Job entered the queue (N = priority, Detail = name)
+	FEvJobStart   = "job-start"   // Job received its first client allocation
+	FEvJobPreempt = "job-preempt" // Client checkpointed Job's subproblem back to the queue
+	FEvJobResume  = "job-resume"  // a preempted subproblem restarted on Client (Parent = preempt)
+	FEvJobDone    = "job-done"    // Job reached a verdict (Detail = SAT/UNSAT/UNKNOWN)
+	FEvJobCancel  = "job-cancel"  // Job was cancelled by the submitter
 )
 
 // KnownKinds is the flight-event vocabulary, used by Validate.
@@ -55,6 +65,8 @@ var KnownKinds = map[string]bool{
 	FEvMemShed: true, FEvMigrate: true, FEvRecover: true,
 	FEvSubUNSAT: true, FEvProgress: true, FEvImportUse: true,
 	FEvVerdict: true,
+	FEvJobSubmit: true, FEvJobStart: true, FEvJobPreempt: true,
+	FEvJobResume: true, FEvJobDone: true, FEvJobCancel: true,
 }
 
 // FEvent is one flight-recorder event — one JSONL line. IDs are assigned
@@ -73,7 +85,12 @@ type FEvent struct {
 	// Client (0 = the pathfinder, also the only worker on
 	// single-threaded clients). Set on verdict/sub-unsat events.
 	Worker int `json:"worker,omitempty"`
-	Peer   int `json:"peer,omitempty"`
+	// Job keys the event to a scheduler job. 0 is the implicit
+	// single-job run (omitted from the JSONL line), so logs recorded
+	// before the scheduler existed — and single-job logs after it —
+	// are byte-identical to each other.
+	Job  int `json:"job,omitempty"`
+	Peer int `json:"peer,omitempty"`
 	SplitID int     `json:"split,omitempty"`
 	N       int64   `json:"n,omitempty"`
 	VSec    float64 `json:"vsec,omitempty"`
@@ -268,6 +285,23 @@ func Verdict(events []FEvent) string {
 		}
 	}
 	return ""
+}
+
+// JobVerdicts returns the per-job outcomes recorded in a multi-job log:
+// the Detail of each job's job-done (or job-cancel, as "CANCELLED")
+// event. Single-job logs have no job lifecycle events and return an
+// empty map.
+func JobVerdicts(events []FEvent) map[int]string {
+	out := map[int]string{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case FEvJobDone:
+			out[ev.Job] = ev.Detail
+		case FEvJobCancel:
+			out[ev.Job] = "CANCELLED"
+		}
+	}
+	return out
 }
 
 // sortedKinds returns the map's keys in stable order for rendering.

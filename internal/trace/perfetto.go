@@ -11,7 +11,10 @@ import (
 // one timeline row per client, a complete-event ("X") span for every
 // subproblem-ownership interval, instant events ("i") for the punctual
 // kinds, and flow arrows ("s"/"f") along causal parent edges — the visual
-// the paper could only sketch as Figure 2.
+// the paper could only sketch as Figure 2. Multi-job logs render one
+// track group ("process") per job, so a scheduler trace shows each job's
+// clients side by side and a client visibly hops between groups when the
+// scheduler reassigns it.
 //
 // Timestamps are microseconds. DES logs use virtual seconds (VSec * 1e6);
 // live logs, which record no deterministic clock, fall back to Lamport
@@ -32,7 +35,9 @@ type perfettoEvent struct {
 	Scope string         `json:"s,omitempty"`
 }
 
-// perfettoPid groups every row under one "process" in the UI.
+// perfettoPid is the base "process" ID; job J renders as process
+// perfettoPid+J, so the implicit single job (ID 0) keeps the historical
+// pid 1 and every scheduler job gets its own track group.
 const perfettoPid = 1
 
 // WritePerfetto writes events as a Chrome trace-event JSON document.
@@ -40,23 +45,42 @@ func WritePerfetto(w io.Writer, events []FEvent) error {
 	ts := perfettoTimestamps(events)
 	var out []perfettoEvent
 
-	// Name the rows: tid 0 is the master/coordinator lane, tid N is client N.
-	named := map[int]bool{}
-	name := func(tid int, label string) {
-		if named[tid] {
+	// Multi-job logs label each track group with the job it belongs to.
+	multiJob := false
+	for _, ev := range events {
+		if ev.Job != 0 {
+			multiJob = true
+			break
+		}
+	}
+
+	// Name the rows: within each job's group, tid 0 is the
+	// master/coordinator lane and tid N is client N.
+	type lane struct{ pid, tid int }
+	named := map[lane]bool{}
+	name := func(pid, tid int, label string) {
+		if named[lane{pid, tid}] {
 			return
 		}
-		named[tid] = true
+		named[lane{pid, tid}] = true
+		if multiJob && !named[lane{pid, -1}] {
+			named[lane{pid, -1}] = true
+			out = append(out, perfettoEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": fmt.Sprintf("job %d", pid-perfettoPid)},
+			})
+		}
 		out = append(out, perfettoEvent{
-			Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: tid,
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 			Args: map[string]any{"name": label},
 		})
 	}
-	name(0, "master")
+	name(perfettoPid, 0, "master")
 
 	// Ownership spans: a client's row is "solving" from the event that gave
-	// it work (assign / split-accept / recover) until the event that took
-	// the work away (sub-unsat / migrate out / leave / verdict).
+	// it work (assign / split-accept / recover / job-resume) until the event
+	// that took the work away (sub-unsat / migrate out / preempt / leave /
+	// verdict). Spans live inside their job's track group.
 	type openSpan struct {
 		start float64
 		label string
@@ -75,7 +99,7 @@ func WritePerfetto(w io.Writer, events []FEvent) error {
 		}
 		out = append(out, perfettoEvent{
 			Name: s.label, Ph: "X", Ts: s.start, Dur: dur,
-			Pid: perfettoPid, Tid: s.ev.Client, Cat: "subproblem",
+			Pid: perfettoPid + s.ev.Job, Tid: s.ev.Client, Cat: "subproblem",
 			Args: map[string]any{"split": s.ev.SplitID, "event": s.ev.ID},
 		})
 	}
@@ -84,9 +108,12 @@ func WritePerfetto(w io.Writer, events []FEvent) error {
 	for i, ev := range events {
 		t := ts[i]
 		lastTs = t
+		pid := perfettoPid + ev.Job
 		tid := ev.Client
 		if tid > 0 {
-			name(tid, fmt.Sprintf("client %d", tid))
+			name(pid, tid, fmt.Sprintf("client %d", tid))
+		} else {
+			name(pid, 0, "master")
 		}
 		switch ev.Kind {
 		case FEvAssign:
@@ -95,20 +122,22 @@ func WritePerfetto(w io.Writer, events []FEvent) error {
 			open[ev.Client] = &openSpan{start: t, label: fmt.Sprintf("split %d", ev.SplitID), ev: ev}
 		case FEvRecover:
 			open[ev.Client] = &openSpan{start: t, label: "recovered", ev: ev}
-		case FEvSubUNSAT, FEvClientLeave:
+		case FEvJobResume:
+			open[ev.Client] = &openSpan{start: t, label: "resumed", ev: ev}
+		case FEvSubUNSAT, FEvClientLeave, FEvJobPreempt:
 			closeSpan(ev.Client, t)
 		case FEvMigrate:
 			closeSpan(ev.Client, t)
-			open[ev.Peer] = &openSpan{start: t, label: "migrated-in", ev: FEvent{Client: ev.Peer, ID: ev.ID}}
-			name(ev.Peer, fmt.Sprintf("client %d", ev.Peer))
-		case FEvVerdict:
+			open[ev.Peer] = &openSpan{start: t, label: "migrated-in", ev: FEvent{Client: ev.Peer, ID: ev.ID, Job: ev.Job}}
+			name(pid, ev.Peer, fmt.Sprintf("client %d", ev.Peer))
+		case FEvVerdict, FEvJobDone, FEvJobCancel:
 			closeSpan(ev.Client, t)
 		}
 
 		// Every event also appears as an instant on its row (master events
 		// have no client and land on tid 0).
 		inst := perfettoEvent{
-			Name: ev.Kind, Ph: "i", Ts: t, Pid: perfettoPid, Tid: tid,
+			Name: ev.Kind, Ph: "i", Ts: t, Pid: pid, Tid: tid,
 			Cat: "flight", Scope: "t",
 			Args: map[string]any{"event": ev.ID, "lamport": ev.Lamport},
 		}
@@ -128,9 +157,9 @@ func WritePerfetto(w io.Writer, events []FEvent) error {
 			p := events[ev.Parent-1]
 			out = append(out,
 				perfettoEvent{Name: "cause", Ph: "s", Ts: ts[ev.Parent-1],
-					Pid: perfettoPid, Tid: p.Client, Cat: "causal", ID: ev.ID},
+					Pid: perfettoPid + p.Job, Tid: p.Client, Cat: "causal", ID: ev.ID},
 				perfettoEvent{Name: "cause", Ph: "f", Ts: t, BP: "e",
-					Pid: perfettoPid, Tid: tid, Cat: "causal", ID: ev.ID},
+					Pid: pid, Tid: tid, Cat: "causal", ID: ev.ID},
 			)
 		}
 	}

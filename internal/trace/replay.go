@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -34,13 +35,27 @@ func ReplayVerify(recorded []FEvent, rerun func(*Flight) error) error {
 }
 
 // CompareLogs checks that two flight logs describe the same run: identical
-// verdict, identical per-kind event counts, and identical final Lamport
-// time. It deliberately compares aggregates rather than raw byte equality
-// so the error on mismatch names what diverged.
+// verdict (per job, for multi-job logs), identical per-kind event counts,
+// and identical final Lamport time. It deliberately compares aggregates
+// rather than raw byte equality so the error on mismatch names what
+// diverged.
 func CompareLogs(recorded, replayed []FEvent) error {
 	var diffs []string
 	if rv, pv := Verdict(recorded), Verdict(replayed); rv != pv {
 		diffs = append(diffs, fmt.Sprintf("verdict: recorded %q, replayed %q", rv, pv))
+	}
+	rj, pj := JobVerdicts(recorded), JobVerdicts(replayed)
+	jobs := map[int]bool{}
+	for j := range rj {
+		jobs[j] = true
+	}
+	for j := range pj {
+		jobs[j] = true
+	}
+	for _, j := range sortedJobs(jobs) {
+		if rj[j] != pj[j] {
+			diffs = append(diffs, fmt.Sprintf("job %d verdict: recorded %q, replayed %q", j, rj[j], pj[j]))
+		}
 	}
 	rc, pc := CountByKind(recorded), CountByKind(replayed)
 	kinds := map[string]int64{}
@@ -66,6 +81,15 @@ func CompareLogs(recorded, replayed []FEvent) error {
 		return fmt.Errorf("trace: replay diverged from recording:\n  %s", strings.Join(diffs, "\n  "))
 	}
 	return nil
+}
+
+func sortedJobs(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func lastLamport(events []FEvent) uint64 {
