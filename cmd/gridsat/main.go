@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"gridsat/internal/core"
 	"gridsat/internal/grid"
 	"gridsat/internal/obs"
+	"gridsat/internal/obs/history"
 	"gridsat/internal/proof"
 	"gridsat/internal/solver"
 	"gridsat/internal/trace"
@@ -383,6 +385,7 @@ func cmdServe(args []string) error {
 	logLevel := fs.String("log", "info", "structured log level (debug|info|warn|error; empty = off)")
 	tracePath := fs.String("trace", "", "record the control-plane flight log as JSONL here")
 	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
+	bundleDir := fs.String("bundle-dir", "", "write postmortem black-box bundles here on job failure/cancel, watchdog alerts, and POST /debug/bundle (empty = off)")
 	fs.Parse(args)
 	if *apiAddr == "" {
 		return fmt.Errorf("serve needs -api-addr: the /jobs API rides the introspection server")
@@ -420,6 +423,7 @@ func cmdServe(args []string) error {
 		Admission:       core.Admission{MaxActive: *maxJobs, MemBudgetBytes: *memBudget},
 		RebalancePeriod: *rebalance,
 		ExtraEndpoints:  svc.Endpoints(),
+		BundleDir:       *bundleDir,
 	})
 	if err != nil {
 		return err
@@ -521,11 +525,12 @@ func cmdTop(args []string) error {
 		if err := fetchJSON(client, base+"/progress", &p); err != nil {
 			return fmt.Errorf("fetch %s/progress: %w", base, err)
 		}
-		// /status is best-effort: the frame degrades gracefully (missing
-		// backlog/split totals) if it is unavailable.
+		// /status and /history are best-effort: the frame degrades
+		// gracefully (missing backlog/split totals, no sparklines) when
+		// either is unavailable.
 		var s core.StatusSnapshot
 		_ = fetchJSON(client, base+"/status", &s)
-		frame := core.RenderTop(p, s, *width)
+		frame := core.RenderTopSparks(p, s, fetchSparks(client, base), *width)
 		if *once {
 			fmt.Print(frame)
 			return nil
@@ -538,6 +543,47 @@ func cmdTop(args []string) error {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// fetchSparks pulls the master's GET /history window and extracts the
+// series the dashboard sparklines render. Best-effort: any failure (old
+// master, sampler disabled) returns nil and the frame stays spark-free.
+func fetchSparks(c *http.Client, base string) *core.TopSparks {
+	var h struct {
+		Series []history.SeriesDump `json:"series"`
+	}
+	if err := fetchJSON(c, base+"/history", &h); err != nil {
+		return nil
+	}
+	vals := func(d history.SeriesDump) []float64 {
+		if len(d.Tiers) == 0 {
+			return nil
+		}
+		pts := d.Tiers[0].Points // finest tier: the newest window
+		out := make([]float64, len(pts))
+		for i, p := range pts {
+			out[i] = p.V
+		}
+		return out
+	}
+	sp := &core.TopSparks{ClientRate: map[int][]float64{}}
+	for _, d := range h.Series {
+		switch {
+		case d.Name == "cluster.coverage":
+			sp.Coverage = vals(d)
+		case d.Name == "cluster.conflict_rate":
+			sp.Rate = vals(d)
+		case strings.HasPrefix(d.Name, "client.") && strings.HasSuffix(d.Name, ".conflict_rate"):
+			id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(d.Name, "client."), ".conflict_rate"))
+			if err == nil {
+				sp.ClientRate[id] = vals(d)
+			}
+		}
+	}
+	if len(sp.Coverage) == 0 && len(sp.Rate) == 0 && len(sp.ClientRate) == 0 {
+		return nil
+	}
+	return sp
 }
 
 // fetchJSON GETs url and decodes the JSON body into out.
@@ -568,6 +614,8 @@ func cmdSim(args []string) error {
 	perfettoPath := fs.String("trace-perfetto", "", "also render the flight log as a Perfetto trace here")
 	dotPath := fs.String("trace-dot", "", "also render the split-lineage tree as Graphviz DOT here")
 	replay := fs.Bool("replay", false, "re-run the simulation and verify it reproduces the flight log exactly")
+	watchdog := fs.Bool("watchdog", false, "run the anomaly watchdog over the simulated cluster (virtual-time thresholds)")
+	bundleDir := fs.String("bundle-dir", "", "write deterministic postmortem bundles here on anomalies and job failure/cancel (implies -watchdog)")
 	fs.Parse(args)
 	f, err := loadCNF(fs.Arg(0))
 	if err != nil {
@@ -599,6 +647,10 @@ func cmdSim(args []string) error {
 			SplitStrategy: *splitStrategy,
 			MasterHostID:  -1,
 			Seed:          *seed,
+		}
+		if *watchdog || *bundleDir != "" {
+			cfg.Watchdog = &core.WatchdogConfig{}
+			cfg.BundleDir = *bundleDir
 		}
 		if *batch {
 			g.AddBlueHorizon(64)
@@ -655,6 +707,12 @@ func cmdSim(args []string) error {
 	fmt.Printf("c outcome=%s vsec=%.1f max-clients=%d threads=%d splits=%d shared=%d work=%d-props msgs=%d bytes=%d\n",
 		res.Outcome, res.VSec, res.MaxClients, res.Threads, res.Splits, res.Shared, res.TotalProps,
 		res.Msgs, res.Bytes)
+	for _, a := range res.Alerts {
+		fmt.Printf("c alert rule=%s subject=%q vsec=%.1f detail=%q\n", a.Rule, a.Subject, a.TSec, a.Detail)
+	}
+	for _, b := range res.Bundles {
+		fmt.Fprintln(os.Stderr, "gridsat: postmortem bundle written to", b)
+	}
 	if *timeline != "" && !*sequential {
 		fd, err := os.Create(*timeline)
 		if err != nil {

@@ -9,11 +9,29 @@ import (
 	"strings"
 )
 
+// ParseError reports a malformed DIMACS input with the 1-based line it
+// was detected on, so callers (e.g. the HTTP submit endpoint) can point
+// the user at the offending position instead of a bare message.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("cnf: line %d: %s", e.Line, e.Msg)
+}
+
+// parseErrf builds a ParseError with a formatted message.
+func parseErrf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 // ParseDIMACS reads a CNF formula in DIMACS format. It tolerates the common
 // dialect variations: comment lines anywhere, clauses spanning multiple
 // lines, a missing final 0, and "%"-terminated SATLIB files. The "p cnf"
 // header is optional; when present, the declared variable count is honored
-// even if larger than the maximum variable used.
+// even if larger than the maximum variable used. Malformed inputs return
+// a *ParseError carrying the offending line.
 func ParseDIMACS(r io.Reader) (*Formula, error) {
 	f := &Formula{}
 	sc := bufio.NewScanner(r)
@@ -38,14 +56,14 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 		case 'p':
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
-				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+				return nil, parseErrf(lineNo, "malformed problem line %q", line)
 			}
 			nv, err := strconv.Atoi(fields[2])
 			if err != nil || nv < 0 {
-				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", lineNo, fields[2])
+				return nil, parseErrf(lineNo, "bad variable count %q", fields[2])
 			}
 			if _, err := strconv.Atoi(fields[3]); err != nil {
-				return nil, fmt.Errorf("cnf: line %d: bad clause count %q", lineNo, fields[3])
+				return nil, parseErrf(lineNo, "bad clause count %q", fields[3])
 			}
 			f.NumVars = nv
 			sawHeader = true
@@ -57,7 +75,7 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 		for _, tok := range strings.Fields(line) {
 			n, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
+				return nil, parseErrf(lineNo, "bad literal %q", tok)
 			}
 			if n == 0 {
 				f.AddClause(cur)
@@ -65,7 +83,7 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				continue
 			}
 			if sawHeader && abs(n) > f.NumVars {
-				return nil, fmt.Errorf("cnf: line %d: literal %d exceeds declared %d variables", lineNo, n, f.NumVars)
+				return nil, parseErrf(lineNo, "literal %d exceeds declared %d variables", n, f.NumVars)
 			}
 			cur = append(cur, LitFromDIMACS(n))
 		}

@@ -156,7 +156,7 @@ func (SplitDone) Kind() string { return "split-done" }
 // ShareClauses broadcasts freshly learned short clauses to a peer
 // (paper §3.2: GridSAT shares clauses "as soon as they are generated").
 type ShareClauses struct {
-	From    int
+	From int
 	// Job scopes the batch: learned clauses are only sound within the job
 	// whose formula produced them, so the master fans a batch out to that
 	// job's clients only and a reassigned client drops stale batches.

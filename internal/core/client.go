@@ -116,8 +116,8 @@ type Client struct {
 	// base is the current subproblem's formula; bases caches every
 	// BaseProblem received, keyed by job (a scheduling master ships one
 	// formula per job; single-job masters use the implicit job 0).
-	base     *cnf.Formula
-	bases    map[int]*cnf.Formula
+	base  *cnf.Formula
+	bases map[int]*cnf.Formula
 	// job is the job the current (or last) subproblem belongs to; tagged
 	// onto every outbound Solved/StatusReport/ShareClauses/SplitPayload.
 	job      int

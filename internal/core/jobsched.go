@@ -65,10 +65,13 @@ type Job struct {
 	Formula  *cnf.Formula
 	State    JobState
 	// Timestamps in the owning runtime's clock (wall seconds for the live
-	// master, virtual seconds in the DES).
-	SubmittedAt float64
-	StartedAt   float64
-	FinishedAt  float64
+	// master, virtual seconds in the DES). FirstAssignAt is when the root
+	// subproblem was first handed out — with StartedAt it decomposes the
+	// queue-wait SLO from the assignment latency.
+	SubmittedAt   float64
+	StartedAt     float64
+	FirstAssignAt float64
+	FinishedAt    float64
 	// Preemptions counts how many times a client was taken from this job
 	// mid-subproblem (checkpoint → backlog → reassigned elsewhere).
 	Preemptions int
@@ -90,11 +93,18 @@ type JobSnapshot struct {
 	Priority int    `json:"priority"`
 	State    string `json:"state"`
 	// Clients is how many clients the job currently holds.
-	Clients     int     `json:"clients"`
-	SubmittedAt float64 `json:"submitted_at"`
-	StartedAt   float64 `json:"started_at,omitempty"`
-	FinishedAt  float64 `json:"finished_at,omitempty"`
-	Preemptions int     `json:"preemptions"`
+	Clients       int     `json:"clients"`
+	SubmittedAt   float64 `json:"submitted_at"`
+	StartedAt     float64 `json:"started_at,omitempty"`
+	FirstAssignAt float64 `json:"first_assign_at,omitempty"`
+	FinishedAt    float64 `json:"finished_at,omitempty"`
+	Preemptions   int     `json:"preemptions"`
+	// Lifecycle SLO decomposition (seconds; zero until the phase ends):
+	// queue wait (submit → start), solve (start → finish) and end-to-end
+	// turnaround (submit → finish).
+	QueueWaitSec  float64 `json:"queue_wait_sec,omitempty"`
+	SolveSec      float64 `json:"solve_sec,omitempty"`
+	TurnaroundSec float64 `json:"turnaround_sec,omitempty"`
 	// Coverage is the refuted search-space fraction (the per-job progress
 	// estimator); ConflictRate is the job's aggregate conflicts/sec EWMA.
 	Coverage     float64 `json:"coverage"`

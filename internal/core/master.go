@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gridsat/internal/cnf"
 	"gridsat/internal/comm"
 	"gridsat/internal/obs"
+	"gridsat/internal/obs/history"
 	"gridsat/internal/solver"
 	"gridsat/internal/trace"
 )
@@ -84,6 +86,23 @@ type MasterConfig struct {
 	// ExtraEndpoints adds handlers to the introspection server (the serve
 	// API installs its /jobs routes this way). Ignored without MetricsAddr.
 	ExtraEndpoints []obs.Endpoint
+	// HistoryPeriod is the time-series sampler cadence: every period the
+	// master folds the registry plus per-job/per-client series into the
+	// history store (GET /history) and feeds the anomaly watchdog.
+	// 0 = 1s; negative disables sampling (and with it the watchdog).
+	HistoryPeriod time.Duration
+	// Watchdog overrides the anomaly-rule thresholds (see
+	// DefaultWatchdogConfig, which applies when nil — the watchdog is on
+	// whenever the sampler is).
+	Watchdog *WatchdogConfig
+	// BundleDir, when non-empty, enables postmortem black-box bundles:
+	// on job failure/cancellation, a fired watchdog rule, or POST
+	// /debug/bundle, a self-contained diagnosis directory is written
+	// under it (see WriteBundle).
+	BundleDir string
+	// BundleCPUProfile is the CPU-profile capture length inside a bundle
+	// (0 = 200ms; negative skips the CPU capture, heap is always taken).
+	BundleCPUProfile time.Duration
 }
 
 // Result is the outcome of a distributed run.
@@ -107,6 +126,39 @@ type Result struct {
 	// Comm is the wire-traffic summary, filled by runners that instrument
 	// their transport (Solve, cmd/gridsat); zero when uninstrumented.
 	Comm comm.Totals
+	// Latency decomposes the run's lifecycle SLOs (single-job runs only;
+	// serve-mode jobs carry theirs in their JobSnapshot).
+	Latency *JobLatency
+}
+
+// JobLatency is the lifecycle SLO decomposition of one job, in the
+// owning runtime's clock seconds.
+type JobLatency struct {
+	// QueueWaitSec is submission to first client allocation;
+	// FirstAssignSec is submission to the root subproblem going out.
+	QueueWaitSec   float64 `json:"queue_wait_sec"`
+	FirstAssignSec float64 `json:"first_assign_sec"`
+	// SolveSec is start to verdict; TurnaroundSec is end to end.
+	SolveSec      float64 `json:"solve_sec"`
+	TurnaroundSec float64 `json:"turnaround_sec"`
+}
+
+// jobLatency derives the SLO decomposition from a job's timestamps.
+func jobLatency(j *Job) *JobLatency {
+	l := &JobLatency{}
+	if j.StartedAt > 0 {
+		l.QueueWaitSec = j.StartedAt - j.SubmittedAt
+	}
+	if j.FirstAssignAt > 0 {
+		l.FirstAssignSec = j.FirstAssignAt - j.SubmittedAt
+	}
+	if j.FinishedAt > 0 {
+		if j.StartedAt > 0 {
+			l.SolveSec = j.FinishedAt - j.StartedAt
+		}
+		l.TurnaroundSec = j.FinishedAt - j.SubmittedAt
+	}
+	return l
 }
 
 // ClientStatus is one client's view in a StatusSnapshot or final Result:
@@ -361,6 +413,21 @@ type Master struct {
 	// inTI is the trace metadata of the message currently being handled
 	// (zero for untraced messages). Event-loop only.
 	inTI comm.TraceInfo
+
+	// hist is the time-series store behind GET /history (mutex-guarded:
+	// the event loop samples, HTTP reads). wd is the anomaly watchdog;
+	// its window and alert feed are event-loop only (read via apply).
+	hist *history.Store
+	wd   *watchdog
+	// bundleSeq numbers postmortem bundles so their directory names are
+	// unique and deterministic. Event-loop only.
+	bundleSeq int
+	// draining flips when Shutdown is requested; POST /debug/bundle
+	// answers 409 after that (the state it would capture is going away).
+	draining atomic.Bool
+	// build is the binary identity served by /healthz and the
+	// gridsat_build_info gauge.
+	build obs.BuildInfo
 }
 
 // femit records a flight event, merging the in-flight message's Lamport
@@ -393,6 +460,13 @@ type masterMetrics struct {
 	subBacklog    *obs.Gauge
 	outstanding   *obs.Gauge
 	splitLat      *obs.Histogram
+	// Job-lifecycle SLO histograms: queue wait (submit → first client),
+	// first assignment (submit → root handed out), solve (start →
+	// verdict) and end-to-end turnaround (submit → verdict).
+	queueWait   *obs.Histogram
+	firstAssign *obs.Histogram
+	solveLat    *obs.Histogram
+	turnaround  *obs.Histogram
 }
 
 func newMasterMetrics(reg *obs.Registry) masterMetrics {
@@ -411,6 +485,10 @@ func newMasterMetrics(reg *obs.Registry) masterMetrics {
 		subBacklog:    reg.Gauge("gridsat_master_sub_backlog", "leftover split cofactors waiting for an idle client"),
 		outstanding:   reg.Gauge("gridsat_master_outstanding_subproblems", "live subproblems (busy + in flight)"),
 		splitLat:      reg.Histogram("gridsat_master_split_latency_seconds", "SplitAssign to recipient SplitDone", nil),
+		queueWait:     reg.Histogram("gridsat_job_queue_wait_seconds", "job submission to first client allocation", nil),
+		firstAssign:   reg.Histogram("gridsat_job_first_assign_seconds", "job submission to root subproblem handed out", nil),
+		solveLat:      reg.Histogram("gridsat_job_solve_seconds", "job start to verdict", nil),
+		turnaround:    reg.Histogram("gridsat_job_turnaround_seconds", "job submission to verdict (end-to-end)", nil),
 	}
 }
 
@@ -497,6 +575,19 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		met:            newMasterMetrics(reg),
 		flight:         cfg.Flight,
 	}
+	m.build = obs.RegisterBuildInfo(reg)
+	if cfg.HistoryPeriod >= 0 {
+		period := cfg.HistoryPeriod
+		if period == 0 {
+			period = time.Second
+		}
+		m.hist = history.New(history.Config{IntervalSec: period.Seconds()})
+		wcfg := DefaultWatchdogConfig()
+		if cfg.Watchdog != nil {
+			wcfg = cfg.Watchdog.withDefaults()
+		}
+		m.wd = newWatchdog(wcfg)
+	}
 	if !cfg.Serve {
 		// Single-job mode: the whole classic runtime is job 0 — no
 		// lifecycle events, no wire tags, no allocation policy.
@@ -519,6 +610,38 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 				enc := json.NewEncoder(w)
 				enc.SetIndent("", "  ")
 				_ = enc.Encode(m.Progress())
+			}},
+			{Path: "GET /healthz", H: func(w http.ResponseWriter, _ *http.Request) {
+				// Liveness: the introspection server answering is the
+				// signal; no event-loop round-trip, so a wedged loop
+				// still lets /healthz distinguish process-up from gone.
+				writeJSON(w, http.StatusOK, map[string]any{
+					"status": "ok", "build": m.build, "draining": m.draining.Load(),
+				})
+			}},
+			{Path: "GET /history", H: func(w http.ResponseWriter, _ *http.Request) {
+				if m.hist == nil {
+					writeError(w, http.StatusNotFound, errors.New("core: history sampling disabled"))
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				_ = m.hist.WriteJSON(w)
+			}},
+			{Path: "GET /alerts", H: func(w http.ResponseWriter, _ *http.Request) {
+				writeJSON(w, http.StatusOK, alertsResponse{Alerts: m.Alerts()})
+			}},
+			{Path: "POST /debug/bundle", H: func(w http.ResponseWriter, r *http.Request) {
+				dir, err := m.TriggerBundle(r.URL.Query().Get("reason"))
+				switch {
+				case errors.Is(err, ErrDraining):
+					writeError(w, http.StatusConflict, err)
+				case errors.Is(err, ErrNoBundleDir):
+					writeError(w, http.StatusServiceUnavailable, err)
+				case err != nil:
+					writeError(w, http.StatusInternalServerError, err)
+				default:
+					writeJSON(w, http.StatusOK, map[string]string{"bundle": dir})
+				}
 			}},
 		}...)
 		if f := m.flight; f != nil {
@@ -661,16 +784,26 @@ func (m *Master) outstandingTotal() int {
 // jobSnapshot builds one job's external view. Event-loop only.
 func (m *Master) jobSnapshot(j *masterJob, withModel bool) JobSnapshot {
 	snap := JobSnapshot{
-		ID:          j.ID,
-		Name:        j.Name,
-		Priority:    j.Priority,
-		State:       j.State.String(),
-		Clients:     m.heldClients(j.ID),
-		SubmittedAt: j.SubmittedAt,
-		StartedAt:   j.StartedAt,
-		FinishedAt:  j.FinishedAt,
-		Preemptions: j.Preemptions,
-		Coverage:    j.prog.Fraction(),
+		ID:            j.ID,
+		Name:          j.Name,
+		Priority:      j.Priority,
+		State:         j.State.String(),
+		Clients:       m.heldClients(j.ID),
+		SubmittedAt:   j.SubmittedAt,
+		StartedAt:     j.StartedAt,
+		FirstAssignAt: j.FirstAssignAt,
+		FinishedAt:    j.FinishedAt,
+		Preemptions:   j.Preemptions,
+		Coverage:      j.prog.Fraction(),
+	}
+	if j.StartedAt > 0 {
+		snap.QueueWaitSec = j.StartedAt - j.SubmittedAt
+	}
+	if j.FinishedAt > 0 {
+		if j.StartedAt > 0 {
+			snap.SolveSec = j.FinishedAt - j.StartedAt
+		}
+		snap.TurnaroundSec = j.FinishedAt - j.SubmittedAt
 	}
 	// The job's conflict throughput is the sum of its busy clients' EWMAs.
 	for _, c := range m.clients {
@@ -853,11 +986,23 @@ func (m *Master) Run() (Result, error) {
 		defer t.Stop()
 		rebalance = t.C
 	}
+	var sampler <-chan time.Time
+	if m.hist != nil {
+		period := m.cfg.HistoryPeriod
+		if period <= 0 {
+			period = time.Second
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		sampler = t.C
+	}
 	for {
 		select {
 		case <-rebalance:
 			m.maybeRebalance()
 			m.updateGauges()
+		case <-sampler:
+			m.sampleTick()
 		case ev := <-m.events:
 			done, err := m.handle(ev)
 			if err != nil {
@@ -885,11 +1030,23 @@ func (m *Master) Run() (Result, error) {
 	}
 }
 
-// finishResult freezes the per-client aggregates into the Result.
+// finishResult freezes the per-client aggregates into the Result, and
+// for a single-job run stamps job 0's end time and SLO decomposition.
 func (m *Master) finishResult() {
 	m.result.Clients = m.clientStatuses()
 	if m.result.Threads == 0 {
 		m.result.Threads = 1 // no portfolio heartbeat seen: single-threaded
+	}
+	if !m.serve {
+		j0 := m.jobs[0]
+		if j0.FinishedAt == 0 {
+			j0.FinishedAt = m.nowSec()
+			if j0.StartedAt > 0 {
+				m.met.solveLat.Observe(j0.FinishedAt - j0.StartedAt)
+			}
+			m.met.turnaround.Observe(j0.FinishedAt - j0.SubmittedAt)
+		}
+		m.result.Latency = jobLatency(j0.Job)
 	}
 }
 
@@ -927,48 +1084,53 @@ func (m *Master) clientStatuses() []ClientStatus {
 	return out
 }
 
+// statusSnapshot builds the /status view. Event-loop only.
+func (m *Master) statusSnapshot() StatusSnapshot {
+	var backlog, subBacklog int
+	for _, j := range m.jobs {
+		backlog += len(j.backlog)
+		subBacklog += len(j.subBacklog)
+	}
+	snap := StatusSnapshot{
+		Backlog:       backlog,
+		SubBacklog:    subBacklog,
+		Outstanding:   m.outstandingTotal(),
+		Splits:        m.result.Splits,
+		Shared:        m.result.SharedClauses,
+		SharedDropped: m.sharedDropped,
+		Jobs:          m.jobSnapshots(),
+		Clients:       m.clientStatuses(),
+	}
+	if !m.started.IsZero() {
+		snap.WallSeconds = time.Since(m.started).Seconds()
+	}
+	if m.cfg.CommMetrics != nil {
+		snap.CodecFallbackFrames = m.cfg.CommMetrics.FallbackFrames()
+	}
+	if m.flight != nil {
+		snap.FlightEvents = m.flight.Len()
+	}
+	for _, c := range m.clients {
+		if c.addr != "" {
+			snap.Registered++
+		}
+		if c.busy {
+			snap.Busy++
+		}
+		if c.reserved {
+			snap.Reserved++
+		}
+	}
+	return snap
+}
+
 func (m *Master) handle(ev masterEvent) (bool, error) {
 	if ev.progress != nil {
 		ev.progress <- m.progressSnapshot()
 		return false, nil
 	}
 	if ev.status != nil {
-		var backlog, subBacklog int
-		for _, j := range m.jobs {
-			backlog += len(j.backlog)
-			subBacklog += len(j.subBacklog)
-		}
-		snap := StatusSnapshot{
-			Backlog:       backlog,
-			SubBacklog:    subBacklog,
-			Outstanding:   m.outstandingTotal(),
-			Splits:        m.result.Splits,
-			Shared:        m.result.SharedClauses,
-			SharedDropped: m.sharedDropped,
-			Jobs:          m.jobSnapshots(),
-			Clients:       m.clientStatuses(),
-		}
-		if !m.started.IsZero() {
-			snap.WallSeconds = time.Since(m.started).Seconds()
-		}
-		if m.cfg.CommMetrics != nil {
-			snap.CodecFallbackFrames = m.cfg.CommMetrics.FallbackFrames()
-		}
-		if m.flight != nil {
-			snap.FlightEvents = m.flight.Len()
-		}
-		for _, c := range m.clients {
-			if c.addr != "" {
-				snap.Registered++
-			}
-			if c.busy {
-				snap.Busy++
-			}
-			if c.reserved {
-				snap.Reserved++
-			}
-		}
-		ev.status <- snap
+		ev.status <- m.statusSnapshot()
 		return false, nil
 	}
 	if ev.apply != nil { // scheduler request (submit/cancel/query/shutdown)
@@ -1140,6 +1302,7 @@ func (m *Master) markStarted(j *masterJob) {
 	case JobQueued:
 		j.StartedAt = m.nowSec()
 		j.State = JobRunning
+		m.met.queueWait.Observe(j.StartedAt - j.SubmittedAt)
 		if m.serve {
 			m.femit(trace.FEvent{Kind: trace.FEvJobStart, Job: j.ID})
 		}
@@ -1174,6 +1337,10 @@ func (m *Master) assignRoot(j *masterJob) {
 	c.assignedAt = time.Now()
 	j.outstanding++
 	m.markStarted(j)
+	if j.FirstAssignAt == 0 {
+		j.FirstAssignAt = m.nowSec()
+		m.met.firstAssign.Observe(j.FirstAssignAt - j.SubmittedAt)
+	}
 	m.femit(trace.FEvent{Kind: trace.FEvAssign, Client: c.id, Job: j.ID})
 	m.noteBusyCount()
 }

@@ -35,6 +35,9 @@ type Report struct {
 	// Flight is the flight-recorder aggregate (event totals per kind,
 	// verdict, Lamport horizon); nil when the run was untraced.
 	Flight *trace.FlightSummary `json:"flight,omitempty"`
+	// Latency is the run's lifecycle SLO decomposition (queue wait, first
+	// assignment, solve, turnaround); nil for runners that predate it.
+	Latency *JobLatency `json:"latency,omitempty"`
 }
 
 // BuildReport converts a finished run's Result into a Report.
@@ -49,6 +52,7 @@ func BuildReport(instance string, res Result) Report {
 		SharedClauses: res.SharedClauses,
 		Clients:       res.Clients,
 		Comm:          res.Comm,
+		Latency:       res.Latency,
 	}
 }
 

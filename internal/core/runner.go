@@ -8,6 +8,7 @@ import (
 	"gridsat/internal/cnf"
 	"gridsat/internal/comm"
 	"gridsat/internal/grid"
+	"gridsat/internal/obs/history"
 	"gridsat/internal/solver"
 	"gridsat/internal/trace"
 )
@@ -96,6 +97,17 @@ type RunnerConfig struct {
 	// simulated master reserve up to its fanout in idle recipients per
 	// split and backlog any cofactors the pool cannot absorb.
 	SplitStrategy string
+	// Watchdog enables the anomaly watchdog over the monitor ticks, with
+	// thresholds in virtual seconds (zero fields take the live defaults).
+	// nil disables it entirely, keeping pre-watchdog flight logs (and the
+	// replay verifier) byte-identical.
+	Watchdog *WatchdogConfig
+	// BundleDir, when non-empty, writes postmortem black-box bundles —
+	// the same directory shape the live master produces — on watchdog
+	// alerts and job failures/cancellations. Bundles are written
+	// synchronously with deterministic names and no CPU profile, so a
+	// replayed run reproduces them exactly.
+	BundleDir string
 	// Seed drives launch jitter.
 	Seed int64
 }
@@ -270,6 +282,11 @@ type SimResult struct {
 	Jobs         []SimJobResult
 	Preemptions  int
 	MakespanVSec float64
+	// Alerts is the watchdog's alert feed (virtual-time stamps; nil when
+	// RunnerConfig.Watchdog was nil) and Bundles the postmortem bundle
+	// directories written during the run, in capture order.
+	Alerts  []Alert
+	Bundles []string
 }
 
 // Efficacy derives the share-efficacy ratios from the run's aggregated
@@ -417,6 +434,12 @@ type runner struct {
 	done   bool
 	res    SimResult
 	flight *trace.Flight
+	// hist/wd mirror the live master's history sampler and anomaly
+	// watchdog, fed at each monitor tick in virtual time (nil when
+	// cfg.Watchdog is nil); bundleSeq numbers the deterministic bundles.
+	hist      *history.Store
+	wd        *watchdog
+	bundleSeq int
 	// profs are the per-worker diversification profiles shared by every
 	// portfolio client (nil when Threads <= 1); index 0 is the pathfinder
 	// identity profile, whose import/export pool budgets still apply.
@@ -460,6 +483,10 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		fanout:   solver.StrategyFanout(cfg.SplitStrategy),
 		flight:   cfg.Flight,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Watchdog != nil {
+		r.wd = newWatchdog(cfg.Watchdog.withDefaults())
+		r.hist = history.New(history.Config{IntervalSec: cfg.MonitorPeriodVSec})
 	}
 	if len(cfg.Jobs) > 0 {
 		r.multi = true
@@ -515,6 +542,7 @@ func RunDistributed(cfg RunnerConfig) SimResult {
 		r.info.Observe(r.sim.Now())
 		r.emit(trace.FEvent{Kind: trace.FEvHeartbeat, N: int64(r.busyCount())})
 		r.sample(r.busyCount())
+		r.obsTick()
 		r.maybeMigrate()
 		r.rebalance() // multi-job: periodic reallocation (no-op otherwise)
 		r.sim.After(cfg.MonitorPeriodVSec, monitor)
@@ -740,6 +768,9 @@ func (r *runner) finish(outcome SimOutcome, st solver.Status, model cnf.Assignme
 	r.res.Outcome = outcome
 	r.res.Status = st
 	r.res.Model = model
+	if r.wd != nil {
+		r.res.Alerts = r.wd.feed()
+	}
 	if !r.multi {
 		// Multi-job runs emit one verdict per job as it finishes; the
 		// single-job run keeps its historical run-level verdict event.

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"gridsat/internal/trace"
+)
+
+// This file is the DES side of the observability stack: the monitor-tick
+// history sample, the anomaly watchdog over virtual time, and the
+// deterministic postmortem bundles. Everything here is driven by the
+// single-threaded simulation, so a re-run with the same config produces
+// byte-identical alerts, flight events and bundle contents (bundles skip
+// the CPU profile for exactly this reason).
+
+// obsTick feeds the history store and watchdog at a monitor tick. No-op
+// unless RunnerConfig.Watchdog enabled the stack, so historical runs and
+// their flight logs are untouched.
+func (r *runner) obsTick() {
+	if r.wd == nil || r.done {
+		return
+	}
+	t := r.sim.Now()
+	s := r.simWatchSample(t)
+	r.hist.Observe("cluster.coverage", t, s.Coverage)
+	r.hist.Observe("cluster.busy", t, float64(s.Busy))
+	r.hist.Observe("cluster.mem_bytes", t, float64(s.MemBytes))
+	var queueDepth int
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		queueDepth += len(j.backlog) + len(j.subBacklog) + len(j.orphans)
+		if j.State.Active() && j.assigned {
+			r.hist.Observe(fmt.Sprintf("job.%d.coverage", j.ID), t, j.prog.Fraction())
+		}
+	}
+	r.hist.Observe("cluster.queue_depth", t, float64(queueDepth))
+	for _, a := range r.wd.observe(s) {
+		r.emit(trace.FEvent{Kind: trace.FEvAnomaly, Client: a.Client,
+			Detail: a.Rule + ": " + a.Detail})
+		if r.cfg.BundleDir != "" {
+			r.writeSimBundle("anomaly-" + a.Rule)
+		}
+	}
+}
+
+// simWatchSample is the watchdog's view of the simulated cluster. The
+// DES has no heartbeat stream — clients are observed directly — so every
+// client's last-heartbeat is "now" and the heartbeat-gap rule never
+// fires; straggler detection likewise needs the live conflict-rate EWMA
+// and stays off here. The progress-stall and mem-pressure rules are the
+// ones the simulator exercises.
+func (r *runner) simWatchSample(t float64) WatchSample {
+	s := WatchSample{TSec: t}
+	for _, id := range r.order {
+		c := r.clients[id]
+		var mem int64
+		if c.slv != nil {
+			mem = c.slv.MemoryBytes()
+		}
+		s.MemBytes += mem
+		if c.busy {
+			s.Busy++
+		}
+		s.Clients = append(s.Clients, WatchClient{ID: c.id, Busy: c.busy,
+			LastHeartbeatSec: t, MemBytes: mem})
+	}
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		if j.State.Active() && j.assigned {
+			s.Coverage += j.prog.Fraction()
+		}
+	}
+	return s
+}
+
+// simBundleState is the state.json payload of a DES bundle: the same
+// shape of information the live master dumps, in virtual time.
+type simBundleState struct {
+	VSec        float64        `json:"vsec"`
+	Busy        int            `json:"busy"`
+	MaxClients  int            `json:"max_clients"`
+	Splits      int            `json:"splits"`
+	Outstanding int            `json:"outstanding"`
+	Jobs        []SimJobResult `json:"jobs"`
+}
+
+// simBundleConfig is the config.json payload of a DES bundle.
+type simBundleConfig struct {
+	Hosts             int            `json:"hosts"`
+	SchedPolicy       string         `json:"sched_policy"`
+	SplitStrategy     string         `json:"split_strategy"`
+	PropsPerVSec      float64        `json:"props_per_vsec"`
+	TimeoutVSec       float64        `json:"timeout_vsec"`
+	MonitorPeriodVSec float64        `json:"monitor_period_vsec"`
+	Threads           int            `json:"threads"`
+	Seed              int64          `json:"seed"`
+	Watchdog          WatchdogConfig `json:"watchdog"`
+	BundleDir         string         `json:"bundle_dir"`
+}
+
+// simJobResult builds one job's point-in-time outcome row (also the
+// rows finishJobResults freezes at the end of a multi-job run).
+func (r *runner) simJobResult(j *runnerJob) SimJobResult {
+	jr := SimJobResult{
+		ID:          j.ID,
+		Name:        j.Name,
+		Verdict:     j.verdict(),
+		Status:      j.status,
+		Model:       j.model,
+		SubmitVSec:  j.SubmittedAt,
+		StartVSec:   j.StartedAt,
+		FinishVSec:  j.FinishedAt,
+		Preemptions: j.Preemptions,
+		Coverage:    j.prog.Fraction(),
+	}
+	jr.TurnaroundVSec = j.TurnaroundSec()
+	return jr
+}
+
+// writeSimBundle captures a deterministic postmortem bundle: same
+// sections as the live master's, no CPU profile, directory name from
+// the run-local capture counter. Write errors are swallowed — a failed
+// bundle must never change the simulation's outcome.
+func (r *runner) writeSimBundle(reason string) {
+	r.bundleSeq++
+	var outstanding int
+	state := simBundleState{
+		VSec:       r.sim.Now(),
+		Busy:       r.busyCount(),
+		MaxClients: r.res.MaxClients,
+		Splits:     r.res.Splits,
+	}
+	for _, id := range r.jobOrder {
+		j := r.jobs[id]
+		outstanding += j.outstanding
+		state.Jobs = append(state.Jobs, r.simJobResult(j))
+	}
+	state.Outstanding = outstanding
+	spec := BundleSpec{
+		Dir:    r.cfg.BundleDir,
+		Name:   fmt.Sprintf("bundle-%03d-%s", r.bundleSeq, sanitizeReason(reason)),
+		Reason: reason,
+		TSec:   r.sim.Now(),
+		Config: simBundleConfig{
+			Hosts:             len(r.cfg.Grid.Hosts),
+			SchedPolicy:       r.cfg.SchedPolicy,
+			SplitStrategy:     r.cfg.SplitStrategy,
+			PropsPerVSec:      r.cfg.PropsPerVSec,
+			TimeoutVSec:       r.cfg.TimeoutVSec,
+			MonitorPeriodVSec: r.cfg.MonitorPeriodVSec,
+			Threads:           r.res.Threads,
+			Seed:              r.cfg.Seed,
+			Watchdog:          r.watchdogConfig(),
+			BundleDir:         r.cfg.BundleDir,
+		},
+		State: state,
+	}
+	if r.hist != nil {
+		spec.History = r.hist.Dump()
+	}
+	if r.wd != nil {
+		spec.Alerts = r.wd.feed()
+	}
+	if r.flight != nil {
+		spec.Events = r.flight.Events()
+	}
+	if dir, err := WriteBundle(spec); err == nil {
+		r.res.Bundles = append(r.res.Bundles, dir)
+	}
+}
+
+func (r *runner) watchdogConfig() WatchdogConfig {
+	if r.wd != nil {
+		return r.wd.cfg
+	}
+	return WatchdogConfig{}
+}

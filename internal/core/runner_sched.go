@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"gridsat/internal/cnf"
@@ -116,6 +117,9 @@ func (r *runner) cancelSimJob(j *runnerJob) {
 	j.subBacklog = nil
 	j.orphans = nil
 	r.emit(trace.FEvent{Kind: trace.FEvJobCancel, Job: j.ID})
+	if r.cfg.BundleDir != "" {
+		r.writeSimBundle(fmt.Sprintf("job-%d-cancelled", j.ID))
+	}
 	r.releaseSimJob(j)
 	r.sample(r.busyCount())
 	if r.allJobsTerminal() {
@@ -143,6 +147,9 @@ func (r *runner) finishSimJob(j *runnerJob, st solver.Status, model cnf.Assignme
 	v := j.verdict()
 	r.emit(trace.FEvent{Kind: trace.FEvVerdict, Job: j.ID, Client: vc, Worker: vw, Detail: v})
 	r.emit(trace.FEvent{Kind: trace.FEvJobDone, Job: j.ID, Detail: v})
+	if st == solver.StatusUnknown && r.cfg.BundleDir != "" {
+		r.writeSimBundle(fmt.Sprintf("job-%d-failed", j.ID))
+	}
 	r.releaseSimJob(j)
 	r.sample(r.busyCount())
 	if r.allJobsTerminal() {
@@ -361,20 +368,7 @@ func (r *runner) finishJobResults() {
 	firstSubmit, lastFinish := -1.0, 0.0
 	for _, id := range r.jobOrder {
 		j := r.jobs[id]
-		jr := SimJobResult{
-			ID:          j.ID,
-			Name:        j.Name,
-			Verdict:     j.verdict(),
-			Status:      j.status,
-			Model:       j.model,
-			SubmitVSec:  j.SubmittedAt,
-			StartVSec:   j.StartedAt,
-			FinishVSec:  j.FinishedAt,
-			Preemptions: j.Preemptions,
-			Coverage:    j.prog.Fraction(),
-		}
-		jr.TurnaroundVSec = j.TurnaroundSec()
-		r.res.Jobs = append(r.res.Jobs, jr)
+		r.res.Jobs = append(r.res.Jobs, r.simJobResult(j))
 		if firstSubmit < 0 || j.SubmittedAt < firstSubmit {
 			firstSubmit = j.SubmittedAt
 		}

@@ -133,8 +133,12 @@ func (m *Master) cancel(id int) error {
 	j.outstanding = 0
 	j.backlog = nil
 	j.subBacklog = nil
+	m.met.turnaround.Observe(j.FinishedAt - j.SubmittedAt)
 	m.femit(trace.FEvent{Kind: trace.FEvJobCancel, Job: j.ID})
 	m.log.Info("job cancelled", "job", j.ID)
+	if m.cfg.BundleDir != "" {
+		m.captureBundle(fmt.Sprintf("job-%d-cancelled", j.ID))
+	}
 	m.releaseJob(j)
 	m.maybeRebalance()
 	return nil
@@ -169,6 +173,7 @@ func (m *Master) Jobs() []JobSnapshot {
 // shut down. Queued and running jobs end where they are (their snapshots
 // remain queryable until the process exits).
 func (m *Master) Shutdown() {
+	m.draining.Store(true)
 	ev := masterEvent{apply: func() bool {
 		m.log.Info("service shutting down")
 		return true
@@ -304,6 +309,10 @@ func (m *Master) finishJob(j *masterJob, status solver.Status, model cnf.Assignm
 	j.outstanding = 0
 	j.backlog = nil
 	j.subBacklog = nil
+	if j.StartedAt > 0 {
+		m.met.solveLat.Observe(j.FinishedAt - j.StartedAt)
+	}
+	m.met.turnaround.Observe(j.FinishedAt - j.SubmittedAt)
 	verdict := "UNKNOWN"
 	switch status {
 	case solver.StatusSAT:
@@ -314,6 +323,11 @@ func (m *Master) finishJob(j *masterJob, status solver.Status, model cnf.Assignm
 	m.femit(trace.FEvent{Kind: trace.FEvJobDone, Job: j.ID, Detail: verdict})
 	m.log.Info("job finished", "job", j.ID, "verdict", verdict,
 		"turnaround", j.TurnaroundSec(), "preemptions", j.Preemptions)
+	if status == solver.StatusUnknown && m.cfg.BundleDir != "" {
+		// A job that ends without a verdict (lost client, invalid model)
+		// is exactly what a postmortem bundle is for.
+		m.captureBundle(fmt.Sprintf("job-%d-failed", j.ID))
+	}
 	m.releaseJob(j)
 	m.maybeRebalance()
 }
@@ -391,6 +405,9 @@ type submitResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Line is the 1-based parse position for malformed-DIMACS rejections
+	// (omitted otherwise).
+	Line int `json:"line,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -429,7 +446,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := cnf.ParseDIMACS(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parse DIMACS body: %w", err))
+		resp := errorResponse{Error: fmt.Errorf("parse DIMACS body: %w", err).Error()}
+		var pe *cnf.ParseError
+		if errors.As(err, &pe) {
+			resp.Line = pe.Line
+		}
+		writeJSON(w, http.StatusBadRequest, resp)
 		return
 	}
 	priority := 1

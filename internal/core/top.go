@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gridsat/internal/comm"
+	"gridsat/internal/obs/history"
 )
 
 // This file renders the `gridsat top` dashboard: a fixed-width terminal
@@ -16,11 +17,37 @@ import (
 // TopWidth is the default dashboard frame width in columns.
 const TopWidth = 80
 
+// TopSparks carries the recent-history slices the dashboard renders as
+// sparkline columns, extracted from the master's GET /history payload.
+// A nil *TopSparks (or empty slices) renders the history-free frame.
+type TopSparks struct {
+	// Coverage and Rate are the newest cluster.coverage and
+	// cluster.conflict_rate samples, oldest first.
+	Coverage []float64
+	Rate     []float64
+	// ClientRate maps client ID to its recent conflict-rate samples.
+	ClientRate map[int][]float64
+}
+
+// topSparkWide and topSparkCell are the sparkline widths of the header
+// trend line and the per-client column.
+const (
+	topSparkWide = 24
+	topSparkCell = 10
+)
+
 // RenderTop renders one dashboard frame from a progress snapshot and a
 // status snapshot. Every line is padded or truncated to exactly width
 // runes (minimum 40), so a refreshing terminal fully overwrites the
 // previous frame without clearing artifacts.
 func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
+	return RenderTopSparks(p, s, nil, width)
+}
+
+// RenderTopSparks is RenderTop plus optional history sparklines: a
+// cluster trend line under the counters and a per-client conflict-rate
+// column. sp == nil reproduces RenderTop byte for byte.
+func RenderTopSparks(p ProgressSnapshot, s StatusSnapshot, sp *TopSparks, width int) string {
 	if width < 40 {
 		width = 40
 	}
@@ -53,6 +80,12 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		fmtCount(p.Conflicts), fmtCount(p.Implications), fmtCount(e.Imported),
 		e.UsefulRatio*100, e.ImplicationShare*100), width)
 
+	if sp != nil && (len(sp.Coverage) > 0 || len(sp.Rate) > 0) {
+		writeLine(&b, fmt.Sprintf("trend  cov [%s]  conf/s [%s]",
+			history.Spark(sp.Coverage, topSparkWide),
+			history.Spark(sp.Rate, topSparkWide)), width)
+	}
+
 	// Serve-mode masters carry the scheduler's per-job rows. A single-job
 	// master reports one implicit row (job 0), which the frame omits — the
 	// header line already tells that whole story.
@@ -71,9 +104,14 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		}
 	}
 
+	clientSparks := sp != nil && len(sp.ClientRate) > 0
 	writeLine(&b, "", width)
-	writeLine(&b, fmt.Sprintf("%4s  %-5s  %5s  %9s  %5s  %7s  %8s  %8s",
-		"ID", "STATE", "DEPTH", "CONF/S", "UTIL", "IMP-USE", "MEM", "LEARNTS"), width)
+	head2 := fmt.Sprintf("%4s  %-5s  %5s  %9s  %5s  %7s  %8s  %8s",
+		"ID", "STATE", "DEPTH", "CONF/S", "UTIL", "IMP-USE", "MEM", "LEARNTS")
+	if clientSparks {
+		head2 += "  HISTORY"
+	}
+	writeLine(&b, head2, width)
 
 	// The /progress client rows carry rates and depths; join the /status
 	// rows by ID for the learned-clause gauge and the per-worker view.
@@ -91,9 +129,13 @@ func RenderTop(p ProgressSnapshot, s StatusSnapshot, width int) string {
 		case c.Busy:
 			state = "busy"
 		}
-		writeLine(&b, fmt.Sprintf("%4d  %-5s  %5d  %9.1f  %4.0f%%  %6.1f%%  %8s  %8d",
+		row := fmt.Sprintf("%4d  %-5s  %5d  %9.1f  %4.0f%%  %6.1f%%  %8s  %8d",
 			c.ID, state, c.Depth, c.ConflictsPerSec, c.Utilization*100,
-			c.ImportUseRatio*100, fmtBytes(c.MemBytes), learnts[c.ID]), width)
+			c.ImportUseRatio*100, fmtBytes(c.MemBytes), learnts[c.ID])
+		if clientSparks {
+			row += "  " + history.Spark(sp.ClientRate[c.ID], topSparkCell)
+		}
+		writeLine(&b, row, width)
 		// Portfolio clients get one indented sub-row per in-host worker,
 		// with its diversification tag and point-in-time gauges. MEM and
 		// LEARNTS stay aligned with the parent columns.

@@ -185,6 +185,50 @@ func TestRenderTopVerdict(t *testing.T) {
 	}
 }
 
+// TestRenderTopSparks covers the history-backed frame: nil sparks must
+// reproduce RenderTop byte for byte, and populated sparks add the
+// cluster trend line and the per-client HISTORY column while keeping
+// every line at the fixed width.
+func TestRenderTopSparks(t *testing.T) {
+	p, s := topTestSnapshots()
+	if RenderTopSparks(p, s, nil, 80) != RenderTop(p, s, 80) {
+		t.Fatal("nil sparks changed the frame")
+	}
+	if RenderTopSparks(p, s, &TopSparks{}, 80) != RenderTop(p, s, 80) {
+		t.Fatal("empty sparks changed the frame")
+	}
+	sp := &TopSparks{
+		Coverage: []float64{0, 0.1, 0.2, 0.3, 0.42},
+		Rate:     []float64{900, 1100, 1000, 1234, 1200},
+		ClientRate: map[int][]float64{
+			1: {1000, 1100, 1234.5},
+			2: {400, 200, 123.4},
+		},
+	}
+	frame := RenderTopSparks(p, s, sp, 80)
+	if !strings.Contains(frame, "trend  cov [") {
+		t.Error("trend line missing")
+	}
+	if !strings.Contains(frame, "HISTORY") {
+		t.Error("per-client HISTORY column missing")
+	}
+	// A client with no history still renders (blank spark cell).
+	if !strings.Contains(frame, "   4  idle") {
+		t.Error("history-less client row missing")
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(frame, "\n"), "\n") {
+		if len(line) != 80 {
+			t.Fatalf("spark frame line %d is %d columns: %q", i+1, len(line), line)
+		}
+	}
+	// Two more lines than the plain frame: trend + nothing else (the
+	// HISTORY column widens rows, it does not add them).
+	plain := strings.Count(RenderTop(p, s, 80), "\n")
+	if got := strings.Count(frame, "\n"); got != plain+1 {
+		t.Errorf("spark frame has %d lines, want %d", got, plain+1)
+	}
+}
+
 func TestTopFormatters(t *testing.T) {
 	if got := fmtCount(999); got != "999" {
 		t.Errorf("fmtCount(999) = %q", got)

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for dashboards and load
+// balancers: module version, Go toolchain, and the VCS revision baked
+// in by `go build` (short form; "-dirty" appended for modified trees).
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Revision string `json:"revision"`
+}
+
+// ReadBuildInfo extracts the binary's identity from the embedded build
+// metadata. Fields degrade to "unknown" when the binary was built
+// without module/VCS stamping (e.g. `go test`).
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "unknown", Go: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if v := bi.Main.Version; v != "" {
+		out.Version = v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		out.Revision = rev
+	}
+	return out
+}
+
+// RegisterBuildInfo publishes the standard build-identity gauge: a
+// constant 1 whose labels carry the version strings, the Prometheus
+// idiom for instance identification. Returns the info for reuse (the
+// master's /healthz reports the same identity).
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	reg.Gauge("gridsat_build_info", "build identity (constant 1; identity in labels)",
+		L("version", bi.Version), L("go", bi.Go), L("revision", bi.Revision)).Set(1)
+	return bi
+}

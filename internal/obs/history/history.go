@@ -1,0 +1,330 @@
+// Package history is an in-process time-series store: a fixed-cadence
+// sampler folds the metrics registry (plus explicit per-job/per-client
+// series) into ring-buffered series with downsampling tiers, so the
+// service can answer "what happened over the last ten minutes" instead
+// of only "what is happening now". Tier 0 holds raw samples at the
+// sampling cadence; each higher tier holds the mean of Downsample
+// consecutive points from the tier below, trading resolution for span.
+// The store is mutex-guarded: the master's event loop writes while the
+// /history HTTP handler and the watchdog read.
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gridsat/internal/obs"
+)
+
+// Config sizes the store. The zero value is usable: Defaults() is
+// applied on New.
+type Config struct {
+	Tiers       int     // downsampling tiers per series (default 3)
+	TierCap     int     // ring capacity per tier in points (default 256)
+	Downsample  int     // aggregation factor between tiers (default 8)
+	MaxSeries   int     // cap on distinct series names (default 4096)
+	IntervalSec float64 // nominal sampling cadence, for tier stride labels (0 = unknown)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tiers <= 0 {
+		c.Tiers = 3
+	}
+	if c.TierCap <= 0 {
+		c.TierCap = 256
+	}
+	if c.Downsample <= 1 {
+		c.Downsample = 8
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 4096
+	}
+	return c
+}
+
+// Point is one sample: a timestamp (wall seconds live, virtual seconds
+// in the DES) and a value.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// ring is one fixed-capacity tier plus the accumulator that downsamples
+// into the tier above.
+type ring struct {
+	pts    []Point
+	head   int // next write slot
+	n      int
+	accSum float64
+	accT   float64
+	accN   int
+}
+
+func (r *ring) push(p Point) {
+	r.pts[r.head] = p
+	r.head = (r.head + 1) % len(r.pts)
+	if r.n < len(r.pts) {
+		r.n++
+	}
+}
+
+// ordered returns the ring's points oldest-first.
+func (r *ring) ordered() []Point {
+	out := make([]Point, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.pts)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.pts[(start+i)%len(r.pts)])
+	}
+	return out
+}
+
+// Series is one named multi-tier ring.
+type Series struct {
+	name  string
+	tiers []*ring
+}
+
+func (s *Store) newSeries(name string) *Series {
+	se := &Series{name: name, tiers: make([]*ring, s.cfg.Tiers)}
+	for i := range se.tiers {
+		se.tiers[i] = &ring{pts: make([]Point, s.cfg.TierCap)}
+	}
+	return se
+}
+
+// observe appends a raw point to tier 0 and cascades means upward.
+func (se *Series) observe(p Point, factor int) {
+	for _, t := range se.tiers {
+		t.push(p)
+		t.accSum += p.V
+		t.accT = p.T
+		t.accN++
+		if t.accN < factor {
+			return
+		}
+		p = Point{T: t.accT, V: t.accSum / float64(t.accN)}
+		t.accSum, t.accN = 0, 0
+	}
+}
+
+// Store holds all series. Safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	cfg  Config
+	ser  map[string]*Series
+	drop int64 // series rejected by the MaxSeries cap
+}
+
+// New builds a store with cfg (zero-value fields take defaults).
+func New(cfg Config) *Store {
+	return &Store{cfg: cfg.withDefaults(), ser: make(map[string]*Series)}
+}
+
+// Observe records value v for series name at time t. Unknown names are
+// created on first use until the MaxSeries cap; past the cap new names
+// are counted and dropped so label churn cannot grow memory unbounded.
+func (s *Store) Observe(name string, t, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeLocked(name, t, v)
+}
+
+func (s *Store) observeLocked(name string, t, v float64) {
+	se, ok := s.ser[name]
+	if !ok {
+		if len(s.ser) >= s.cfg.MaxSeries {
+			s.drop++
+			return
+		}
+		se = s.newSeries(name)
+		s.ser[name] = se
+	}
+	se.observe(Point{T: t, V: v}, s.cfg.Downsample)
+}
+
+// SampleSnapshot folds a full registry snapshot into the store: every
+// counter and gauge becomes a series named "name{labels}". Histograms
+// are skipped (their sums/counts already surface as /metrics families
+// and would triple the series count for little sparkline value).
+func (s *Store) SampleSnapshot(t float64, snap obs.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range snap.Counters {
+		s.observeLocked(seriesName(p.Name, p.Labels), t, float64(p.Value))
+	}
+	for _, p := range snap.Gauges {
+		s.observeLocked(seriesName(p.Name, p.Labels), t, float64(p.Value))
+	}
+}
+
+// seriesName renders name{k="v",...} with sorted label keys, matching
+// the registry's own family rendering.
+func seriesName(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return out + "}"
+}
+
+// Last returns up to n most recent raw (tier-0) points of the series,
+// oldest first. Nil if the series does not exist.
+func (s *Store) Last(name string, n int) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.ser[name]
+	if !ok {
+		return nil
+	}
+	pts := se.tiers[0].ordered()
+	if len(pts) > n {
+		pts = pts[len(pts)-n:]
+	}
+	return pts
+}
+
+// LastValues is Last with only the values, for sparkline rendering.
+func (s *Store) LastValues(name string, n int) []float64 {
+	pts := s.Last(name, n)
+	if pts == nil {
+		return nil
+	}
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Names lists the stored series, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.ser))
+	for n := range s.ser {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of distinct series.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ser)
+}
+
+// Dropped reports how many observations were rejected by MaxSeries.
+func (s *Store) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drop
+}
+
+// TierDump is one tier of a dumped series. StrideSec is the nominal
+// seconds per point (0 when the store was built without IntervalSec).
+type TierDump struct {
+	StrideSec float64 `json:"stride_sec"`
+	Points    []Point `json:"points"`
+}
+
+// SeriesDump is the JSON shape of one series for GET /history and for
+// postmortem bundles.
+type SeriesDump struct {
+	Name  string     `json:"name"`
+	Tiers []TierDump `json:"tiers"`
+}
+
+// Dump snapshots every series, sorted by name. Tiers with no points are
+// omitted so fresh stores serialize compactly.
+func (s *Store) Dump() []SeriesDump {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.ser))
+	for n := range s.ser {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SeriesDump, 0, len(names))
+	stride0 := s.cfg.IntervalSec
+	for _, n := range names {
+		se := s.ser[n]
+		d := SeriesDump{Name: n}
+		stride := stride0
+		for _, t := range se.tiers {
+			if t.n > 0 {
+				d.Tiers = append(d.Tiers, TierDump{StrideSec: stride, Points: t.ordered()})
+			}
+			stride *= float64(s.cfg.Downsample)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteJSON serializes the full dump as indented JSON.
+func (s *Store) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Series []SeriesDump `json:"series"`
+	}{s.Dump()})
+}
+
+// sparkRamp is deliberately ASCII: gridsat top frames are fixed-width
+// in *bytes*, so multi-byte block glyphs would break the layout.
+const sparkRamp = " .:-=+*#"
+
+// Spark renders vals as a fixed-width ASCII sparkline, newest at the
+// right. Fewer values than width left-pads with spaces; a flat series
+// renders at the lowest ink so stalls are visually obvious.
+func Spark(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := 0.0, 0.0
+	for i, v := range vals {
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	out := make([]byte, width)
+	for i := range out {
+		out[i] = ' '
+	}
+	for i, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+			if idx >= len(sparkRamp) {
+				idx = len(sparkRamp) - 1
+			}
+		}
+		out[width-len(vals)+i] = sparkRamp[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,189 @@
+package history
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gridsat/internal/obs"
+)
+
+func TestObserveAndLast(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 10; i++ {
+		s.Observe("x", float64(i), float64(i*i))
+	}
+	pts := s.Last("x", 3)
+	if len(pts) != 3 {
+		t.Fatalf("Last(3) returned %d points", len(pts))
+	}
+	want := []Point{{7, 49}, {8, 64}, {9, 81}}
+	for i, p := range pts {
+		if p != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+	if got := s.Last("nope", 3); got != nil {
+		t.Errorf("Last(unknown) = %v, want nil", got)
+	}
+	vals := s.LastValues("x", 2)
+	if len(vals) != 2 || vals[0] != 64 || vals[1] != 81 {
+		t.Errorf("LastValues = %v", vals)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	s := New(Config{TierCap: 4, Tiers: 1})
+	for i := 0; i < 10; i++ {
+		s.Observe("x", float64(i), float64(i))
+	}
+	pts := s.Last("x", 100)
+	if len(pts) != 4 {
+		t.Fatalf("ring holds %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Errorf("point %d = %v, want %v (oldest-first after wrap)", i, p.V, want)
+		}
+	}
+}
+
+func TestDownsamplingTiers(t *testing.T) {
+	s := New(Config{Tiers: 2, TierCap: 100, Downsample: 4, IntervalSec: 1})
+	for i := 0; i < 8; i++ {
+		s.Observe("x", float64(i), float64(i))
+	}
+	d := s.Dump()
+	if len(d) != 1 || d[0].Name != "x" {
+		t.Fatalf("dump = %+v", d)
+	}
+	if len(d[0].Tiers) != 2 {
+		t.Fatalf("got %d tiers, want 2", len(d[0].Tiers))
+	}
+	t1 := d[0].Tiers[1]
+	if t1.StrideSec != 4 {
+		t.Errorf("tier-1 stride = %v, want 4", t1.StrideSec)
+	}
+	// Means of [0..3] and [4..7], stamped at the last contributing time.
+	want := []Point{{3, 1.5}, {7, 5.5}}
+	if len(t1.Points) != 2 {
+		t.Fatalf("tier-1 has %d points, want 2: %+v", len(t1.Points), t1.Points)
+	}
+	for i, p := range t1.Points {
+		if p != want[i] {
+			t.Errorf("tier-1 point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+func TestMaxSeriesCap(t *testing.T) {
+	s := New(Config{MaxSeries: 2})
+	s.Observe("a", 0, 1)
+	s.Observe("b", 0, 1)
+	s.Observe("c", 0, 1)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped())
+	}
+	// Existing series still accept points past the cap.
+	s.Observe("a", 1, 2)
+	if got := s.Last("a", 10); len(got) != 2 {
+		t.Errorf("capped store dropped an existing series' point: %v", got)
+	}
+}
+
+func TestSampleSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_total", "").Add(3)
+	reg.Gauge("busy", "", obs.L("client", "1")).Set(7)
+	s := New(Config{})
+	s.SampleSnapshot(10, reg.Snapshot())
+	if got := s.Last("jobs_total", 1); len(got) != 1 || got[0].V != 3 {
+		t.Errorf("counter series = %v", got)
+	}
+	if got := s.Last(`busy{client="1"}`, 1); len(got) != 1 || got[0].V != 7 {
+		t.Errorf("labeled gauge series = %v (names: %v)", got, s.Names())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	s := New(Config{IntervalSec: 2})
+	s.Observe("cov", 1, 0.5)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Series []SeriesDump `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(out.Series) != 1 || out.Series[0].Name != "cov" {
+		t.Fatalf("round-tripped %+v", out.Series)
+	}
+	if out.Series[0].Tiers[0].StrideSec != 2 {
+		t.Errorf("stride = %v, want 2", out.Series[0].Tiers[0].StrideSec)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	cases := []struct {
+		vals  []float64
+		width int
+		want  string
+	}{
+		{nil, 4, "    "},
+		{[]float64{1, 1, 1}, 3, "   "},                     // flat → lowest ink
+		{[]float64{0, 7}, 2, " #"},                         // full range
+		{[]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8, " .:-=+*#"}, // whole ramp
+		{[]float64{5}, 4, "    "},                          // single point, left-padded
+		{[]float64{0, 1, 2, 3}, 2, " #"},                   // truncates to newest, rescaled
+	}
+	for i, c := range cases {
+		got := Spark(c.vals, c.width)
+		if got != c.want {
+			t.Errorf("case %d: Spark(%v, %d) = %q, want %q", i, c.vals, c.width, got, c.want)
+		}
+		if len(got) != c.width {
+			t.Errorf("case %d: width %d, want %d", i, len(got), c.width)
+		}
+	}
+	if s := Spark([]float64{1, 2}, 0); s != "" {
+		t.Errorf("zero width = %q", s)
+	}
+}
+
+func TestSparkASCIIOnly(t *testing.T) {
+	// gridsat top is byte-width fixed; the ramp must stay single-byte.
+	for _, r := range sparkRamp {
+		if r > 127 {
+			t.Fatalf("spark ramp contains non-ASCII rune %q", r)
+		}
+	}
+	s := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10)
+	if len(s) != len([]rune(s)) {
+		t.Fatalf("spark output is not byte-per-column: %q", s)
+	}
+}
+
+func TestManySeriesStaySorted(t *testing.T) {
+	s := New(Config{})
+	for i := 9; i >= 0; i-- {
+		s.Observe(fmt.Sprintf("s%02d", i), 0, 1)
+	}
+	names := s.Names()
+	if !strings.HasPrefix(names[0], "s00") || len(names) != 10 {
+		t.Errorf("names not sorted: %v", names)
+	}
+	d := s.Dump()
+	for i := 1; i < len(d); i++ {
+		if d[i-1].Name > d[i].Name {
+			t.Errorf("dump not sorted at %d: %s > %s", i, d[i-1].Name, d[i].Name)
+		}
+	}
+}

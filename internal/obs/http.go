@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves live introspection for a registry:
@@ -45,7 +46,26 @@ func Handler(reg *Registry, status func() any, extra ...Endpoint) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return withRouteLatency(reg, mux)
+}
+
+// withRouteLatency wraps the mux with an SLO latency histogram per
+// route. The label is the mux's registered pattern (so "/jobs/{id}"
+// stays one series regardless of how many jobs exist), with requests
+// that match no route collapsed into "unmatched" — label cardinality is
+// bounded by the route table, never by traffic.
+func withRouteLatency(reg *Registry, mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		reg.Histogram("gridsat_http_request_seconds",
+			"HTTP endpoint latency by route", nil, L("route", pattern)).
+			Observe(time.Since(start).Seconds())
+	})
 }
 
 // Endpoint is an extra route mounted by Handler.

@@ -49,13 +49,13 @@ func NewCounters(reg *obs.Registry, labels ...obs.Label) *Counters {
 // two Stats snapshots into heartbeat deltas.
 func StatsDelta(cur, prev Stats) Stats {
 	return Stats{
-		Decisions:    cur.Decisions - prev.Decisions,
-		Conflicts:    cur.Conflicts - prev.Conflicts,
-		Propagations: cur.Propagations - prev.Propagations,
-		Implications: cur.Implications - prev.Implications,
-		Learned:      cur.Learned - prev.Learned,
-		Deleted:      cur.Deleted - prev.Deleted,
-		Restarts:     cur.Restarts - prev.Restarts,
+		Decisions:      cur.Decisions - prev.Decisions,
+		Conflicts:      cur.Conflicts - prev.Conflicts,
+		Propagations:   cur.Propagations - prev.Propagations,
+		Implications:   cur.Implications - prev.Implications,
+		Learned:        cur.Learned - prev.Learned,
+		Deleted:        cur.Deleted - prev.Deleted,
+		Restarts:       cur.Restarts - prev.Restarts,
 		Imported:       cur.Imported - prev.Imported,
 		Exported:       cur.Exported - prev.Exported,
 		Simplified:     cur.Simplified - prev.Simplified,

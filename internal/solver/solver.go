@@ -1234,10 +1234,10 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	Restarts     int64
-	Imported   int64
-	Exported   int64
-	Simplified int64
-	Splits     int64
+	Imported     int64
+	Exported     int64
+	Simplified   int64
+	Splits       int64
 	// ReclaimedBytes counts bytes the arena's compacting GC has returned
 	// to the allocator (deleted clauses + stripped literals).
 	ReclaimedBytes int64

@@ -23,26 +23,26 @@ import (
 // Flight-event kinds. These are the JSONL schema's "kind" vocabulary;
 // KnownKinds lists them all for validation.
 const (
-	FEvRunStart     = "run-start"      // N = launched/expected clients
-	FEvClientJoin   = "client-join"    // Client joined the pool
-	FEvClientLeave  = "client-leave"   // Client left (crash or disconnect)
-	FEvAssign       = "assign"         // Client received the whole problem
-	FEvSplitRequest = "split-request"  // Client asked to shed work (Detail = why)
-	FEvSplitIssue   = "split-issue"    // master paired donor Client with Peer
-	FEvSplitAccept  = "split-accept"   // recipient Client started donor Peer's cofactor
-	FEvSplitFail    = "split-fail"     // an issued split leg never completed
-	FEvSplitBacklog = "split-backlog"  // donor Client returned N leftover cofactors to the master
-	FEvShareFlush   = "share-flush"    // Client flushed a batch of N learned clauses
-	FEvShareRelay   = "share-relay"    // master fanned out N deduped clauses from Client
-	FEvShareMerge   = "share-merge"    // Client imported N clauses from Peer
-	FEvHeartbeat    = "heartbeat"      // liveness/telemetry tick
-	FEvMemShed      = "mem-shed"       // Client's arena GC reclaimed N bytes
-	FEvMigrate      = "migrate"        // whole subproblem moved Client -> Peer
-	FEvRecover      = "recover"        // orphaned subproblem restarted on Client
-	FEvSubUNSAT     = "sub-unsat"      // Client exhausted its subproblem
-	FEvProgress     = "progress"       // coverage advanced; N = fixed-point units (2^-62)
-	FEvImportUse    = "import-use"     // Client first used an imported clause; N = uses this window
-	FEvVerdict      = "verdict"        // run decided (Detail = SAT/UNSAT/UNKNOWN)
+	FEvRunStart     = "run-start"     // N = launched/expected clients
+	FEvClientJoin   = "client-join"   // Client joined the pool
+	FEvClientLeave  = "client-leave"  // Client left (crash or disconnect)
+	FEvAssign       = "assign"        // Client received the whole problem
+	FEvSplitRequest = "split-request" // Client asked to shed work (Detail = why)
+	FEvSplitIssue   = "split-issue"   // master paired donor Client with Peer
+	FEvSplitAccept  = "split-accept"  // recipient Client started donor Peer's cofactor
+	FEvSplitFail    = "split-fail"    // an issued split leg never completed
+	FEvSplitBacklog = "split-backlog" // donor Client returned N leftover cofactors to the master
+	FEvShareFlush   = "share-flush"   // Client flushed a batch of N learned clauses
+	FEvShareRelay   = "share-relay"   // master fanned out N deduped clauses from Client
+	FEvShareMerge   = "share-merge"   // Client imported N clauses from Peer
+	FEvHeartbeat    = "heartbeat"     // liveness/telemetry tick
+	FEvMemShed      = "mem-shed"      // Client's arena GC reclaimed N bytes
+	FEvMigrate      = "migrate"       // whole subproblem moved Client -> Peer
+	FEvRecover      = "recover"       // orphaned subproblem restarted on Client
+	FEvSubUNSAT     = "sub-unsat"     // Client exhausted its subproblem
+	FEvProgress     = "progress"      // coverage advanced; N = fixed-point units (2^-62)
+	FEvImportUse    = "import-use"    // Client first used an imported clause; N = uses this window
+	FEvVerdict      = "verdict"       // run decided (Detail = SAT/UNSAT/UNKNOWN)
 
 	// Multi-job scheduler lifecycle kinds. Single-job runs never emit
 	// them (the implicit job is ID 0), so pre-scheduler logs stay valid
@@ -53,6 +53,11 @@ const (
 	FEvJobResume  = "job-resume"  // a preempted subproblem restarted on Client (Parent = preempt)
 	FEvJobDone    = "job-done"    // Job reached a verdict (Detail = SAT/UNSAT/UNKNOWN)
 	FEvJobCancel  = "job-cancel"  // Job was cancelled by the submitter
+
+	// FEvAnomaly records a fired watchdog rule (Detail = "rule: detail",
+	// Client set for per-client rules). Emitted only when a watchdog is
+	// configured, so existing logs are unaffected.
+	FEvAnomaly = "anomaly"
 )
 
 // KnownKinds is the flight-event vocabulary, used by Validate.
@@ -64,9 +69,10 @@ var KnownKinds = map[string]bool{
 	FEvShareRelay: true, FEvShareMerge: true, FEvHeartbeat: true,
 	FEvMemShed: true, FEvMigrate: true, FEvRecover: true,
 	FEvSubUNSAT: true, FEvProgress: true, FEvImportUse: true,
-	FEvVerdict: true,
+	FEvVerdict:   true,
 	FEvJobSubmit: true, FEvJobStart: true, FEvJobPreempt: true,
 	FEvJobResume: true, FEvJobDone: true, FEvJobCancel: true,
+	FEvAnomaly: true,
 }
 
 // FEvent is one flight-recorder event — one JSONL line. IDs are assigned
@@ -76,11 +82,11 @@ var KnownKinds = map[string]bool{
 // same log (0 = none), letting consumers rebuild message causality and
 // split lineage exactly.
 type FEvent struct {
-	ID      uint64  `json:"id"`
-	Lamport uint64  `json:"lamport"`
-	Parent  uint64  `json:"parent,omitempty"`
-	Kind    string  `json:"kind"`
-	Client  int     `json:"client,omitempty"`
+	ID      uint64 `json:"id"`
+	Lamport uint64 `json:"lamport"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Kind    string `json:"kind"`
+	Client  int    `json:"client,omitempty"`
 	// Worker attributes the event to an in-host portfolio worker of
 	// Client (0 = the pathfinder, also the only worker on
 	// single-threaded clients). Set on verdict/sub-unsat events.
@@ -89,8 +95,8 @@ type FEvent struct {
 	// single-job run (omitted from the JSONL line), so logs recorded
 	// before the scheduler existed — and single-job logs after it —
 	// are byte-identical to each other.
-	Job  int `json:"job,omitempty"`
-	Peer int `json:"peer,omitempty"`
+	Job     int     `json:"job,omitempty"`
+	Peer    int     `json:"peer,omitempty"`
 	SplitID int     `json:"split,omitempty"`
 	N       int64   `json:"n,omitempty"`
 	VSec    float64 `json:"vsec,omitempty"`
